@@ -1,0 +1,320 @@
+package repro
+
+import (
+	"io"
+
+	"repro/internal/clampi"
+	"repro/internal/disttc"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/intersect"
+	"repro/internal/lcc"
+	"repro/internal/part"
+	"repro/internal/rma"
+	"repro/internal/spmat"
+	"repro/internal/tric"
+)
+
+// --- graphs ---------------------------------------------------------------
+
+// Graph is an immutable CSR graph (sorted adjacency lists, no self-loops or
+// multi-edges).
+type Graph = graph.Graph
+
+// V is the vertex id type.
+type V = graph.V
+
+// Edge is a directed arc (an unordered pair for undirected builders).
+type Edge = graph.Edge
+
+// Kind distinguishes directed from undirected graphs.
+type Kind = graph.Kind
+
+// Graph kinds.
+const (
+	Undirected = graph.Undirected
+	Directed   = graph.Directed
+)
+
+// BuildGraph constructs a simple CSR graph from an edge list, dropping
+// self-loops and collapsing multi-edges (§II-A).
+func BuildGraph(kind Kind, n int, edges []Edge) (*Graph, error) {
+	return graph.Build(kind, n, edges)
+}
+
+// ReadEdgeList parses a SNAP-style "src dst" text stream.
+func ReadEdgeList(r io.Reader, kind Kind) (*Graph, error) {
+	return graph.ReadEdgeList(r, kind)
+}
+
+// ReadBinaryGraph reads the binary CSR container written by
+// WriteBinaryGraph or cmd/graphgen.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinaryGraph writes the binary CSR container format.
+func WriteBinaryGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// Prepare applies the paper's §II-B preprocessing: iterated degree<2
+// removal plus a seeded random relabeling.
+func Prepare(g *Graph, seed uint64) *Graph { return gen.Prepare(g, seed) }
+
+// --- datasets and generators ----------------------------------------------
+
+// DatasetNames lists the registered evaluation datasets (Table II
+// stand-ins; see DESIGN.md §1 for the mapping to the paper's graphs).
+func DatasetNames() []string { return gen.Names() }
+
+// LoadDataset generates (memoized) and prepares a registered dataset.
+func LoadDataset(name string) (*Graph, error) { return gen.Load(name) }
+
+// MustLoadDataset is LoadDataset for names known at compile time.
+func MustLoadDataset(name string) *Graph { return gen.MustLoad(name) }
+
+// RMAT generates an R-MAT graph with the paper's default skew parameters
+// (a=0.57, b=c=0.19, d=0.05; §IV-A). The result is raw: apply Prepare
+// before distributing it.
+func RMAT(scale, edgeFactor int, kind Kind, seed uint64) *Graph {
+	return gen.RMAT(gen.DefaultRMAT(scale, edgeFactor, kind, seed))
+}
+
+// ErdosRenyi generates a uniform random graph (the Fig. 4 baseline).
+func ErdosRenyi(n, m int, kind Kind, seed uint64) *Graph {
+	return gen.ErdosRenyi(n, m, kind, seed)
+}
+
+// BarabasiAlbert generates a preferential-attachment power-law graph.
+func BarabasiAlbert(n, m int, kind Kind, seed uint64) *Graph {
+	return gen.BarabasiAlbert(n, m, kind, seed)
+}
+
+// WattsStrogatz generates the small-world graph of the paper's reference
+// [9] (the origin of the LCC metric): a ring lattice of degree k with each
+// edge rewired with probability beta.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *Graph {
+	return gen.WattsStrogatz(n, k, beta, seed)
+}
+
+// RingLatticeLCC returns the closed-form clustering coefficient of the
+// beta=0 Watts–Strogatz lattice, 3(k−2)/(4(k−1)).
+func RingLatticeLCC(k int) float64 { return gen.RingLatticeLCC(k) }
+
+// Kronecker generates a stochastic Kronecker graph from a 2x2 initiator
+// [[a,b],[c,d]] raised to the given scale (R-MAT's exact counterpart).
+func Kronecker(scale int, a, b, c, d float64, kind Kind, seed uint64) *Graph {
+	return gen.Kronecker(scale, a, b, c, d, kind, seed)
+}
+
+// ReadMatrixMarket parses a MatrixMarket coordinate file (the SuiteSparse
+// exchange format): symmetric matrices become undirected graphs, general
+// ones directed.
+func ReadMatrixMarket(r io.Reader) (*Graph, error) { return graph.ReadMatrixMarket(r) }
+
+// WriteMatrixMarket writes g as a MatrixMarket coordinate pattern file.
+func WriteMatrixMarket(w io.Writer, g *Graph) error { return graph.WriteMatrixMarket(w, g) }
+
+// --- intersection kernels ---------------------------------------------------
+
+// Method selects the adjacency-intersection kernel (§II-C).
+type Method = intersect.Method
+
+// Intersection methods: sorted set intersection (Algorithm 2), binary
+// search (Algorithm 1), the Eq. (3) hybrid, and the H-INDEX-style hash
+// intersection surveyed in §V-A.
+const (
+	MethodSSI    = intersect.MethodSSI
+	MethodBinary = intersect.MethodBinary
+	MethodHybrid = intersect.MethodHybrid
+	MethodHash   = intersect.MethodHash
+)
+
+// --- distribution -----------------------------------------------------------
+
+// Scheme selects the 1D vertex distribution (§III-A).
+type Scheme = part.Scheme
+
+// Distribution schemes: the paper's contiguous Block default, the cyclic
+// alternative it cites, and the arc-balanced contiguous variant that
+// addresses the §IV-D-2 load imbalance.
+const (
+	Block     = part.Block
+	Cyclic    = part.Cyclic
+	BlockArcs = part.BlockArcs
+)
+
+// --- the machine model ------------------------------------------------------
+
+// CostModel calibrates the simulated machine (network α/β, DRAM, cache and
+// compute charges). See rma.DefaultCostModel for the Cray-Aries-like
+// defaults the evaluation uses.
+type CostModel = rma.CostModel
+
+// DefaultCostModel returns the evaluation's calibration.
+func DefaultCostModel() CostModel { return rma.DefaultCostModel() }
+
+// NoiseSpec describes deterministic per-rank execution noise (proportional
+// jitter plus periodic OS detours). Set CostModel.Noise to run any engine
+// under identical, reproducible noise; results are unaffected, only
+// simulated times change.
+type NoiseSpec = rma.NoiseSpec
+
+// --- LCC / TC engines -------------------------------------------------------
+
+// LCCOptions configure the asynchronous distributed engine (Algorithm 3 +
+// §III-B caching).
+type LCCOptions = lcc.Options
+
+// LCCResult is the output of a distributed run: per-vertex LCC scores,
+// the global triangle count, the simulated job time, and per-rank
+// communication/caching statistics.
+type LCCResult = lcc.Result
+
+// RunLCC executes the paper's fully asynchronous distributed TC+LCC
+// computation on a simulated p-rank machine.
+func RunLCC(g *Graph, opt LCCOptions) (*LCCResult, error) { return lcc.Run(g, opt) }
+
+// SharedResult is the output of the single-node computation.
+type SharedResult = lcc.SharedResult
+
+// SharedLCC computes TC+LCC on a single node (§IV-C baseline and ground
+// truth).
+func SharedLCC(g *Graph, method Method) *SharedResult { return lcc.SharedLCC(g, method) }
+
+// ForwardLCC computes TC+LCC on a single node with the Schank–Wagner
+// forward algorithm over a degree-ordered orientation (§V reference), an
+// independent baseline that needs no upper-triangle offsetting.
+func ForwardLCC(g *Graph) (*SharedResult, error) { return lcc.ForwardLCC(g) }
+
+// Triangle is one enumerated triangle.
+type Triangle = lcc.Triangle
+
+// ListTriangles enumerates every triangle of an undirected graph exactly
+// once, in deterministic order.
+func ListTriangles(g *Graph) ([]Triangle, error) { return lcc.ListTriangles(g) }
+
+// AlgebraicResult is the output of the masked-SpGEMM triangle computation.
+type AlgebraicResult = spmat.TriangleCountResult
+
+// AlgebraicTriangles counts triangles with the algebraic method the paper
+// surveys in §V-B: C = L·U ∘ A for undirected graphs, C = A·A ∘ A for
+// directed ones. An independent cross-check for the edge-centric engines.
+func AlgebraicTriangles(g *Graph) (*AlgebraicResult, error) {
+	if g.Kind() == Undirected {
+		return spmat.CountLU(g)
+	}
+	return spmat.CountAAA(g)
+}
+
+// ScorePolicy selects the C_adj eviction score: CLaMPI's LRU+positional
+// default, the paper's degree scores (§III-B-2), or the future-work
+// alternatives (§VI iii).
+type ScorePolicy = lcc.ScorePolicy
+
+// Eviction score policies.
+const (
+	ScoreLRU           = lcc.ScoreLRU
+	ScoreDegree        = lcc.ScoreDegree
+	ScoreCostBenefit   = lcc.ScoreCostBenefit
+	ScoreDegreeRecency = lcc.ScoreDegreeRecency
+)
+
+// PushAggregation selects how the push-mode engine ships triangle
+// contributions: direct per-corner accumulates or locally combined batches.
+type PushAggregation = lcc.PushAggregation
+
+// Push aggregation modes.
+const (
+	PushDirect  = lcc.PushDirect
+	PushBatched = lcc.PushBatched
+)
+
+// LCCPushOptions configure a push-mode distributed run (future work ii:
+// the push side of the push–pull dichotomy).
+type LCCPushOptions = lcc.PushOptions
+
+// RunLCCPush computes LCC with the push-mode engine: each triangle is
+// discovered exactly once and its two non-discovering corners receive
+// their contribution through one-sided accumulates. Results are
+// bit-identical to RunLCC on undirected graphs; directed graphs are
+// rejected.
+func RunLCCPush(g *Graph, opt LCCPushOptions) (*LCCResult, error) {
+	return lcc.RunPush(g, opt)
+}
+
+// LCCReplicatedOptions configure a replicated-groups ("1.5D") run: c graph
+// copies over p ranks trade memory for communication (future work i, the
+// 2.5D idea of [41] applied to 1D distribution).
+type LCCReplicatedOptions = lcc.ReplicatedOptions
+
+// RunLCCReplicated computes LCC over the replicated-groups distribution.
+// Results are bit-identical to RunLCC; the remote-read fraction falls as
+// the replication factor grows, at a proportional per-rank memory cost.
+func RunLCCReplicated(g *Graph, opt LCCReplicatedOptions) (*LCCResult, error) {
+	return lcc.RunReplicated(g, opt)
+}
+
+// ReplicaWindowBytes reports the per-rank window memory a replicated run
+// would need — the cost side of the memory-for-communication trade.
+func ReplicaWindowBytes(g *Graph, ranks, replication int) (int64, error) {
+	return lcc.ReplicaWindowBytes(g, ranks, replication)
+}
+
+// JaccardResult is the output of a distributed Jaccard-similarity run.
+type JaccardResult = lcc.JaccardResult
+
+// RunJaccard computes per-edge Jaccard similarity on the same asynchronous
+// RMA substrate as RunLCC — the paper's future-work direction (ii).
+func RunJaccard(g *Graph, opt LCCOptions) (*JaccardResult, error) {
+	return lcc.RunJaccard(g, opt)
+}
+
+// TriCOptions configure the TriC baseline (§IV-B).
+type TriCOptions = tric.Options
+
+// TriCResult is the output of a TriC run.
+type TriCResult = tric.Result
+
+// RunTriC executes the TriC query-response baseline over the simulated BSP
+// substrate.
+func RunTriC(g *Graph, opt TriCOptions) (*TriCResult, error) { return tric.Run(g, opt) }
+
+// DistTCOptions configure the DistTC baseline (Hoang et al., HPEC'19; §I,
+// §V-C).
+type DistTCOptions = disttc.Options
+
+// DistTCResult is the output of a DistTC run, including the
+// precompute/compute split and the shadow-edge replication factor.
+type DistTCResult = disttc.Result
+
+// RunDistTC executes the DistTC shadow-edge baseline: communication-free
+// triangle counting after a precomputed ghost-edge exchange.
+func RunDistTC(g *Graph, opt DistTCOptions) (*DistTCResult, error) { return disttc.Run(g, opt) }
+
+// LCC2DOptions configure the asynchronous 2D block engine (future work i,
+// §VI). Ranks must be a perfect square.
+type LCC2DOptions = grid.Options
+
+// LCC2DResult is the output of a 2D run, including the per-rank traffic
+// counters the 1D-vs-2D comparison (ablation A9) reports.
+type LCC2DResult = grid.Result
+
+// RunLCC2D executes TC+LCC over a √p×√p block distribution with the same
+// fully asynchronous one-sided discipline as RunLCC: each rank pulls the
+// 2(√p−1) operand blocks it needs and never synchronizes.
+func RunLCC2D(g *Graph, opt LCC2DOptions) (*LCC2DResult, error) { return grid.Run(g, opt) }
+
+// --- caching ----------------------------------------------------------------
+
+// CacheConfig tunes a CLaMPI cache instance (buffer capacity, hash table,
+// consistency mode, adaptive resizing; §II-F).
+type CacheConfig = clampi.Config
+
+// CacheStats reports hit/miss/eviction counters of a cache instance.
+type CacheStats = clampi.Stats
+
+// Cache consistency modes.
+const (
+	CacheTransparent = clampi.Transparent
+	CacheAlways      = clampi.AlwaysCache
+	CacheUserDefined = clampi.UserDefined
+)

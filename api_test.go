@@ -1,0 +1,116 @@
+package repro_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeBuildAndRun(t *testing.T) {
+	g, err := repro.BuildGraph(repro.Undirected, 4, []repro.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := repro.RunLCC(g, repro.LCCOptions{Ranks: 2, Method: repro.MethodHybrid, DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Triangles != 1 {
+		t.Errorf("Triangles = %d, want 1", res.Triangles)
+	}
+	ref := repro.SharedLCC(g, repro.MethodHybrid)
+	for v := range res.LCC {
+		if math.Abs(res.LCC[v]-ref.LCC[v]) > 1e-12 {
+			t.Errorf("LCC[%d] = %v, ref %v", v, res.LCC[v], ref.LCC[v])
+		}
+	}
+}
+
+func TestFacadeTriCAgrees(t *testing.T) {
+	g := repro.RMAT(9, 8, repro.Undirected, 3)
+	g = repro.Prepare(g, 1)
+	a, err := repro.RunLCC(g, repro.LCCOptions{Ranks: 4, Method: repro.MethodHybrid, DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := repro.RunTriC(g, repro.TriCOptions{Ranks: 4, Method: repro.MethodHybrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Triangles != b.Triangles {
+		t.Errorf("async %d vs TriC %d", a.Triangles, b.Triangles)
+	}
+}
+
+func TestFacadeDatasets(t *testing.T) {
+	names := repro.DatasetNames()
+	if len(names) < 10 {
+		t.Fatalf("only %d datasets registered", len(names))
+	}
+	g, err := repro.LoadDataset("fb-sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 {
+		t.Error("empty dataset")
+	}
+	if _, err := repro.LoadDataset("bogus"); err == nil {
+		t.Error("LoadDataset accepted unknown name")
+	}
+}
+
+func TestFacadeGraphIO(t *testing.T) {
+	g := repro.ErdosRenyi(128, 512, repro.Undirected, 9)
+	var buf bytes.Buffer
+	if err := repro.WriteBinaryGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := repro.ReadBinaryGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || g2.NumVertices() != g.NumVertices() {
+		t.Error("binary round-trip changed the graph")
+	}
+
+	el := "0 1\n1 2\n2 0\n"
+	g3, err := repro.ReadEdgeList(bytes.NewBufferString(el), repro.Undirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repro.SharedLCC(g3, repro.MethodHybrid).Triangles != 1 {
+		t.Error("edge-list triangle lost")
+	}
+}
+
+func TestFacadeCostModel(t *testing.T) {
+	m := repro.DefaultCostModel()
+	if m.RemoteLatency != 2000 {
+		t.Errorf("default α = %v ns, want 2000 (the paper's Aries figure)", m.RemoteLatency)
+	}
+	// A custom model flows through to results: zero-cost network makes
+	// remote reads free, halving-ish the simulated time.
+	g := repro.BarabasiAlbert(512, 8, repro.Undirected, 4)
+	g = repro.Prepare(g, 2)
+	slow, err := repro.RunLCC(g, repro.LCCOptions{Ranks: 4, Method: repro.MethodHybrid, DoubleBuffer: true, Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := m
+	fast.RemoteLatency = 1
+	fast.RemoteBytePeriod = 0
+	quick, err := repro.RunLCC(g, repro.LCCOptions{Ranks: 4, Method: repro.MethodHybrid, DoubleBuffer: true, Model: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quick.SimTime >= slow.SimTime {
+		t.Errorf("faster network did not reduce simulated time: %v vs %v", quick.SimTime, slow.SimTime)
+	}
+	if quick.Triangles != slow.Triangles {
+		t.Error("cost model changed the computed result")
+	}
+}

@@ -1,0 +1,45 @@
+// Package repro is a from-scratch Go reproduction of "Asynchronous
+// Distributed-Memory Triangle Counting and LCC with RMA Caching" (Strausz,
+// Vella, Di Girolamo, Besta, Hoefler — IPDPS 2022, arXiv:2202.13976).
+//
+// The package is the public facade over the internal subsystems:
+//
+//   - internal/graph — CSR graph core, I/O, preprocessing (§II-B)
+//   - internal/gen — deterministic dataset generators (Table II stand-ins)
+//   - internal/part — 1D block and cyclic vertex distribution (§III-A)
+//   - internal/rma — simulated MPI-3 RMA runtime with per-rank clocks (§II-E)
+//   - internal/p2p — simulated two-sided MPI / BSP substrate (TriC baseline)
+//   - internal/clampi — the CLaMPI RMA caching layer, reimplemented, with
+//     the paper's application-defined eviction scores (§II-F, §III-B)
+//   - internal/intersect — binary search, SSI, hybrid and hash kernels
+//     (§II-C, §III-C, §V-A)
+//   - internal/lcc — the paper's contribution: fully asynchronous
+//     distributed TC/LCC over RMA with caching (§III); shared-memory
+//     kernels, the Schank–Wagner forward algorithm and orientations (§V);
+//     distributed Jaccard and the push-mode engine (future work ii);
+//     static vertex delegation (the abstract's framing, as an oracle
+//     baseline) and the replicated-groups 1.5D engine (future work i)
+//   - internal/grid — future work (i): the asynchronous 2D block engine
+//   - internal/spmat — algebraic triangle counting, C = L·U ∘ A (§V-B)
+//   - internal/tric — the TriC query-response baseline (§IV-B)
+//   - internal/disttc — the DistTC shadow-edge baseline (§I)
+//   - internal/experiments — regenerates every table and figure of §IV
+//     plus the A1–A13 ablations
+//
+// Quick start:
+//
+//	g := repro.MustLoadDataset("fb-sim")
+//	res, err := repro.RunLCC(g, repro.LCCOptions{
+//		Ranks:        8,
+//		Method:       repro.MethodHybrid,
+//		DoubleBuffer: true,
+//		Caching:      true,
+//	})
+//
+// There is no MPI for Go and this reproduction targets a single machine, so
+// the distributed runtime is a simulation: ranks are goroutines with
+// independent simulated clocks and every remote read charges the α + s·β
+// network model the paper itself uses (§IV-D-1). DESIGN.md documents each
+// substitution; EXPERIMENTS.md records paper-vs-measured for every table
+// and figure.
+package repro

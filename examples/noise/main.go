@@ -1,0 +1,66 @@
+// Noise demonstrates why asynchrony matters on real machines: OS jitter.
+// The same deterministic per-rank noise is injected into the paper's
+// asynchronous RMA engine and into the bulk-synchronous TriC baseline
+// through the shared cost model. A BSP program pays the *worst*
+// perturbation across all ranks at every barrier; an asynchronous program
+// pays only its own. Watch the slowdown gap open as the noise grows —
+// while every triangle count stays bit-identical.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.MustLoadDataset("rmat-s14-ef8")
+	const ranks = 8
+	fmt.Printf("dataset rmat-s14-ef8: |V|=%d |E|=%d, %d ranks\n\n", g.NumVertices(), g.NumEdges(), ranks)
+
+	levels := []struct {
+		name string
+		spec repro.NoiseSpec
+	}{
+		{"quiet", repro.NoiseSpec{}},
+		{"5% jitter", repro.NoiseSpec{Amp: 0.05, Seed: 1}},
+		{"15% jitter + detours", repro.NoiseSpec{Amp: 0.15, SpikePeriodNS: 250e3, SpikeNS: 25000, Seed: 1}},
+		{"30% jitter + detours", repro.NoiseSpec{Amp: 0.30, SpikePeriodNS: 50e3, SpikeNS: 25000, Seed: 1}},
+	}
+
+	fmt.Printf("%-24s %12s %12s %14s\n", "noise", "async (ms)", "tric (ms)", "bsp penalty")
+	var asyncBase, tricBase float64
+	var wantTriangles int64
+	for i, lv := range levels {
+		model := repro.DefaultCostModel()
+		model.Noise = lv.spec
+
+		async, err := repro.RunLCC(g, repro.LCCOptions{
+			Ranks: ranks, Method: repro.MethodHybrid, DoubleBuffer: true, Model: model,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr, err := repro.RunTriC(g, repro.TriCOptions{Ranks: ranks, Method: repro.MethodHybrid, Model: model})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			asyncBase, tricBase = async.SimTime, tr.SimTime
+			wantTriangles = async.Triangles
+		}
+		if async.Triangles != wantTriangles || tr.Triangles != wantTriangles {
+			log.Fatalf("noise changed a result: async %d, tric %d, want %d",
+				async.Triangles, tr.Triangles, wantTriangles)
+		}
+		aSlow := async.SimTime / asyncBase
+		tSlow := tr.SimTime / tricBase
+		fmt.Printf("%-24s %12.1f %12.1f %13.2fx\n",
+			lv.name, async.SimTime/1e6, tr.SimTime/1e6, tSlow/aSlow)
+	}
+
+	fmt.Println("\nbsp penalty = TriC's slowdown relative to the async engine's under the same noise.")
+	fmt.Printf("all runs returned the identical triangle count (%d): noise moves time, never results ✓\n",
+		wantTriangles)
+}

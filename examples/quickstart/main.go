@@ -1,0 +1,51 @@
+// Quickstart: build a small graph, run the paper's fully asynchronous
+// distributed LCC computation on a simulated 2-node machine, and print the
+// scores — the Fig. 1 walk-through of the paper as a program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The toy graph of Fig. 1 (left): six vertices on two compute nodes
+	// (node A owns 0-2, node B owns 3-5 under 1D block partitioning).
+	edges := []repro.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 1, Dst: 2},
+		{Src: 1, Dst: 3}, {Src: 1, Dst: 4}, {Src: 2, Dst: 4},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5},
+	}
+	g, err := repro.BuildGraph(repro.Undirected, 6, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := repro.RunLCC(g, repro.LCCOptions{
+		Ranks:        2,                  // two simulated computing nodes
+		Method:       repro.MethodHybrid, // Eq. (3) decision rule
+		DoubleBuffer: true,               // overlap comm with compute (§III-A)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("triangles: %d\n", res.Triangles)
+	for v, c := range res.LCC {
+		fmt.Printf("LCC(%d) = %.3f  (degree %d)\n", v, c, g.OutDegree(repro.V(v)))
+	}
+	fmt.Printf("\nsimulated job time: %.2f µs (slowest of 2 ranks)\n", res.SimTime/1e3)
+	fmt.Printf("remote adjacency reads: %.0f%% of fetches crossed nodes\n",
+		100*res.RemoteReadFraction())
+
+	// The same computation through the single-node reference — the
+	// distributed engine must agree exactly.
+	ref := repro.SharedLCC(g, repro.MethodHybrid)
+	if ref.Triangles != res.Triangles {
+		log.Fatalf("distributed (%d) and shared (%d) triangle counts disagree!",
+			res.Triangles, ref.Triangles)
+	}
+	fmt.Println("\ndistributed result verified against the single-node reference ✓")
+}

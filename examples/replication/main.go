@@ -1,0 +1,58 @@
+// Replication demonstrates the repository's "1.5D" replicated-groups
+// distribution — the paper's future-work direction (i): spending memory to
+// buy communication, the idea behind 2.5D matrix algorithms [41] applied
+// to the paper's 1D vertex distribution.
+//
+// With p ranks and c graph copies, the ranks form c groups of q = p/c
+// slots. The graph is partitioned q ways (coarser than p ways), each group
+// holds a full copy, and the owned vertices of every partition are
+// interleaved over the c replicas. Each remote fetch now misses a 1/q
+// slice instead of a 1/p slice, so the remote-read fraction falls from
+// (p-1)/p toward (q-1)/q — while every rank's window grows by c. The
+// engine stays fully asynchronous: no reduction, no barrier, bit-identical
+// results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	const p = 16
+	g := repro.Prepare(repro.RMAT(14, 16, repro.Undirected, 5), 5)
+	fmt.Printf("R-MAT S14 EF16: |V|=%d |E|=%d, p=%d ranks\n\n", g.NumVertices(), g.NumEdges(), p)
+
+	fmt.Printf("%3s  %14s  %10s  %9s  %12s  %11s\n",
+		"c", "groups x slots", "time (ms)", "speedup", "remote frac", "mem / rank")
+
+	var baseTime float64
+	var wantTriangles int64
+	for _, c := range []int{1, 2, 4, 8} {
+		res, err := repro.RunLCCReplicated(g, repro.LCCReplicatedOptions{
+			Options:     repro.LCCOptions{Ranks: p, Method: repro.MethodHybrid, DoubleBuffer: true},
+			Replication: c,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c == 1 {
+			baseTime = res.SimTime
+			wantTriangles = res.Triangles
+		} else if res.Triangles != wantTriangles {
+			log.Fatalf("c=%d changed the triangle count: %d != %d", c, res.Triangles, wantTriangles)
+		}
+		mem, err := repro.ReplicaWindowBytes(g, p, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%3d  %10dx%-3d  %10.1f  %8.2fx  %11.0f%%  %8.2f MB\n",
+			c, c, p/c, res.SimTime/1e6, baseTime/res.SimTime,
+			100*res.RemoteReadFraction(), float64(mem)/1e6)
+	}
+
+	fmt.Println("\nevery row computed identical LCC scores; only the communication pattern")
+	fmt.Println("and the per-rank memory differ — the 2.5D memory-for-communication trade.")
+}

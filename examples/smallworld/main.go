@@ -1,0 +1,76 @@
+// Smallworld reproduces the experiment that gave the local clustering
+// coefficient its name: Watts & Strogatz's small-world sweep (the paper's
+// reference [9] and the definition used in §II-D). A ring lattice of
+// degree k is progressively rewired; the normalized clustering coefficient
+// C(β)/C(0) stays high long after the average path length has collapsed —
+// the "small world" regime.
+//
+// The example exercises three layers of the library at once: the
+// Watts–Strogatz generator, the shared-memory LCC kernel (validated
+// against the closed-form lattice value), and the distributed asynchronous
+// engine (validated against the shared result at every β).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"repro"
+)
+
+const (
+	n = 2000
+	k = 10
+)
+
+func main() {
+	fmt.Printf("Watts–Strogatz small-world sweep: n=%d, k=%d\n", n, k)
+	closed := repro.RingLatticeLCC(k)
+	fmt.Printf("closed-form lattice clustering C(0) = %.4f\n\n", closed)
+	fmt.Printf("%8s  %10s  %10s  %s\n", "beta", "C(beta)", "C/C(0)", "")
+
+	var c0 float64
+	for i, beta := range []float64{0, 0.0001, 0.001, 0.01, 0.1, 0.5, 1.0} {
+		g := repro.WattsStrogatz(n, k, beta, 12345)
+
+		// Shared-memory kernel gives the reference clustering.
+		shared := repro.SharedLCC(g, repro.MethodHybrid)
+		c := mean(shared.LCC)
+		if i == 0 {
+			c0 = c
+			if math.Abs(c-closed) > 1e-9 {
+				log.Fatalf("lattice LCC %.6f does not match closed form %.6f", c, closed)
+			}
+		}
+
+		// The asynchronous distributed engine must agree exactly on the
+		// triangle count at every rewiring level.
+		dist, err := repro.RunLCC(g, repro.LCCOptions{
+			Ranks: 4, Method: repro.MethodHybrid, DoubleBuffer: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if dist.Triangles != shared.Triangles {
+			log.Fatalf("beta=%g: distributed %d vs shared %d triangles",
+				beta, dist.Triangles, shared.Triangles)
+		}
+
+		bar := strings.Repeat("#", int(40*c/c0+0.5))
+		fmt.Printf("%8.4f  %10.4f  %10.3f  %s\n", beta, c, c/c0, bar)
+	}
+
+	fmt.Println("\nthe plateau at small beta is the small-world signature:")
+	fmt.Println("a handful of shortcuts destroys path length but not clustering.")
+	fmt.Println("distributed triangle counts verified against shared memory at every point ✓")
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,190 @@
+package clampi
+
+import "fmt"
+
+// allocator manages the cache's memory buffer: a contiguous region of
+// `capacity` bytes from which variable-size entries are carved. Free space
+// is tracked in an AVL tree keyed by (size, offset) for best-fit allocation
+// (§II-F), plus boundary maps that allow adjacent free regions to coalesce
+// when an entry is evicted. External fragmentation is real in this design:
+// an allocation fails when no single free region is large enough, even if
+// the total free space would suffice — exactly the condition CLaMPI's
+// positional eviction score exists to fight.
+type allocator struct {
+	capacity int
+	used     int
+	tree     avlTree
+	byStart  map[int]int // free region start offset -> size
+	byEnd    map[int]int // free region end offset (exclusive) -> start
+}
+
+func newAllocator(capacity int) *allocator {
+	a := &allocator{
+		capacity: capacity,
+		byStart:  map[int]int{},
+		byEnd:    map[int]int{},
+	}
+	if capacity > 0 {
+		a.addFree(0, capacity)
+	}
+	return a
+}
+
+func (a *allocator) addFree(off, size int) {
+	a.tree.insert(size, off)
+	a.byStart[off] = size
+	a.byEnd[off+size] = off
+}
+
+func (a *allocator) delFree(off, size int) {
+	if !a.tree.remove(size, off) {
+		panic(fmt.Sprintf("clampi: allocator free-list corruption at [%d,+%d)", off, size))
+	}
+	delete(a.byStart, off)
+	delete(a.byEnd, off+size)
+}
+
+// alloc reserves size bytes, best-fit, and returns the buffer offset.
+func (a *allocator) alloc(size int) (int, bool) {
+	if size <= 0 {
+		return 0, false
+	}
+	rsize, roff, ok := a.tree.bestFit(size)
+	if !ok {
+		return 0, false
+	}
+	a.delFree(roff, rsize)
+	if rsize > size {
+		a.addFree(roff+size, rsize-size)
+	}
+	a.used += size
+	return roff, true
+}
+
+// free releases the region [off, off+size), coalescing with free neighbours.
+func (a *allocator) free(off, size int) {
+	if size <= 0 {
+		return
+	}
+	start, total := off, size
+	// Merge with the free region ending exactly at off.
+	if lstart, ok := a.byEnd[off]; ok {
+		lsize := a.byStart[lstart]
+		a.delFree(lstart, lsize)
+		start = lstart
+		total += lsize
+	}
+	// Merge with the free region starting exactly at off+size.
+	if rsize, ok := a.byStart[off+size]; ok {
+		a.delFree(off+size, rsize)
+		total += rsize
+	}
+	a.addFree(start, total)
+	a.used -= size
+}
+
+// freeBytes returns the total number of unallocated bytes.
+// grow extends the buffer by extra bytes. The new tail merges with a
+// trailing free region if one ends at the old capacity, so a grown buffer
+// is indistinguishable from one created at the larger size with the same
+// entries. Existing entries keep their offsets — growth never invalidates.
+func (a *allocator) grow(extra int) {
+	if extra <= 0 {
+		return
+	}
+	off, size := a.capacity, extra
+	if start, ok := a.byEnd[a.capacity]; ok {
+		sz := a.byStart[start]
+		a.delFree(start, sz)
+		off, size = start, sz+extra
+	}
+	a.capacity += extra
+	a.addFree(off, size)
+}
+
+func (a *allocator) freeBytes() int { return a.capacity - a.used }
+
+// largestFree returns the size of the largest single free region.
+func (a *allocator) largestFree() int {
+	size, _, ok := a.tree.max()
+	if !ok {
+		return 0
+	}
+	return size
+}
+
+// adjacentFree returns how many free bytes border the allocated region
+// [off,off+size) on either side — the merge potential that feeds the
+// positional component of the eviction score.
+func (a *allocator) adjacentFree(off, size int) int {
+	adj := 0
+	if lstart, ok := a.byEnd[off]; ok {
+		adj += a.byStart[lstart]
+	}
+	if rsize, ok := a.byStart[off+size]; ok {
+		adj += rsize
+	}
+	return adj
+}
+
+// fragmentation returns 1 - largestFree/freeBytes: 0 when all free space is
+// contiguous, approaching 1 as it shatters. Reported in cache stats.
+func (a *allocator) fragmentation() float64 {
+	free := a.freeBytes()
+	if free == 0 {
+		return 0
+	}
+	return 1 - float64(a.largestFree())/float64(free)
+}
+
+// check verifies allocator invariants (tests only): free regions are
+// disjoint, within bounds, non-adjacent (fully coalesced), and account for
+// exactly capacity-used bytes.
+func (a *allocator) check() error {
+	if n := a.tree.checkBalance(); n < 0 {
+		return fmt.Errorf("clampi: AVL invariants violated")
+	}
+	type region struct{ off, size int }
+	var regions []region
+	total := 0
+	a.tree.walk(func(size, off int) {
+		regions = append(regions, region{off, size})
+		total += size
+	})
+	if total != a.freeBytes() {
+		return fmt.Errorf("clampi: free bytes %d != tracked %d", total, a.freeBytes())
+	}
+	if len(regions) != len(a.byStart) || len(regions) != len(a.byEnd) {
+		return fmt.Errorf("clampi: boundary maps out of sync with tree")
+	}
+	for _, r := range regions {
+		if r.off < 0 || r.off+r.size > a.capacity || r.size <= 0 {
+			return fmt.Errorf("clampi: region [%d,+%d) out of bounds", r.off, r.size)
+		}
+		if got, ok := a.byStart[r.off]; !ok || got != r.size {
+			return fmt.Errorf("clampi: byStart missing region [%d,+%d)", r.off, r.size)
+		}
+		if got, ok := a.byEnd[r.off+r.size]; !ok || got != r.off {
+			return fmt.Errorf("clampi: byEnd missing region [%d,+%d)", r.off, r.size)
+		}
+	}
+	// Disjoint and coalesced: sort by offset via insertion (few regions in
+	// tests) and check gaps.
+	for i := range regions {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[j].off < regions[i].off {
+				regions[i], regions[j] = regions[j], regions[i]
+			}
+		}
+	}
+	for i := 1; i < len(regions); i++ {
+		prevEnd := regions[i-1].off + regions[i-1].size
+		if regions[i].off < prevEnd {
+			return fmt.Errorf("clampi: overlapping free regions")
+		}
+		if regions[i].off == prevEnd {
+			return fmt.Errorf("clampi: uncoalesced adjacent free regions at %d", prevEnd)
+		}
+	}
+	return nil
+}

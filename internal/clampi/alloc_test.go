@@ -1,0 +1,198 @@
+package clampi
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAllocatorBasic(t *testing.T) {
+	a := newAllocator(100)
+	off1, ok := a.alloc(40)
+	if !ok || off1 != 0 {
+		t.Fatalf("alloc(40) = (%d,%v), want (0,true)", off1, ok)
+	}
+	off2, ok := a.alloc(60)
+	if !ok || off2 != 40 {
+		t.Fatalf("alloc(60) = (%d,%v), want (40,true)", off2, ok)
+	}
+	if _, ok := a.alloc(1); ok {
+		t.Error("alloc on a full buffer succeeded")
+	}
+	if a.freeBytes() != 0 {
+		t.Errorf("freeBytes = %d, want 0", a.freeBytes())
+	}
+	a.free(off1, 40)
+	if a.freeBytes() != 40 {
+		t.Errorf("freeBytes = %d, want 40", a.freeBytes())
+	}
+	if err := a.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorBestFitReducesWaste(t *testing.T) {
+	a := newAllocator(100)
+	o1, _ := a.alloc(30) // [0,30)
+	o2, _ := a.alloc(20) // [30,50)
+	_, _ = a.alloc(50)   // [50,100)
+	a.free(o1, 30)
+	a.free(o2, 20) // coalesces to [0,50)
+	if got := a.largestFree(); got != 50 {
+		t.Fatalf("largestFree = %d, want 50 after coalescing", got)
+	}
+	if err := a.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorCoalescingBothSides(t *testing.T) {
+	a := newAllocator(90)
+	o1, _ := a.alloc(30)
+	o2, _ := a.alloc(30)
+	o3, _ := a.alloc(30)
+	a.free(o1, 30)
+	a.free(o3, 30)
+	if a.largestFree() != 30 {
+		t.Fatalf("largestFree = %d, want 30 (two separate regions)", a.largestFree())
+	}
+	a.free(o2, 30) // merges left and right into one 90-byte region
+	if a.largestFree() != 90 {
+		t.Fatalf("largestFree = %d, want 90 after middle free", a.largestFree())
+	}
+	if err := a.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorExternalFragmentation(t *testing.T) {
+	// Fill with 10 x 10B, free every other one: 50 free bytes but no
+	// region bigger than 10 — an alloc(20) must fail. This is exactly the
+	// external fragmentation §II-F describes.
+	a := newAllocator(100)
+	offs := make([]int, 10)
+	for i := range offs {
+		off, ok := a.alloc(10)
+		if !ok {
+			t.Fatalf("alloc #%d failed", i)
+		}
+		offs[i] = off
+	}
+	for i := 0; i < 10; i += 2 {
+		a.free(offs[i], 10)
+	}
+	if a.freeBytes() != 50 {
+		t.Fatalf("freeBytes = %d, want 50", a.freeBytes())
+	}
+	if _, ok := a.alloc(20); ok {
+		t.Error("alloc(20) succeeded despite external fragmentation")
+	}
+	if frag := a.fragmentation(); frag < 0.5 {
+		t.Errorf("fragmentation = %.2f, want high", frag)
+	}
+	if err := a.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorAdjacentFree(t *testing.T) {
+	a := newAllocator(100)
+	o1, _ := a.alloc(20) // [0,20)
+	o2, _ := a.alloc(20) // [20,40)
+	_, _ = a.alloc(60)   // [40,100)
+	a.free(o1, 20)
+	// o2 has 20 free bytes on its left, none on its right.
+	if adj := a.adjacentFree(o2, 20); adj != 20 {
+		t.Errorf("adjacentFree = %d, want 20", adj)
+	}
+}
+
+func TestAllocatorZeroCapacity(t *testing.T) {
+	a := newAllocator(0)
+	if _, ok := a.alloc(1); ok {
+		t.Error("alloc on zero-capacity allocator succeeded")
+	}
+	if err := a.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorRejectsNonPositive(t *testing.T) {
+	a := newAllocator(10)
+	if _, ok := a.alloc(0); ok {
+		t.Error("alloc(0) succeeded")
+	}
+	if _, ok := a.alloc(-5); ok {
+		t.Error("alloc(-5) succeeded")
+	}
+}
+
+func TestAllocatorChurnInvariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	a := newAllocator(1 << 16)
+	type block struct{ off, size int }
+	var live []block
+	for i := 0; i < 20000; i++ {
+		if rng.Float64() < 0.55 {
+			size := 1 + rng.IntN(512)
+			if off, ok := a.alloc(size); ok {
+				live = append(live, block{off, size})
+			}
+		} else if len(live) > 0 {
+			j := rng.IntN(len(live))
+			a.free(live[j].off, live[j].size)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if i%2000 == 0 {
+			if err := a.check(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			want := 0
+			for _, b := range live {
+				want += b.size
+			}
+			if a.used != want {
+				t.Fatalf("step %d: used = %d, want %d", i, a.used, want)
+			}
+		}
+	}
+	// Free everything: buffer must return to one pristine region.
+	for _, b := range live {
+		a.free(b.off, b.size)
+	}
+	if a.largestFree() != 1<<16 || a.freeBytes() != 1<<16 {
+		t.Errorf("after freeing all: largest %d free %d, want %d", a.largestFree(), a.freeBytes(), 1<<16)
+	}
+	if err := a.check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatedBlocksNeverOverlap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	a := newAllocator(4096)
+	type block struct{ off, size int }
+	var live []block
+	overlap := func(x, y block) bool {
+		return x.off < y.off+y.size && y.off < x.off+x.size
+	}
+	for i := 0; i < 3000; i++ {
+		if rng.Float64() < 0.6 {
+			size := 1 + rng.IntN(128)
+			if off, ok := a.alloc(size); ok {
+				nb := block{off, size}
+				for _, b := range live {
+					if overlap(nb, b) {
+						t.Fatalf("step %d: alloc returned overlapping block", i)
+					}
+				}
+				live = append(live, nb)
+			}
+		} else if len(live) > 0 {
+			j := rng.IntN(len(live))
+			a.free(live[j].off, live[j].size)
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+}

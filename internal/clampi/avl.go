@@ -1,0 +1,225 @@
+// Package clampi reimplements CLaMPI (Di Girolamo, Vella, Hoefler,
+// IPDPS'17), the transparent software caching layer for MPI RMA the paper
+// builds on, including the paper's extension: application-defined scores
+// for cached entries that steer victim selection (§III-B-2).
+//
+// As in the original system, variable-size entries are supported with two
+// data structures: a hash table indexing cached entries and an AVL tree
+// storing the free regions of the memory buffer reserved for caching
+// (§II-F). Both the hash-table size and the buffer capacity are tunable,
+// and an adaptive heuristic can resize the hash table by observing misses,
+// conflicts and evictions.
+package clampi
+
+// avlTree is a balanced tree over free buffer regions ordered by
+// (size, offset). It supports the best-fit query the allocator needs: the
+// smallest free region of at least a given size.
+type avlTree struct {
+	root *avlNode
+	n    int
+}
+
+type avlNode struct {
+	size, off   int
+	left, right *avlNode
+	height      int
+}
+
+func (t *avlTree) len() int { return t.n }
+
+// less orders regions by (size, offset); offsets are unique because free
+// regions are disjoint, so the order is total.
+func regionLess(s1, o1, s2, o2 int) bool {
+	if s1 != s2 {
+		return s1 < s2
+	}
+	return o1 < o2
+}
+
+func height(n *avlNode) int {
+	if n == nil {
+		return 0
+	}
+	return n.height
+}
+
+func fix(n *avlNode) {
+	hl, hr := height(n.left), height(n.right)
+	if hl > hr {
+		n.height = hl + 1
+	} else {
+		n.height = hr + 1
+	}
+}
+
+func rotateRight(y *avlNode) *avlNode {
+	x := y.left
+	y.left = x.right
+	x.right = y
+	fix(y)
+	fix(x)
+	return x
+}
+
+func rotateLeft(x *avlNode) *avlNode {
+	y := x.right
+	x.right = y.left
+	y.left = x
+	fix(x)
+	fix(y)
+	return y
+}
+
+func rebalance(n *avlNode) *avlNode {
+	fix(n)
+	bf := height(n.left) - height(n.right)
+	switch {
+	case bf > 1:
+		if height(n.left.left) < height(n.left.right) {
+			n.left = rotateLeft(n.left)
+		}
+		return rotateRight(n)
+	case bf < -1:
+		if height(n.right.right) < height(n.right.left) {
+			n.right = rotateRight(n.right)
+		}
+		return rotateLeft(n)
+	}
+	return n
+}
+
+// insert adds the region (size, off). Duplicate keys must not occur (free
+// regions are disjoint); inserting one panics, exposing allocator bugs.
+func (t *avlTree) insert(size, off int) {
+	t.root = avlInsert(t.root, size, off)
+	t.n++
+}
+
+func avlInsert(n *avlNode, size, off int) *avlNode {
+	if n == nil {
+		return &avlNode{size: size, off: off, height: 1}
+	}
+	switch {
+	case regionLess(size, off, n.size, n.off):
+		n.left = avlInsert(n.left, size, off)
+	case regionLess(n.size, n.off, size, off):
+		n.right = avlInsert(n.right, size, off)
+	default:
+		panic("clampi: duplicate free region in AVL tree")
+	}
+	return rebalance(n)
+}
+
+// remove deletes the region (size, off); it reports whether it was present.
+func (t *avlTree) remove(size, off int) bool {
+	var removed bool
+	t.root, removed = avlRemove(t.root, size, off)
+	if removed {
+		t.n--
+	}
+	return removed
+}
+
+func avlRemove(n *avlNode, size, off int) (*avlNode, bool) {
+	if n == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case regionLess(size, off, n.size, n.off):
+		n.left, removed = avlRemove(n.left, size, off)
+	case regionLess(n.size, n.off, size, off):
+		n.right, removed = avlRemove(n.right, size, off)
+	default:
+		removed = true
+		if n.left == nil {
+			return n.right, true
+		}
+		if n.right == nil {
+			return n.left, true
+		}
+		// Replace with the in-order successor.
+		s := n.right
+		for s.left != nil {
+			s = s.left
+		}
+		n.size, n.off = s.size, s.off
+		n.right, _ = avlRemove(n.right, s.size, s.off)
+	}
+	return rebalance(n), removed
+}
+
+// bestFit returns the smallest free region with size >= want, or ok=false.
+func (t *avlTree) bestFit(want int) (size, off int, ok bool) {
+	n := t.root
+	for n != nil {
+		if n.size >= want {
+			size, off, ok = n.size, n.off, true
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return
+}
+
+// max returns the largest region in the tree, or ok=false if empty.
+func (t *avlTree) max() (size, off int, ok bool) {
+	n := t.root
+	for n != nil {
+		size, off, ok = n.size, n.off, true
+		n = n.right
+	}
+	return
+}
+
+// walk visits every region in (size, offset) order.
+func (t *avlTree) walk(f func(size, off int)) {
+	var rec func(n *avlNode)
+	rec = func(n *avlNode) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		f(n.size, n.off)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// checkBalance verifies AVL invariants (for tests). It returns the number
+// of nodes, or -1 if an invariant is violated.
+func (t *avlTree) checkBalance() int {
+	ok := true
+	var rec func(n *avlNode) int
+	rec = func(n *avlNode) int {
+		if n == nil {
+			return 0
+		}
+		hl, hr := rec(n.left), rec(n.right)
+		if hl-hr > 1 || hr-hl > 1 {
+			ok = false
+		}
+		h := hl
+		if hr > h {
+			h = hr
+		}
+		if n.height != h+1 {
+			ok = false
+		}
+		if n.left != nil && !regionLess(n.left.size, n.left.off, n.size, n.off) {
+			ok = false
+		}
+		if n.right != nil && !regionLess(n.size, n.off, n.right.size, n.right.off) {
+			ok = false
+		}
+		return h + 1
+	}
+	rec(t.root)
+	if !ok {
+		return -1
+	}
+	count := 0
+	t.walk(func(int, int) { count++ })
+	return count
+}

@@ -1,0 +1,141 @@
+package clampi
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestAVLInsertRemoveBestFit(t *testing.T) {
+	var tr avlTree
+	tr.insert(10, 0)
+	tr.insert(5, 100)
+	tr.insert(20, 200)
+	if tr.len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.len())
+	}
+	size, off, ok := tr.bestFit(6)
+	if !ok || size != 10 || off != 0 {
+		t.Errorf("bestFit(6) = (%d,%d,%v), want (10,0,true)", size, off, ok)
+	}
+	size, off, ok = tr.bestFit(11)
+	if !ok || size != 20 || off != 200 {
+		t.Errorf("bestFit(11) = (%d,%d,%v), want (20,200,true)", size, off, ok)
+	}
+	if _, _, ok := tr.bestFit(21); ok {
+		t.Error("bestFit(21) found a region in a tree whose max is 20")
+	}
+	if !tr.remove(10, 0) {
+		t.Error("remove(10,0) failed")
+	}
+	if tr.remove(10, 0) {
+		t.Error("remove(10,0) succeeded twice")
+	}
+	size, off, ok = tr.bestFit(6)
+	if !ok || size != 20 || off != 200 {
+		t.Errorf("after removal bestFit(6) = (%d,%d,%v), want (20,200,true)", size, off, ok)
+	}
+}
+
+func TestAVLTiesBrokenByOffset(t *testing.T) {
+	var tr avlTree
+	tr.insert(8, 300)
+	tr.insert(8, 100)
+	tr.insert(8, 200)
+	_, off, ok := tr.bestFit(8)
+	if !ok || off != 100 {
+		t.Errorf("bestFit(8) offset = %d, want 100 (lowest offset among equal sizes)", off)
+	}
+	if n := tr.checkBalance(); n != 3 {
+		t.Errorf("checkBalance = %d, want 3", n)
+	}
+}
+
+func TestAVLMax(t *testing.T) {
+	var tr avlTree
+	if _, _, ok := tr.max(); ok {
+		t.Error("max of empty tree reported ok")
+	}
+	tr.insert(3, 0)
+	tr.insert(9, 50)
+	tr.insert(7, 80)
+	size, _, ok := tr.max()
+	if !ok || size != 9 {
+		t.Errorf("max = %d, want 9", size)
+	}
+}
+
+func TestAVLStaysBalancedUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var tr avlTree
+	type region struct{ size, off int }
+	live := map[region]bool{}
+	nextOff := 0
+	for i := 0; i < 5000; i++ {
+		if rng.Float64() < 0.6 || len(live) == 0 {
+			r := region{size: 1 + rng.IntN(100), off: nextOff}
+			nextOff += 1000
+			tr.insert(r.size, r.off)
+			live[r] = true
+		} else {
+			for r := range live {
+				tr.remove(r.size, r.off)
+				delete(live, r)
+				break
+			}
+		}
+		if i%500 == 0 {
+			if n := tr.checkBalance(); n != len(live) {
+				t.Fatalf("step %d: checkBalance = %d, want %d", i, n, len(live))
+			}
+		}
+	}
+	if n := tr.checkBalance(); n != len(live) {
+		t.Fatalf("final: checkBalance = %d, want %d", n, len(live))
+	}
+}
+
+func TestAVLDuplicatePanics(t *testing.T) {
+	var tr avlTree
+	tr.insert(4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert did not panic")
+		}
+	}()
+	tr.insert(4, 4)
+}
+
+// Property: bestFit always returns the minimal adequate region.
+func TestAVLBestFitProperty(t *testing.T) {
+	f := func(sizes []uint8, want uint8) bool {
+		var tr avlTree
+		off := 0
+		var all [][2]int
+		for _, s := range sizes {
+			size := int(s)%64 + 1
+			tr.insert(size, off)
+			all = append(all, [2]int{size, off})
+			off += 100
+		}
+		w := int(want)%64 + 1
+		size, foundOff, ok := tr.bestFit(w)
+		// Reference scan.
+		bestSize, bestOff, refOK := 0, 0, false
+		for _, r := range all {
+			if r[0] >= w && (!refOK || regionLess(r[0], r[1], bestSize, bestOff)) {
+				bestSize, bestOff, refOK = r[0], r[1], true
+			}
+		}
+		if ok != refOK {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return size == bestSize && foundOff == bestOff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,498 @@
+package clampi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rma"
+)
+
+// Mode selects CLaMPI's consistency policy (§II-F).
+type Mode uint8
+
+const (
+	// Transparent makes no assumption about the cached data and flushes
+	// the cache at every epoch closure; reuse is exploited only within
+	// an epoch.
+	Transparent Mode = iota
+	// AlwaysCache assumes RMA-read data is read-only, so the cache never
+	// needs flushing. The LCC engine uses this mode: the graph is not
+	// modified during the computation (§III-B).
+	AlwaysCache
+	// UserDefined leaves flushing to the application (explicit Flush).
+	UserDefined
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Transparent:
+		return "transparent"
+	case AlwaysCache:
+		return "always-cache"
+	case UserDefined:
+		return "user-defined"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config tunes one cache instance. Both the hash-table size and the memory
+// buffer capacity are the use-case-specific parameters §II-F describes;
+// §III-B-1 derives good starting values for the two caches of the LCC
+// engine.
+type Config struct {
+	// Capacity is the memory buffer reserved for cached data, in bytes.
+	Capacity int
+	// Buckets is the initial hash-table size (number of buckets).
+	Buckets int
+	// Assoc is the bucket associativity (entries per bucket). Default 4.
+	Assoc int
+	// Mode is the consistency mode. Default Transparent, like CLaMPI.
+	Mode Mode
+	// Adaptive enables the hash-table auto-tuning heuristic: when the
+	// conflict-eviction rate is high the table doubles (and the cache is
+	// flushed, which is why §III-B-1 stresses good starting values).
+	Adaptive bool
+	// MaxBuckets bounds adaptive growth. Default 1<<22.
+	MaxBuckets int
+	// MaxCapacity enables adaptive growth of the memory buffer (§II-F:
+	// the heuristic resizes "the hash table and the memory buffer"):
+	// when capacity evictions dominate an observation window, the buffer
+	// doubles, up to this many bytes. 0 disables buffer growth. Unlike a
+	// hash-table resize, buffer growth keeps every cached entry — the
+	// region is extended in place and the realloc copy is charged as
+	// management overhead.
+	MaxCapacity int
+	// PosWeight scales the positional (fragmentation) component of the
+	// default eviction score. Default 64 ticks.
+	PosWeight float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Assoc == 0 {
+		c.Assoc = 4
+	}
+	if c.Buckets == 0 {
+		c.Buckets = 1024
+	}
+	if c.MaxBuckets == 0 {
+		c.MaxBuckets = 1 << 22
+	}
+	if c.PosWeight == 0 {
+		c.PosWeight = 64
+	}
+	return c
+}
+
+// Stats counts cache activity. The evaluation distinguishes compulsory
+// misses (first access to a region; grey areas in Figs. 7/8) from capacity
+// and conflict misses, and hit/miss byte volumes (a hit on a long adjacency
+// list saves more than one on a 16-byte offset pair; §IV-D-1).
+type Stats struct {
+	Hits, Misses       int64
+	CompulsoryMisses   int64
+	HitBytes           int64
+	MissBytes          int64
+	ConflictEvictions  int64
+	CapacityEvictions  int64
+	Inserts            int64
+	RejectedInserts    int64
+	Flushes            int64
+	Resizes            int64
+	BufferResizes      int64
+	HitTime            float64 // ns charged for cache hits
+	OverheadTime       float64 // ns of cache-management overhead on misses
+	BytesCached        int64   // current buffer occupancy
+	EntriesCached      int64   // current entry count
+	FragmentationRatio float64 // 1 - largestFree/freeBytes at snapshot time
+}
+
+// MissRate returns Misses/(Hits+Misses), or 0 before any access.
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// Cache is one CLaMPI instance: it transparently caches the gets a single
+// rank issues over a single window (the engine creates two per rank,
+// C_offsets and C_adj; §III-B). A Cache must be used from the rank's own
+// goroutine, like the rank itself.
+type Cache struct {
+	rank  *rma.Rank
+	win   *rma.Window
+	cfg   Config
+	model rma.CostModel
+
+	tab     *table
+	alloc   *allocator
+	victims *victimHeap
+	tick    uint64
+	seen    map[key]struct{}
+	stats   Stats
+	pending []*pendingMiss
+
+	// adaptive-tuning observation window
+	obsOps       int64
+	obsConflicts int64
+	obsCapacity  int64
+}
+
+type pendingMiss struct {
+	k     key
+	score float64 // application-defined score, NaN if unset
+	under *rma.Request
+	done  bool
+}
+
+// New wraps window w for rank r with a cache configured by cfg.
+func New(r *rma.Rank, w *rma.Window, cfg Config) *Cache {
+	c := &Cache{
+		rank:  r,
+		win:   w,
+		cfg:   cfg.withDefaults(),
+		model: rmaModel(r),
+		seen:  map[key]struct{}{},
+	}
+	c.tab = newTable(c.cfg.Buckets, c.cfg.Assoc)
+	c.alloc = newAllocator(c.cfg.Capacity)
+	c.victims = newVictimHeap(c.priority)
+	return c
+}
+
+// rmaModel extracts the cost model; indirection keeps New's signature tidy.
+func rmaModel(r *rma.Rank) rma.CostModel { return r.Model() }
+
+// Rank returns the owning rank.
+func (c *Cache) Rank() *rma.Rank { return c.rank }
+
+// Stats returns a snapshot of the cache statistics.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.BytesCached = int64(c.alloc.used)
+	s.EntriesCached = int64(c.tab.n)
+	s.FragmentationRatio = c.alloc.fragmentation()
+	return s
+}
+
+// priority is the eviction priority of an entry: LOWER evicts FIRST.
+//
+// Default scheme (§III-B-2): least-recently-used, weighted by a positional
+// score so that entries surrounded by free space — whose eviction would
+// merge fragments — are preferred victims even at higher temporal locality.
+//
+// With an application-defined score the priority IS that score (the paper's
+// extension: for LCC, the remote vertex's degree), trading the spatial
+// anti-fragmentation effect for application knowledge.
+func (c *Cache) priority(e *entry) float64 {
+	if e.hasAppScore() {
+		return e.appScore
+	}
+	mergeable := float64(c.alloc.adjacentFree(e.bufOff, len(e.data)))
+	return float64(e.lastTick) - c.cfg.PosWeight*mergeable/float64(len(e.data)+1)
+}
+
+// Request is the result of a cached Get: either served from cache (done
+// immediately) or backed by an underlying RMA request that completes at the
+// next FlushWindow/Wait.
+type Request struct {
+	cache *Cache
+	hit   bool
+	data  []byte
+	pm    *pendingMiss
+}
+
+// Hit reports whether the request was served from cache.
+func (q *Request) Hit() bool { return q.hit }
+
+// Done reports whether Data may be called.
+func (q *Request) Done() bool { return q.hit || q.pm.under.Done() }
+
+// Wait completes this request (flushing only its own transfer on a miss).
+func (q *Request) Wait() {
+	if q.hit {
+		return
+	}
+	q.pm.under.Wait()
+	q.cache.complete(q.pm)
+}
+
+// Data returns the bytes read. The slice aliases the cache's copy of the
+// region and must be treated as read-only. Panics if called before the
+// request completed, like the underlying RMA request.
+func (q *Request) Data() []byte {
+	if q.hit {
+		return q.data
+	}
+	return q.pm.under.Data()
+}
+
+// Get issues a cached one-sided read (no application score).
+func (c *Cache) Get(target, offset, size int) *Request {
+	return c.get(target, offset, size, math.NaN())
+}
+
+// GetScored issues a cached one-sided read carrying an application-defined
+// score for the entry, used in victim selection (§III-B-2). For the LCC
+// adjacency cache the score is the remote vertex's out-degree, which the
+// engine knows from the preceding offsets get.
+func (c *Cache) GetScored(target, offset, size int, score float64) *Request {
+	return c.get(target, offset, size, score)
+}
+
+func (c *Cache) get(target, offset, size int, score float64) *Request {
+	// Local accesses bypass the cache entirely: the partition owner reads
+	// its own memory (Fig. 3: node A reads adj(0), adj(2) locally).
+	if target == c.rank.ID() {
+		q := c.rank.Get(c.win, target, offset, size)
+		return &Request{cache: c, hit: true, data: q.Data()}
+	}
+	k := key{target: target, offset: offset, size: size}
+	c.obsOps++
+	if e := c.tab.lookup(k); e != nil {
+		c.tick++
+		e.lastTick = c.tick
+		e.stamp++
+		c.stats.Hits++
+		c.stats.HitBytes += int64(size)
+		cost := c.model.HitCost(size)
+		c.rank.Clock().Advance(cost)
+		c.stats.HitTime += cost
+		return &Request{cache: c, hit: true, data: e.data}
+	}
+	// Miss: issue the real RMA get; the entry is inserted when the
+	// transfer completes (at flush), since only then is the data known.
+	if _, ok := c.seen[k]; !ok {
+		c.stats.CompulsoryMisses++
+		c.seen[k] = struct{}{}
+	}
+	c.stats.Misses++
+	c.stats.MissBytes += int64(size)
+	over := c.model.CacheMissOverhead
+	c.rank.Clock().Advance(over)
+	c.stats.OverheadTime += over
+	pm := &pendingMiss{k: k, score: score, under: c.rank.Get(c.win, target, offset, size)}
+	// Compact completed pendings so callers that use per-request Wait
+	// (instead of FlushWindow) don't accumulate garbage.
+	if len(c.pending) >= 32 {
+		keep := c.pending[:0]
+		for _, p := range c.pending {
+			if !p.done {
+				keep = append(keep, p)
+			}
+		}
+		c.pending = keep
+	}
+	c.pending = append(c.pending, pm)
+	c.maybeResize()
+	return &Request{cache: c, pm: pm}
+}
+
+// FlushWindow completes all outstanding RMA operations on the window
+// (MPI_Win_flush_all) and stores the retrieved data in the cache (Fig. 3,
+// step 6).
+func (c *Cache) FlushWindow() {
+	c.rank.FlushAll(c.win)
+	for _, pm := range c.pending {
+		c.complete(pm)
+	}
+	c.pending = c.pending[:0]
+}
+
+func (c *Cache) complete(pm *pendingMiss) {
+	if pm.done {
+		return
+	}
+	pm.done = true
+	data := pm.under.Data()
+	// Storing an entry costs real work: hash insert, allocator search,
+	// and copying the retrieved bytes into the memory buffer. Together
+	// with CacheMissOverhead this is the cache-management overhead that
+	// makes caching a net loss when compulsory misses dominate (§IV-D-2
+	// scenario 2, the LiveJournal case).
+	cost := c.model.LocalCost(len(data))
+	c.rank.Clock().Advance(cost)
+	c.stats.OverheadTime += cost
+	c.insert(pm.k, data, pm.score)
+}
+
+// insert stores data under k, evicting victims as needed. CLaMPI caches a
+// missing entry only if it has (or can free) the resources to store it.
+func (c *Cache) insert(k key, data []byte, score float64) {
+	if c.cfg.Capacity <= 0 || len(data) > c.cfg.Capacity || len(data) == 0 {
+		c.stats.RejectedInserts++
+		return
+	}
+	if c.tab.lookup(k) != nil {
+		return // duplicate in-flight get; entry already present
+	}
+	c.tick++
+	newPrio := float64(c.tick)
+	if !math.IsNaN(score) {
+		newPrio = score
+	}
+
+	// Hash-table space: a full bucket forces a conflict eviction.
+	slot := c.tab.freeSlot(k)
+	if slot < 0 {
+		var victim *entry
+		vPrio := math.Inf(1)
+		for _, e := range c.tab.bucketEntries(k) {
+			if p := c.priority(e); p < vPrio {
+				victim, vPrio = e, p
+			}
+		}
+		if victim == nil || vPrio >= newPrio {
+			// All residents are more valuable than the newcomer
+			// (possible only under app-defined scores).
+			c.stats.RejectedInserts++
+			return
+		}
+		c.evict(victim)
+		c.stats.ConflictEvictions++
+		c.obsConflicts++
+		slot = c.tab.freeSlot(k)
+	}
+
+	// Buffer space: evict ascending-priority victims until the allocation
+	// succeeds. Under app-defined scores, stop as soon as the cheapest
+	// victim is at least as valuable as the newcomer.
+	bufOff, ok := c.alloc.alloc(len(data))
+	for !ok {
+		if c.victims.peekMinPrio() >= newPrio && !math.IsNaN(score) {
+			c.stats.RejectedInserts++
+			return
+		}
+		v := c.victims.popMin()
+		if v == nil {
+			c.stats.RejectedInserts++
+			return
+		}
+		c.evict(v)
+		c.stats.CapacityEvictions++
+		c.obsCapacity++
+		bufOff, ok = c.alloc.alloc(len(data))
+	}
+
+	e := &entry{
+		key:      k,
+		bufOff:   bufOff,
+		data:     data,
+		lastTick: c.tick,
+		appScore: score,
+	}
+	c.tab.insertAt(slot, e)
+	c.victims.push(e)
+	c.stats.Inserts++
+}
+
+func (c *Cache) evict(e *entry) {
+	e.dead = true
+	e.stamp++
+	c.tab.remove(e)
+	c.alloc.free(e.bufOff, len(e.data))
+}
+
+// SetScore assigns (or updates) the application-defined score of an already
+// cached entry, as the modified CLaMPI accepts from the user (§III-B-2).
+// It is a no-op if the entry is not cached.
+func (c *Cache) SetScore(target, offset, size int, score float64) {
+	k := key{target: target, offset: offset, size: size}
+	if e := c.tab.lookup(k); e != nil {
+		e.appScore = score
+		e.stamp++
+		c.victims.push(e)
+	}
+}
+
+// Contains reports whether the exact region is currently cached.
+func (c *Cache) Contains(target, offset, size int) bool {
+	return c.tab.lookup(key{target: target, offset: offset, size: size}) != nil
+}
+
+// Flush empties the cache (user-defined mode, or internal use by the
+// adaptive heuristic and the transparent mode).
+func (c *Cache) Flush() {
+	c.tab.each(func(e *entry) {
+		e.dead = true
+		e.stamp++
+	})
+	c.tab = newTable(c.cfg.Buckets, c.cfg.Assoc)
+	c.alloc = newAllocator(c.cfg.Capacity)
+	c.victims.reset()
+	c.stats.Flushes++
+}
+
+// CloseEpoch signals an epoch closure on the window. In transparent mode
+// this flushes the cache (cached data does not persist across epochs); in
+// always-cache and user-defined modes it is a no-op.
+func (c *Cache) CloseEpoch() {
+	if c.cfg.Mode == Transparent {
+		c.Flush()
+	}
+}
+
+// maybeResize implements the adaptive parameter-tuning heuristic (§II-F:
+// CLaMPI "automatically resizes the hash table and the memory buffer by
+// observing indicators such as cache misses, conflicts in the hash table,
+// and evictions due to lack of space"). Every observation window:
+//
+//   - if conflict evictions dominate, the hash table doubles and the
+//     cache is flushed (the behaviour §III-B-1 works around by choosing
+//     good initial sizes);
+//   - if capacity evictions dominate and Config.MaxCapacity allows, the
+//     memory buffer doubles. Growth extends the region in place, so
+//     cached entries survive; the realloc copy of the resident bytes is
+//     charged as management overhead.
+func (c *Cache) maybeResize() {
+	const window = 1024
+	if !c.cfg.Adaptive || c.obsOps < window {
+		return
+	}
+	conflictRate := float64(c.obsConflicts) / float64(c.obsOps)
+	capacityRate := float64(c.obsCapacity) / float64(c.obsOps)
+	c.obsOps, c.obsConflicts, c.obsCapacity = 0, 0, 0
+	if conflictRate > 0.10 && c.cfg.Buckets*2 <= c.cfg.MaxBuckets {
+		c.cfg.Buckets *= 2
+		c.stats.Resizes++
+		c.Flush()
+		return
+	}
+	if capacityRate > 0.10 && c.cfg.MaxCapacity > 0 && 2*c.cfg.Capacity <= c.cfg.MaxCapacity {
+		cost := c.model.LocalCost(c.alloc.used)
+		c.rank.Clock().Advance(cost)
+		c.stats.OverheadTime += cost
+		c.alloc.grow(c.cfg.Capacity)
+		c.cfg.Capacity *= 2
+		c.stats.BufferResizes++
+	}
+}
+
+// checkInvariants validates cross-structure consistency (tests only).
+func (c *Cache) checkInvariants() error {
+	if err := c.alloc.check(); err != nil {
+		return err
+	}
+	bytes := 0
+	count := 0
+	var err error
+	c.tab.each(func(e *entry) {
+		if e.dead {
+			err = fmt.Errorf("clampi: dead entry %v still in table", e.key)
+		}
+		bytes += len(e.data)
+		count++
+	})
+	if err != nil {
+		return err
+	}
+	if bytes != c.alloc.used {
+		return fmt.Errorf("clampi: table holds %d bytes but allocator used=%d", bytes, c.alloc.used)
+	}
+	if count != c.tab.n {
+		return fmt.Errorf("clampi: table count %d != tracked %d", count, c.tab.n)
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package clampi
+
+import (
+	"container/heap"
+	"math"
+)
+
+// key identifies a cached RMA access: CLaMPI indexes entries by the target
+// rank and the (offset, size) of the get. The engine's reads for a given
+// vertex always use identical coordinates, so exact matching suffices.
+type key struct {
+	target int
+	offset int
+	size   int
+}
+
+func (k key) hash() uint64 {
+	// FNV-1a over the three fields.
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	mix(uint64(k.target))
+	mix(uint64(k.offset))
+	mix(uint64(k.size))
+	return h
+}
+
+// entry is one cached region: the data retrieved by a completed RMA get,
+// plus the bookkeeping used for victim selection.
+type entry struct {
+	key      key
+	bufOff   int // position in the memory buffer
+	data     []byte
+	lastTick uint64  // temporal component (LRU tick of last access)
+	appScore float64 // application-defined score; NaN = unset (§III-B-2)
+	bucket   int     // home bucket in the table
+	stamp    uint64  // bumped on every score-relevant change (lazy heap)
+	dead     bool
+}
+
+func (e *entry) hasAppScore() bool { return !math.IsNaN(e.appScore) }
+
+// table is the set-associative hash index. A lookup probes the `assoc`
+// slots of one bucket; inserting into a full bucket forces a *conflict*
+// eviction, distinct from the capacity evictions forced by the memory
+// buffer (CLaMPI's adaptive heuristic watches the two separately).
+type table struct {
+	buckets int
+	assoc   int
+	slots   []*entry // buckets*assoc
+	n       int
+}
+
+func newTable(buckets, assoc int) *table {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if assoc < 1 {
+		assoc = 1
+	}
+	return &table{buckets: buckets, assoc: assoc, slots: make([]*entry, buckets*assoc)}
+}
+
+func (t *table) bucketOf(k key) int { return int(k.hash() % uint64(t.buckets)) }
+
+// lookup returns the entry for k, or nil.
+func (t *table) lookup(k key) *entry {
+	b := t.bucketOf(k)
+	for i := 0; i < t.assoc; i++ {
+		if e := t.slots[b*t.assoc+i]; e != nil && e.key == k {
+			return e
+		}
+	}
+	return nil
+}
+
+// freeSlot returns the index of a free slot in k's bucket, or -1 if the
+// bucket is full (a conflict).
+func (t *table) freeSlot(k key) int {
+	b := t.bucketOf(k)
+	for i := 0; i < t.assoc; i++ {
+		if t.slots[b*t.assoc+i] == nil {
+			return b*t.assoc + i
+		}
+	}
+	return -1
+}
+
+// bucketEntries returns the live entries currently in k's bucket.
+func (t *table) bucketEntries(k key) []*entry {
+	b := t.bucketOf(k)
+	var out []*entry
+	for i := 0; i < t.assoc; i++ {
+		if e := t.slots[b*t.assoc+i]; e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// insertAt places e in slot idx (previously obtained from freeSlot).
+func (t *table) insertAt(idx int, e *entry) {
+	e.bucket = idx
+	t.slots[idx] = e
+	t.n++
+}
+
+// remove unlinks e from the table.
+func (t *table) remove(e *entry) {
+	if t.slots[e.bucket] == e {
+		t.slots[e.bucket] = nil
+		t.n--
+	}
+}
+
+// each visits every live entry.
+func (t *table) each(f func(e *entry)) {
+	for _, e := range t.slots {
+		if e != nil {
+			f(e)
+		}
+	}
+}
+
+// --- lazy min-heap over entry priorities (victim candidates) -------------
+
+type heapItem struct {
+	prio  float64
+	stamp uint64
+	e     *entry
+}
+
+type prioHeap []heapItem
+
+func (h prioHeap) Len() int            { return len(h) }
+func (h prioHeap) Less(i, j int) bool  { return h[i].prio < h[j].prio }
+func (h prioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *prioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// victimHeap yields entries in ascending priority with lazy invalidation:
+// stale items (whose entry died or changed since push) are skipped on pop
+// and, if alive, re-pushed with their current priority.
+type victimHeap struct {
+	h    prioHeap
+	prio func(*entry) float64
+}
+
+func newVictimHeap(prio func(*entry) float64) *victimHeap {
+	return &victimHeap{prio: prio}
+}
+
+func (v *victimHeap) push(e *entry) {
+	heap.Push(&v.h, heapItem{prio: v.prio(e), stamp: e.stamp, e: e})
+}
+
+// popMin returns the live minimum-priority entry, or nil if none remain.
+// Snapshots whose entry changed (stamp) or whose computed priority drifted
+// (e.g. the positional component, which moves when neighbours are freed)
+// are re-pushed with the fresh value and retried.
+func (v *victimHeap) popMin() *entry {
+	for v.h.Len() > 0 {
+		it := heap.Pop(&v.h).(heapItem)
+		if it.e.dead {
+			continue
+		}
+		if it.e.stamp != it.stamp {
+			v.push(it.e)
+			continue
+		}
+		if cur := v.prio(it.e); cur != it.prio {
+			heap.Push(&v.h, heapItem{prio: cur, stamp: it.e.stamp, e: it.e})
+			continue
+		}
+		return it.e
+	}
+	return nil
+}
+
+// peekMinPrio returns the priority of the live minimum, or +Inf.
+func (v *victimHeap) peekMinPrio() float64 {
+	for v.h.Len() > 0 {
+		it := v.h[0]
+		if it.e.dead || it.e.stamp != it.stamp {
+			heap.Pop(&v.h)
+			if !it.e.dead {
+				v.push(it.e)
+			}
+			continue
+		}
+		if cur := v.prio(it.e); cur != it.prio {
+			heap.Pop(&v.h)
+			heap.Push(&v.h, heapItem{prio: cur, stamp: it.e.stamp, e: it.e})
+			continue
+		}
+		return it.prio
+	}
+	return math.Inf(1)
+}
+
+func (v *victimHeap) reset() { v.h = v.h[:0] }

@@ -1,0 +1,117 @@
+package clampi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKeyHashSpreads(t *testing.T) {
+	// Distinct keys should hash to distinct values overwhelmingly often.
+	seen := map[uint64]bool{}
+	collisions := 0
+	for target := 0; target < 4; target++ {
+		for off := 0; off < 256; off++ {
+			h := key{target: target, offset: off * 16, size: 16}.hash()
+			if seen[h] {
+				collisions++
+			}
+			seen[h] = true
+		}
+	}
+	if collisions > 0 {
+		t.Errorf("%d hash collisions over 1024 structured keys", collisions)
+	}
+}
+
+func TestTableLookupInsertRemove(t *testing.T) {
+	tab := newTable(8, 2)
+	k := key{target: 1, offset: 32, size: 8}
+	if tab.lookup(k) != nil {
+		t.Fatal("lookup found entry in empty table")
+	}
+	e := &entry{key: k, appScore: math.NaN()}
+	slot := tab.freeSlot(k)
+	if slot < 0 {
+		t.Fatal("no free slot in empty table")
+	}
+	tab.insertAt(slot, e)
+	if tab.lookup(k) != e {
+		t.Fatal("lookup missed inserted entry")
+	}
+	if tab.n != 1 {
+		t.Errorf("n = %d", tab.n)
+	}
+	tab.remove(e)
+	if tab.lookup(k) != nil || tab.n != 0 {
+		t.Error("remove did not unlink entry")
+	}
+}
+
+func TestTableBucketFullConflict(t *testing.T) {
+	tab := newTable(1, 2) // one bucket, 2-way: third key conflicts
+	for i := 0; i < 2; i++ {
+		k := key{offset: i * 16, size: 16}
+		tab.insertAt(tab.freeSlot(k), &entry{key: k, appScore: math.NaN()})
+	}
+	if tab.freeSlot(key{offset: 99, size: 16}) != -1 {
+		t.Error("full bucket reported a free slot")
+	}
+	if got := len(tab.bucketEntries(key{offset: 99, size: 16})); got != 2 {
+		t.Errorf("bucketEntries = %d, want 2", got)
+	}
+}
+
+func TestVictimHeapOrdersByPriority(t *testing.T) {
+	prio := func(e *entry) float64 { return e.appScore }
+	h := newVictimHeap(prio)
+	es := []*entry{
+		{appScore: 30}, {appScore: 10}, {appScore: 20},
+	}
+	for _, e := range es {
+		h.push(e)
+	}
+	if got := h.popMin(); got.appScore != 10 {
+		t.Errorf("popMin = %v, want 10", got.appScore)
+	}
+	if got := h.peekMinPrio(); got != 20 {
+		t.Errorf("peekMinPrio = %v, want 20", got)
+	}
+}
+
+func TestVictimHeapSkipsDeadAndStale(t *testing.T) {
+	prio := func(e *entry) float64 { return e.appScore }
+	h := newVictimHeap(prio)
+	dead := &entry{appScore: 1}
+	stale := &entry{appScore: 2}
+	live := &entry{appScore: 3}
+	h.push(dead)
+	h.push(stale)
+	h.push(live)
+	dead.dead = true
+	stale.appScore = 99 // priority drift: must be re-ranked, not returned at 2
+	stale.stamp++
+	if got := h.popMin(); got != live {
+		t.Errorf("popMin returned %v, want the live entry (3)", got.appScore)
+	}
+	if got := h.popMin(); got != stale {
+		t.Error("re-ranked stale entry lost")
+	}
+	if h.popMin() != nil {
+		t.Error("dead entry resurrected")
+	}
+}
+
+func TestVictimHeapEmptyBehaviour(t *testing.T) {
+	h := newVictimHeap(func(e *entry) float64 { return 0 })
+	if h.popMin() != nil {
+		t.Error("popMin on empty heap")
+	}
+	if !math.IsInf(h.peekMinPrio(), 1) {
+		t.Error("peekMinPrio on empty heap should be +Inf")
+	}
+	h.push(&entry{})
+	h.reset()
+	if h.popMin() != nil {
+		t.Error("reset did not clear the heap")
+	}
+}

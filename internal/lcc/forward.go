@@ -1,0 +1,283 @@
+package lcc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file implements the forward algorithm of Schank & Wagner ("Finding,
+// Counting and Listing all Triangles in Large Graphs", WEA'05), the
+// experimental-study reference the paper points to in §V for a thorough
+// comparison of triangle-counting algorithms. The forward algorithm orients
+// every undirected edge from the lower-degree endpoint to the higher-degree
+// one; the resulting DAG has out-degrees bounded by O(√m), and each
+// triangle survives as exactly one directed wedge, so no double counting
+// and no upper-triangle offsetting is needed. It serves here as an
+// independent shared-memory baseline that cross-checks the edge-centric
+// engines and as the A5 ablation (orientation vs. §II-C offsetting).
+
+// Orientation is a degree-ordered acyclic orientation of an undirected
+// graph: arc u→v exists iff {u,v} ∈ E and u precedes v in the total order
+// (deg(u), u) < (deg(v), v).
+type Orientation struct {
+	out [][]graph.V // out-neighbourhoods, each sorted by vertex id
+	n   int
+}
+
+// Orient builds the degree-ordered orientation of an undirected graph.
+func Orient(g *graph.Graph) (*Orientation, error) {
+	if g.Kind() != graph.Undirected {
+		return nil, fmt.Errorf("lcc: Orient requires an undirected graph, got %v", g.Kind())
+	}
+	n := g.NumVertices()
+	o := &Orientation{out: make([][]graph.V, n), n: n}
+	for u := 0; u < n; u++ {
+		adj := g.Adj(graph.V(u))
+		du := len(adj)
+		var nbrs []graph.V
+		for _, v := range adj {
+			dv := g.OutDegree(v)
+			if du < dv || (du == dv && graph.V(u) < v) {
+				nbrs = append(nbrs, v)
+			}
+		}
+		// adj is sorted by id and filtering preserves order.
+		o.out[u] = nbrs
+	}
+	return o, nil
+}
+
+// Out returns the sorted out-neighbourhood of u under the orientation.
+func (o *Orientation) Out(u graph.V) []graph.V { return o.out[u] }
+
+// MaxOutDegree returns the largest oriented out-degree; for a degree-ordered
+// orientation this is O(√m), the property that bounds the forward
+// algorithm's work.
+func (o *Orientation) MaxOutDegree() int {
+	max := 0
+	for _, nbrs := range o.out {
+		if len(nbrs) > max {
+			max = len(nbrs)
+		}
+	}
+	return max
+}
+
+// NumArcs returns the number of oriented arcs (= m for a simple graph).
+func (o *Orientation) NumArcs() int {
+	total := 0
+	for _, nbrs := range o.out {
+		total += len(nbrs)
+	}
+	return total
+}
+
+// ForwardLCC computes per-vertex triangle counts and LCC scores of an
+// undirected graph with the forward algorithm. The PerVertex convention
+// matches SharedLCC: each triangle contributes 1 to each of its three
+// corners, so the results are directly comparable (and are compared, in
+// tests). Ops counts merge iterations, comparable to SharedLCC's
+// intersection ops. The merge is inherent to forward — there is no method
+// parameter because the algorithm enumerates, rather than counts, common
+// neighbours.
+func ForwardLCC(g *graph.Graph) (*SharedResult, error) {
+	o, err := Orient(g)
+	if err != nil {
+		return nil, err
+	}
+	n := g.NumVertices()
+	res := &SharedResult{
+		LCC:       make([]float64, n),
+		PerVertex: make([]int64, n),
+	}
+	for u := 0; u < n; u++ {
+		outU := o.out[u]
+		for _, v := range outU {
+			// Enumerate common oriented out-neighbours w of u and v:
+			// each is the apex of exactly one triangle {u,v,w}.
+			outV := o.out[v]
+			i, j := 0, 0
+			for i < len(outU) && j < len(outV) {
+				res.Ops++
+				switch {
+				case outU[i] == outV[j]:
+					w := outU[i]
+					res.PerVertex[u]++
+					res.PerVertex[v]++
+					res.PerVertex[w]++
+					res.Triangles++
+					i++
+					j++
+				case outU[i] < outV[j]:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		res.LCC[v] = Score(graph.Undirected, res.PerVertex[v], g.OutDegree(graph.V(v)))
+	}
+	return res, nil
+}
+
+// Triangle is one triangle {U, V, W} with U < V < W in orientation order.
+type Triangle struct {
+	U, V, W graph.V
+}
+
+// ListTriangles enumerates every triangle of an undirected graph exactly
+// once via the forward algorithm, in deterministic order. It is used by
+// the community-analysis example and by tests that need the actual
+// triangles rather than counts.
+func ListTriangles(g *graph.Graph) ([]Triangle, error) {
+	o, err := Orient(g)
+	if err != nil {
+		return nil, err
+	}
+	var out []Triangle
+	for u := 0; u < o.n; u++ {
+		outU := o.out[u]
+		for _, v := range outU {
+			outV := o.out[v]
+			i, j := 0, 0
+			for i < len(outU) && j < len(outV) {
+				switch {
+				case outU[i] == outV[j]:
+					out = append(out, Triangle{graph.V(u), v, outU[i]})
+					i++
+					j++
+				case outU[i] < outV[j]:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// DegeneracyOrder returns a smallest-last (core) ordering of an undirected
+// graph and its degeneracy (the largest minimum degree over the peeling).
+// Orienting by a degeneracy order bounds oriented out-degrees by the
+// degeneracy itself, which for real-world graphs is far below √m; the A5
+// ablation compares it against the plain degree order.
+func DegeneracyOrder(g *graph.Graph) (order []graph.V, degeneracy int, err error) {
+	if g.Kind() != graph.Undirected {
+		return nil, 0, fmt.Errorf("lcc: DegeneracyOrder requires an undirected graph, got %v", g.Kind())
+	}
+	n := g.NumVertices()
+	deg := make([]int, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(graph.V(v))
+		if deg[v] > maxDeg {
+			maxDeg = deg[v]
+		}
+	}
+	// Bucket queue over current degrees.
+	buckets := make([][]graph.V, maxDeg+1)
+	for v := 0; v < n; v++ {
+		buckets[deg[v]] = append(buckets[deg[v]], graph.V(v))
+	}
+	removed := make([]bool, n)
+	order = make([]graph.V, 0, n)
+	cur := 0
+	for len(order) < n {
+		// Find the lowest non-empty bucket; cur only needs to step
+		// back by one per removal (degrees drop by at most 1 per
+		// removed neighbour).
+		if cur > 0 {
+			cur--
+		}
+		for cur <= maxDeg && len(buckets[cur]) == 0 {
+			cur++
+		}
+		if cur > maxDeg {
+			break
+		}
+		b := buckets[cur]
+		v := b[len(b)-1]
+		buckets[cur] = b[:len(b)-1]
+		if removed[v] || deg[v] != cur {
+			continue // stale bucket entry; v was re-bucketed
+		}
+		removed[v] = true
+		order = append(order, v)
+		if cur > degeneracy {
+			degeneracy = cur
+		}
+		for _, w := range g.Adj(v) {
+			if !removed[w] {
+				deg[w]--
+				buckets[deg[w]] = append(buckets[deg[w]], w)
+			}
+		}
+	}
+	return order, degeneracy, nil
+}
+
+// OrientByOrder builds an orientation from an arbitrary total order given
+// as a permutation of the vertices (order[i] is removed i-th): arcs point
+// from earlier to later vertices. Out-neighbourhoods remain sorted by id.
+func OrientByOrder(g *graph.Graph, order []graph.V) (*Orientation, error) {
+	if g.Kind() != graph.Undirected {
+		return nil, fmt.Errorf("lcc: OrientByOrder requires an undirected graph, got %v", g.Kind())
+	}
+	n := g.NumVertices()
+	if len(order) != n {
+		return nil, fmt.Errorf("lcc: order has %d entries for %d vertices", len(order), n)
+	}
+	pos := make([]int, n)
+	seen := make([]bool, n)
+	for i, v := range order {
+		if int(v) >= n || seen[v] {
+			return nil, fmt.Errorf("lcc: order is not a permutation (entry %d = %d)", i, v)
+		}
+		seen[v] = true
+		pos[v] = i
+	}
+	o := &Orientation{out: make([][]graph.V, n), n: n}
+	for u := 0; u < n; u++ {
+		var nbrs []graph.V
+		for _, v := range g.Adj(graph.V(u)) {
+			if pos[u] < pos[v] {
+				nbrs = append(nbrs, v)
+			}
+		}
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		o.out[u] = nbrs
+	}
+	return o, nil
+}
+
+// CountOriented counts triangles on a prebuilt orientation (each counted
+// once). It is the inner kernel of ForwardLCC exposed for ablations that
+// swap orderings.
+func CountOriented(o *Orientation) (triangles int64, ops int64) {
+	for u := 0; u < o.n; u++ {
+		outU := o.out[u]
+		for _, v := range outU {
+			outV := o.out[v]
+			i, j := 0, 0
+			for i < len(outU) && j < len(outV) {
+				ops++
+				switch {
+				case outU[i] == outV[j]:
+					triangles++
+					i++
+					j++
+				case outU[i] < outV[j]:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return triangles, ops
+}

@@ -1,0 +1,143 @@
+package lcc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/intersect"
+	"repro/internal/part"
+	"repro/internal/rma"
+)
+
+// TestDistributedPropertyRandomConfigs is the engine's main property test:
+// for random graphs and *random engine configurations* — rank count,
+// distribution scheme, intersection method (including hash), caching with
+// arbitrary tiny cache sizes, score policy, double buffering — the
+// distributed result must equal brute force exactly. Caching and
+// distribution are performance features; any influence on the numbers is
+// a bug.
+func TestDistributedPropertyRandomConfigs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		m := 2 * n * (1 + rng.Intn(4))
+		kind := graph.Undirected
+		if rng.Intn(2) == 0 {
+			kind = graph.Directed
+		}
+		edges := make([]graph.Edge, 0, m)
+		for i := 0; i < m; i++ {
+			u, v := graph.V(rng.Intn(n)), graph.V(rng.Intn(n))
+			if u != v {
+				edges = append(edges, graph.Edge{Src: u, Dst: v})
+			}
+		}
+		g, err := graph.Build(kind, n, edges)
+		if err != nil {
+			return false
+		}
+		want := BruteForceLCC(g)
+
+		opt := Options{
+			Ranks:        1 + rng.Intn(9),
+			Method:       []intersect.Method{intersect.MethodSSI, intersect.MethodBinary, intersect.MethodHybrid, intersect.MethodHash}[rng.Intn(4)],
+			DoubleBuffer: rng.Intn(2) == 0,
+		}
+		switch rng.Intn(3) {
+		case 1:
+			opt.Scheme = part.Cyclic
+		case 2:
+			opt.Scheme = part.BlockArcs
+		}
+		if rng.Intn(2) == 0 {
+			opt.Caching = true
+			opt.OffsetsCacheBytes = 16 * (1 + rng.Intn(n)) // deliberately tiny
+			opt.AdjCacheBytes = 4 * (1 + rng.Intn(4*n))
+			opt.AdjScorePolicy = ScorePolicy(rng.Intn(4))
+		}
+		got, err := Run(g, opt)
+		if err != nil {
+			return false
+		}
+		if got.Triangles != want.Triangles {
+			t.Logf("seed %d: config %+v: triangles %d, want %d", seed, opt, got.Triangles, want.Triangles)
+			return false
+		}
+		for v := range want.LCC {
+			if got.LCC[v] != want.LCC[v] {
+				t.Logf("seed %d: vertex %d: lcc %g, want %g", seed, v, got.LCC[v], want.LCC[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoiseNeverChangesResults: injected noise perturbs simulated time
+// only; the computed triangles and LCC scores must be bit-identical to the
+// noise-free run, and the noisy run must take longer.
+func TestNoiseNeverChangesResults(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(10, 8, graph.Undirected, 21))
+	quiet, err := Run(g, Options{Ranks: 8, Method: intersect.MethodHybrid, DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := rma.DefaultCostModel()
+	model.Noise = rma.NoiseSpec{Amp: 0.25, SpikePeriodNS: 100e3, SpikeNS: 30000, Seed: 5}
+	noisy, err := Run(g, Options{Ranks: 8, Method: intersect.MethodHybrid, DoubleBuffer: true, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noisy.Triangles != quiet.Triangles {
+		t.Fatalf("noise changed triangles: %d vs %d", noisy.Triangles, quiet.Triangles)
+	}
+	for v := range quiet.LCC {
+		if noisy.LCC[v] != quiet.LCC[v] {
+			t.Fatalf("noise changed LCC[%d]: %g vs %g", v, noisy.LCC[v], quiet.LCC[v])
+		}
+	}
+	if noisy.SimTime <= quiet.SimTime {
+		t.Fatalf("noisy run (%.0f ns) not slower than quiet run (%.0f ns)", noisy.SimTime, quiet.SimTime)
+	}
+}
+
+// TestNoisyRunsDeterministic: the same noise seed must give the same
+// simulated time; a different seed a different one.
+func TestNoisyRunsDeterministic(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, graph.Undirected, 2))
+	run := func(seed uint64) float64 {
+		model := rma.DefaultCostModel()
+		model.Noise = rma.NoiseSpec{Amp: 0.2, Seed: seed}
+		res, err := Run(g, Options{Ranks: 4, Method: intersect.MethodHybrid, Model: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}
+	if a, b := run(1), run(1); a != b {
+		t.Fatalf("same noise seed diverged: %g vs %g", a, b)
+	}
+	if a, b := run(1), run(2); a == b {
+		t.Fatal("different noise seeds produced identical sim times")
+	}
+}
+
+// TestHashMethodInEngine runs the full distributed engine with the hash
+// intersection on a real generator graph.
+func TestHashMethodInEngine(t *testing.T) {
+	g := gen.RMAT(gen.DefaultRMAT(9, 8, graph.Undirected, 31))
+	want := SharedLCC(g, intersect.MethodHybrid)
+	got, err := Run(g, Options{Ranks: 4, Method: intersect.MethodHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Triangles != want.Triangles {
+		t.Fatalf("hash engine: %d triangles, want %d", got.Triangles, want.Triangles)
+	}
+}

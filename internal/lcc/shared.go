@@ -1,0 +1,148 @@
+// Package lcc implements the paper's core contribution: triangle counting
+// and local clustering coefficient, both as a single-node shared-memory
+// kernel (§III-C, used by the Table III / Fig. 6 experiments) and as the
+// fully asynchronous distributed-memory engine over simulated MPI RMA with
+// optional CLaMPI caching (§III-A/B, the headline system).
+package lcc
+
+import (
+	"repro/internal/graph"
+	"repro/internal/intersect"
+)
+
+// Score computes the LCC of a vertex from its triangle count t and
+// out-degree d, per Eq. (1)/(2) of the paper. For undirected graphs t is
+// the number of *unordered* connected neighbour pairs (the edge-centric
+// method with the upper-triangle offset counts each pair once), so the
+// numerator 2t matches Eq. (2); for directed graphs t counts ordered pairs
+// directly as in Eq. (1).
+func Score(kind graph.Kind, t int64, d int) float64 {
+	if d < 2 {
+		return 0
+	}
+	den := float64(d) * float64(d-1)
+	if kind == graph.Undirected {
+		return 2 * float64(t) / den
+	}
+	return float64(t) / den
+}
+
+// TriangleCount converts the per-vertex sum Σt_i into the global triangle
+// count. With the upper-triangle offset, an undirected triangle is counted
+// once at each of its three corners, so Δ = Σt/3. For directed graphs Σt
+// enumerates transitive triads (e_ij, e_jk, e_ik) once each and is returned
+// unchanged.
+func TriangleCount(kind graph.Kind, sumT int64) int64 {
+	if kind == graph.Undirected {
+		return sumT / 3
+	}
+	return sumT
+}
+
+// VertexTriangles returns the edge-centric triangle count t_i of a single
+// vertex: Σ_{v_j ∈ adj(v_i)} |adj(v_i) ∩ adj'(v_j)| where adj' is offset to
+// the upper triangle for undirected graphs (§II-C). ops returns the total
+// intersection iterations, the modeled-compute charge.
+func VertexTriangles(g *graph.Graph, vi graph.V, method intersect.Method) (t int64, ops int) {
+	adjI := g.Adj(vi)
+	for _, vj := range adjI {
+		adjJ := g.Adj(vj)
+		if g.Kind() == graph.Undirected {
+			adjJ = intersect.UpperSlice(adjJ, vj)
+		}
+		c, o := intersect.Count(method, adjI, adjJ)
+		t += int64(c)
+		ops += o
+	}
+	return t, ops
+}
+
+// SharedResult is the output of the single-node computation.
+type SharedResult struct {
+	LCC       []float64 // per-vertex local clustering coefficient
+	PerVertex []int64   // per-vertex triangle counts t_i
+	Triangles int64     // global count (see TriangleCount)
+	Ops       int64     // total intersection iterations
+}
+
+// SharedLCC computes LCC for every vertex on a single node with the given
+// intersection method — the shared-memory baseline of §IV-C and the ground
+// truth the distributed engines are tested against.
+func SharedLCC(g *graph.Graph, method intersect.Method) *SharedResult {
+	n := g.NumVertices()
+	res := &SharedResult{
+		LCC:       make([]float64, n),
+		PerVertex: make([]int64, n),
+	}
+	var sum int64
+	for v := 0; v < n; v++ {
+		t, ops := VertexTriangles(g, graph.V(v), method)
+		res.PerVertex[v] = t
+		res.LCC[v] = Score(g.Kind(), t, g.OutDegree(graph.V(v)))
+		res.Ops += int64(ops)
+		sum += t
+	}
+	res.Triangles = TriangleCount(g.Kind(), sum)
+	return res
+}
+
+// SharedLCCParallel is SharedLCC with the per-edge intersection computed on
+// `threads` goroutines (the paper's OpenMP scheme: parallelism inside each
+// intersection, not across edges, for low imbalance; §III-C).
+func SharedLCCParallel(g *graph.Graph, method intersect.Method, cfg intersect.ParallelConfig) *SharedResult {
+	n := g.NumVertices()
+	res := &SharedResult{
+		LCC:       make([]float64, n),
+		PerVertex: make([]int64, n),
+	}
+	var sum int64
+	for v := 0; v < n; v++ {
+		adjI := g.Adj(graph.V(v))
+		var t int64
+		for _, vj := range adjI {
+			adjJ := g.Adj(vj)
+			if g.Kind() == graph.Undirected {
+				adjJ = intersect.UpperSlice(adjJ, vj)
+			}
+			t += int64(intersect.ParallelCount(method, adjI, adjJ, cfg))
+		}
+		res.PerVertex[v] = t
+		res.LCC[v] = Score(g.Kind(), t, len(adjI))
+		sum += t
+	}
+	res.Triangles = TriangleCount(g.Kind(), sum)
+	return res
+}
+
+// BruteForceLCC is the O(n·d²) reference used only by tests: it checks
+// every neighbour pair with HasEdge.
+func BruteForceLCC(g *graph.Graph) *SharedResult {
+	n := g.NumVertices()
+	res := &SharedResult{
+		LCC:       make([]float64, n),
+		PerVertex: make([]int64, n),
+	}
+	var sum int64
+	for v := 0; v < n; v++ {
+		adj := g.Adj(graph.V(v))
+		var t int64
+		for _, vj := range adj {
+			for _, vk := range adj {
+				if g.Kind() == graph.Undirected && vk <= vj {
+					continue
+				}
+				if vj == vk {
+					continue
+				}
+				if g.HasEdge(vj, vk) {
+					t++
+				}
+			}
+		}
+		res.PerVertex[v] = t
+		res.LCC[v] = Score(g.Kind(), t, len(adj))
+		sum += t
+	}
+	res.Triangles = TriangleCount(g.Kind(), sum)
+	return res
+}

@@ -1,0 +1,70 @@
+package p2p
+
+import (
+	"testing"
+
+	"repro/internal/rma"
+)
+
+// TestBarrierAmplifiesNoise pins the mechanism behind the A7 ablation at
+// the substrate level: under per-rank noise, a BSP world's barrier makes
+// every rank pay the worst perturbation, so the world's clock advances by
+// more than any average rank would alone.
+func TestBarrierAmplifiesNoise(t *testing.T) {
+	const ranks = 8
+	const steps = 50
+	const workNS = 10000
+
+	run := func(noise rma.NoiseSpec) (maxClock float64, sumWait float64) {
+		model := rma.DefaultCostModel()
+		model.Noise = noise
+		w := NewWorld(ranks, model)
+		for s := 0; s < steps; s++ {
+			w.Superstep(func(r *Rank) {
+				r.AdvanceBy(workNS)
+			})
+		}
+		for _, r := range w.Ranks() {
+			sumWait += r.Counters().BarrierWait
+		}
+		return w.MaxClock(), sumWait
+	}
+
+	quiet, quietWait := run(rma.NoiseSpec{})
+	noisy, noisyWait := run(rma.NoiseSpec{Amp: 0.5, Seed: 3})
+
+	if noisy <= quiet {
+		t.Fatalf("noisy BSP world (%.0f) not slower than quiet (%.0f)", noisy, quiet)
+	}
+	// The barrier effect: expected per-step cost under max-of-8 U(0,0.5)
+	// jitter is close to the 50% worst case, not the 25% average. Allow
+	// slack but require the max-statistics signature.
+	perStepExtra := (noisy - quiet) / steps
+	if perStepExtra < 0.35*workNS {
+		t.Fatalf("per-step noise cost %.0f ns; barrier should pay near-worst-case (~%.0f), not the mean",
+			perStepExtra, 0.5*workNS)
+	}
+	if noisyWait <= quietWait {
+		t.Fatalf("noise did not increase barrier waiting (%.0f vs %.0f)", noisyWait, quietWait)
+	}
+}
+
+// TestNoiseDeterministicInBSP: identical seeds give identical superstep
+// schedules.
+func TestNoiseDeterministicInBSP(t *testing.T) {
+	run := func() float64 {
+		model := rma.DefaultCostModel()
+		model.Noise = rma.NoiseSpec{Amp: 0.3, SpikePeriodNS: 20000, SpikeNS: 5000, Seed: 9}
+		w := NewWorld(4, model)
+		for s := 0; s < 20; s++ {
+			w.Superstep(func(r *Rank) {
+				r.AdvanceBy(5000)
+				r.Send((r.ID()+1)%4, make([]byte, 64))
+			})
+		}
+		return w.MaxClock()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical noisy BSP runs diverged: %g vs %g", a, b)
+	}
+}

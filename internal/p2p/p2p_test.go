@@ -1,0 +1,165 @@
+package p2p
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/rma"
+)
+
+func TestSuperstepDeliversMessages(t *testing.T) {
+	w := NewWorld(4, rma.DefaultCostModel())
+	// Everyone sends its id to rank (id+1) mod p.
+	w.Superstep(func(r *Rank) {
+		r.Send((r.ID()+1)%4, []byte{byte(r.ID())})
+	})
+	w.Superstep(func(r *Rank) {
+		in := r.Inbox()
+		if len(in) != 1 {
+			t.Errorf("rank %d inbox size %d, want 1", r.ID(), len(in))
+			return
+		}
+		want := (r.ID() + 3) % 4
+		if in[0].From != want || int(in[0].Data()[0]) != want {
+			t.Errorf("rank %d got message %v, want from %d", r.ID(), in[0], want)
+		}
+	})
+}
+
+func TestInboxOrderDeterministic(t *testing.T) {
+	w := NewWorld(3, rma.DefaultCostModel())
+	w.Superstep(func(r *Rank) {
+		for dst := 0; dst < 3; dst++ {
+			r.Send(dst, []byte(fmt.Sprintf("%d.a", r.ID())))
+			r.Send(dst, []byte(fmt.Sprintf("%d.b", r.ID())))
+		}
+	})
+	w.Superstep(func(r *Rank) {
+		in := r.Inbox()
+		if len(in) != 6 {
+			t.Fatalf("rank %d inbox size %d, want 6", r.ID(), len(in))
+		}
+		want := []string{"0.a", "0.b", "1.a", "1.b", "2.a", "2.b"}
+		for i, m := range in {
+			if string(m.Data()) != want[i] {
+				t.Errorf("rank %d inbox[%d] = %q, want %q", r.ID(), i, m.Data(), want[i])
+			}
+		}
+	})
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	m := rma.DefaultCostModel()
+	w := NewWorld(3, m)
+	w.Superstep(func(r *Rank) {
+		r.Compute(1000 * (r.ID() + 1)) // rank 2 is the straggler
+	})
+	slowest := 3000 * m.ComputePerOp
+	wantMin := slowest + m.BarrierLatency
+	for _, r := range w.Ranks() {
+		if got := r.Clock().Now(); got < wantMin-1e-9 {
+			t.Errorf("rank %d clock = %v, want >= %v after barrier", r.ID(), got, wantMin)
+		}
+	}
+	// Rank 0 waited longest.
+	w0 := w.Ranks()[0].Counters().BarrierWait
+	w2 := w.Ranks()[2].Counters().BarrierWait
+	if w0 <= w2 {
+		t.Errorf("BarrierWait: rank0 %v should exceed rank2 %v", w0, w2)
+	}
+}
+
+func TestSendChargesMatchingOverhead(t *testing.T) {
+	m := rma.DefaultCostModel()
+	w := NewWorld(2, m)
+	w.Superstep(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, make([]byte, 100))
+		}
+	})
+	ctr := w.Ranks()[0].Counters()
+	want := m.SendRecvOverhead + m.RemoteCost(100)
+	if math.Abs(ctr.SendCost-want) > 1e-9 {
+		t.Errorf("SendCost = %v, want %v (matching overhead + α + sβ)", ctr.SendCost, want)
+	}
+	// Receiver paid matching + copy.
+	if rc := w.Ranks()[1].Counters().RecvCost; rc <= 0 {
+		t.Errorf("RecvCost = %v, want > 0", rc)
+	}
+}
+
+func TestSelfSendIsLocalCost(t *testing.T) {
+	m := rma.DefaultCostModel()
+	w := NewWorld(2, m)
+	w.Superstep(func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(0, make([]byte, 10))
+		}
+	})
+	ctr := w.Ranks()[0].Counters()
+	if ctr.SendCost >= m.SendRecvOverhead {
+		t.Errorf("self-send cost %v should be below matching overhead %v", ctr.SendCost, m.SendRecvOverhead)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	w := NewWorld(4, rma.DefaultCostModel())
+	got := w.AllreduceSum([]int64{1, 2, 3, 4})
+	if got != 10 {
+		t.Errorf("AllreduceSum = %d, want 10", got)
+	}
+	if w.MaxClock() <= 0 {
+		t.Error("AllreduceSum charged no time")
+	}
+	// All clocks equal after an allreduce.
+	c0 := w.Ranks()[0].Clock().Now()
+	for _, r := range w.Ranks() {
+		if r.Clock().Now() != c0 {
+			t.Errorf("clocks diverge after allreduce")
+		}
+	}
+}
+
+func TestAllreduceValidatesLength(t *testing.T) {
+	w := NewWorld(2, rma.DefaultCostModel())
+	defer func() {
+		if recover() == nil {
+			t.Error("AllreduceSum accepted wrong-length input")
+		}
+	}()
+	w.AllreduceSum([]int64{1})
+}
+
+func TestSendValidatesRank(t *testing.T) {
+	w := NewWorld(2, rma.DefaultCostModel())
+	defer func() {
+		if recover() == nil {
+			t.Error("Send accepted invalid destination")
+		}
+	}()
+	w.Superstep(func(r *Rank) { r.Send(7, nil) })
+}
+
+func TestStepsCount(t *testing.T) {
+	w := NewWorld(2, rma.DefaultCostModel())
+	w.Superstep(func(r *Rank) {})
+	w.Superstep(func(r *Rank) {})
+	if w.Steps() != 2 {
+		t.Errorf("Steps = %d, want 2", w.Steps())
+	}
+}
+
+func TestManySuperstepsAccumulateBarrierCost(t *testing.T) {
+	// Even with zero compute and no messages, every superstep costs at
+	// least the barrier latency: the synchronization tax TriC pays.
+	m := rma.DefaultCostModel()
+	w := NewWorld(4, m)
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		w.Superstep(func(r *Rank) {})
+	}
+	if got, want := w.MaxClock(), rounds*m.BarrierLatency; math.Abs(got-want) > 1e-6 {
+		t.Errorf("MaxClock = %v, want %v", got, want)
+	}
+}

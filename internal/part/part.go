@@ -1,0 +1,298 @@
+// Package part implements the vertex partitioning schemes of §III-A: the
+// paper's 1D block partitioning (an equal, contiguous range of vertices per
+// process) and the cyclic 1D distribution it cites as the balanced
+// alternative (Lumsdaine et al.), which this repository implements as the
+// future-work ablation A3.
+package part
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Scheme selects how vertices map to ranks.
+type Scheme uint8
+
+const (
+	// Block assigns vertex v to rank v*p/n (contiguous ranges, the
+	// paper's default; §III-A). Unlike the paper we do not require p | n:
+	// ranges differ by at most one vertex.
+	Block Scheme = iota
+	// Cyclic assigns vertex v to rank v mod p.
+	Cyclic
+	// BlockArcs assigns contiguous vertex ranges whose *arc* counts are
+	// balanced (equal Σ deg per rank, up to one vertex), addressing the
+	// up-to-25% runtime imbalance the paper attributes to plain Block on
+	// skewed graphs (§IV-D-2). It keeps Block's contiguity — and thus
+	// its cheap ownership arithmetic on the remote path — while fixing
+	// the work balance; the A10 ablation quantifies the trade.
+	// Partitions with this scheme must be created by NewArcBalanced (the
+	// boundaries depend on the degree sequence).
+	BlockArcs
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Block:
+		return "block"
+	case Cyclic:
+		return "cyclic"
+	case BlockArcs:
+		return "block-arcs"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// Partition maps the vertex set {0..n-1} onto p ranks under a Scheme.
+type Partition struct {
+	scheme Scheme
+	n      int
+	p      int
+	// bounds holds the range boundaries for BlockArcs: rank r owns
+	// [bounds[r], bounds[r+1]). nil for Block and Cyclic.
+	bounds []int
+}
+
+// New creates a partition of n vertices over p ranks. BlockArcs partitions
+// need the degree sequence and must be created with NewArcBalanced.
+func New(scheme Scheme, n, p int) (*Partition, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("part: need at least one rank, got %d", p)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("part: negative vertex count %d", n)
+	}
+	if scheme == BlockArcs {
+		return nil, fmt.Errorf("part: BlockArcs partitions require the graph; use NewArcBalanced")
+	}
+	return &Partition{scheme: scheme, n: n, p: p}, nil
+}
+
+// NewArcBalanced creates a BlockArcs partition of g over p ranks:
+// contiguous vertex ranges chosen so every rank holds as close to
+// NumArcs/p adjacency entries as contiguity allows (greedy prefix cut at
+// the target quota, the standard 1D arc-balancing heuristic).
+func NewArcBalanced(g *graph.Graph, p int) (*Partition, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("part: need at least one rank, got %d", p)
+	}
+	n := g.NumVertices()
+	pt := &Partition{scheme: BlockArcs, n: n, p: p, bounds: make([]int, p+1)}
+	total := g.NumArcs()
+	v := 0
+	carried := 0 // arcs assigned so far
+	for r := 0; r < p; r++ {
+		pt.bounds[r] = v
+		// Quota for ranks r..p-1 splits the remaining arcs evenly; the
+		// running recomputation keeps one oversized hub from starving
+		// every later rank.
+		remainingRanks := p - r
+		quota := (total - carried + remainingRanks - 1) / remainingRanks
+		acc := 0
+		// Leave at least one vertex per remaining rank when possible.
+		for v < n-(remainingRanks-1) && (acc == 0 || acc+g.OutDegree(graph.V(v)) <= quota) {
+			acc += g.OutDegree(graph.V(v))
+			v++
+		}
+		carried += acc
+	}
+	pt.bounds[p] = n
+	return pt, nil
+}
+
+// Build constructs a partition of g's vertices under any scheme,
+// dispatching to NewArcBalanced when the scheme needs the degree sequence.
+// Engines use it so that Options.Scheme can select all three schemes.
+func Build(scheme Scheme, g *graph.Graph, p int) (*Partition, error) {
+	if scheme == BlockArcs {
+		return NewArcBalanced(g, p)
+	}
+	return New(scheme, g.NumVertices(), p)
+}
+
+// MustNew is New that panics on error, for statically valid arguments.
+func MustNew(scheme Scheme, n, p int) *Partition {
+	pt, err := New(scheme, n, p)
+	if err != nil {
+		panic(err)
+	}
+	return pt
+}
+
+// Scheme returns the partitioning scheme.
+func (pt *Partition) Scheme() Scheme { return pt.scheme }
+
+// NumRanks returns p.
+func (pt *Partition) NumRanks() int { return pt.p }
+
+// NumVertices returns n.
+func (pt *Partition) NumVertices() int { return pt.n }
+
+// Owner returns the rank that owns vertex v.
+func (pt *Partition) Owner(v graph.V) int {
+	switch pt.scheme {
+	case Block:
+		// Inverse of the balanced block ranges produced by Range.
+		return (int(v)*pt.p + pt.p - 1) / pt.n
+	case BlockArcs:
+		// Binary search for the range containing v: the largest r with
+		// bounds[r] <= v.
+		lo, hi := 0, pt.p
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if pt.bounds[mid+1] <= int(v) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	default: // Cyclic
+		return int(v) % pt.p
+	}
+}
+
+// Range returns the contiguous global-id range [lo,hi) owned by rank under
+// the Block and BlockArcs schemes. It panics for Cyclic partitions, whose
+// ownership is not contiguous.
+func (pt *Partition) Range(rank int) (lo, hi graph.V) {
+	switch pt.scheme {
+	case Block:
+		return graph.V(rank * pt.n / pt.p), graph.V((rank + 1) * pt.n / pt.p)
+	case BlockArcs:
+		return graph.V(pt.bounds[rank]), graph.V(pt.bounds[rank+1])
+	default:
+		panic("part: Range is only defined for contiguous (Block/BlockArcs) partitions")
+	}
+}
+
+// Size returns the number of vertices owned by rank.
+func (pt *Partition) Size(rank int) int {
+	switch pt.scheme {
+	case Block, BlockArcs:
+		lo, hi := pt.Range(rank)
+		return int(hi - lo)
+	default:
+		base := pt.n / pt.p
+		if rank < pt.n%pt.p {
+			base++
+		}
+		return base
+	}
+}
+
+// LocalIndex converts the global id of a vertex into its index within its
+// owner's local arrays.
+func (pt *Partition) LocalIndex(v graph.V) int {
+	switch pt.scheme {
+	case Block, BlockArcs:
+		lo, _ := pt.Range(pt.Owner(v))
+		return int(v - lo)
+	default:
+		return int(v) / pt.p
+	}
+}
+
+// VertexAt is the inverse of LocalIndex: the global id of the local-th
+// vertex of rank.
+func (pt *Partition) VertexAt(rank, local int) graph.V {
+	switch pt.scheme {
+	case Block, BlockArcs:
+		lo, _ := pt.Range(rank)
+		return lo + graph.V(local)
+	default:
+		return graph.V(local*pt.p + rank)
+	}
+}
+
+// EdgeCut returns the fraction of arcs (u,v) whose endpoints live on
+// different ranks. The paper observes 95% cut for R-MAT S20 E24 on 8 ranks
+// and uses the cut fraction to explain why communication dominates.
+func EdgeCut(g *graph.Graph, pt *Partition) float64 {
+	arcs := g.NumArcs()
+	if arcs == 0 {
+		return 0
+	}
+	cut := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		ov := pt.Owner(graph.V(v))
+		for _, u := range g.Adj(graph.V(v)) {
+			if pt.Owner(u) != ov {
+				cut++
+			}
+		}
+	}
+	return float64(cut) / float64(arcs)
+}
+
+// Imbalance returns max_rank(arcs owned)/mean(arcs owned) — the load
+// imbalance the paper blames for Orkut's weaker scaling (§IV-D-2, up to 25%
+// runtime difference between processes).
+func Imbalance(g *graph.Graph, pt *Partition) float64 {
+	arcs := make([]int, pt.p)
+	for v := 0; v < g.NumVertices(); v++ {
+		arcs[pt.Owner(graph.V(v))] += g.OutDegree(graph.V(v))
+	}
+	max, sum := 0, 0
+	for _, a := range arcs {
+		sum += a
+		if a > max {
+			max = a
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(pt.p)
+	return float64(max) / mean
+}
+
+// LocalCSR is one rank's partition of the graph in CSR form: the arrays the
+// rank exposes in its RMA windows (Fig. 3 of the paper). Offsets are local
+// (offsets[i] indexes into Adj for the rank's i-th owned vertex), while
+// adjacency entries keep their *global* vertex ids, so a reader can chase
+// them to other ranks.
+type LocalCSR struct {
+	Rank    int
+	Part    *Partition
+	Offsets []uint64  // length Size(rank)+1
+	Adj     []graph.V // concatenated adjacency lists, global ids
+}
+
+// Extract builds rank's LocalCSR from the full graph. In a real deployment
+// each node reads only its chunk from disk (Fig. 3 step 1); here the
+// in-memory graph plays the role of the shared file.
+func Extract(g *graph.Graph, pt *Partition, rank int) *LocalCSR {
+	size := pt.Size(rank)
+	offsets := make([]uint64, size+1)
+	total := 0
+	for i := 0; i < size; i++ {
+		total += g.OutDegree(pt.VertexAt(rank, i))
+	}
+	adj := make([]graph.V, 0, total)
+	for i := 0; i < size; i++ {
+		v := pt.VertexAt(rank, i)
+		adj = append(adj, g.Adj(v)...)
+		offsets[i+1] = uint64(len(adj))
+	}
+	return &LocalCSR{Rank: rank, Part: pt, Offsets: offsets, Adj: adj}
+}
+
+// ExtractAll builds every rank's LocalCSR.
+func ExtractAll(g *graph.Graph, pt *Partition) []*LocalCSR {
+	out := make([]*LocalCSR, pt.NumRanks())
+	for r := range out {
+		out[r] = Extract(g, pt, r)
+	}
+	return out
+}
+
+// AdjOf returns the adjacency list of the rank's local-th vertex.
+func (lc *LocalCSR) AdjOf(local int) []graph.V {
+	return lc.Adj[lc.Offsets[local]:lc.Offsets[local+1]]
+}
+
+// NumLocal returns the number of vertices owned by this rank.
+func (lc *LocalCSR) NumLocal() int { return len(lc.Offsets) - 1 }

@@ -1,0 +1,111 @@
+package rma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockBasics(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock reads %v", c.Now())
+	}
+	c.Advance(10)
+	c.Advance(-5) // negative durations are ignored
+	if c.Now() != 10 {
+		t.Errorf("Now = %v, want 10", c.Now())
+	}
+	c.AdvanceTo(8) // past: no-op
+	if c.Now() != 10 {
+		t.Errorf("AdvanceTo(past) moved the clock to %v", c.Now())
+	}
+	c.AdvanceTo(25)
+	if c.Now() != 25 {
+		t.Errorf("AdvanceTo(future) = %v, want 25", c.Now())
+	}
+}
+
+// Property: a clock never runs backwards under any interleaving of
+// Advance/AdvanceTo calls.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(steps []int16) bool {
+		var c Clock
+		prev := 0.0
+		for _, s := range steps {
+			if s%2 == 0 {
+				c.Advance(float64(s))
+			} else {
+				c.AdvanceTo(float64(s))
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultipleWindowsIndependentFlush(t *testing.T) {
+	c := NewComm(2, DefaultCostModel())
+	w1 := c.CreateWindow("w1", [][]byte{nil, make([]byte, 64)})
+	w2 := c.CreateWindow("w2", [][]byte{nil, make([]byte, 64)})
+	r := c.Rank(0)
+	r.LockAll(w1)
+	r.LockAll(w2)
+	q1 := r.Get(w1, 1, 0, 8)
+	q2 := r.Get(w2, 1, 0, 8)
+	r.FlushAll(w1)
+	if !q1.Done() {
+		t.Error("flush of w1 left its request pending")
+	}
+	if q2.Done() {
+		t.Error("flush of w1 completed a w2 request")
+	}
+	r.UnlockAll(w2) // implies flush
+	if !q2.Done() {
+		t.Error("UnlockAll did not flush w2")
+	}
+	r.UnlockAll(w1)
+}
+
+func TestComputeVsAdvanceByCounters(t *testing.T) {
+	c := NewComm(1, DefaultCostModel())
+	r := c.Rank(0)
+	r.Compute(100)
+	r.AdvanceBy(500)
+	ctr := r.Counters()
+	want := 100*c.Model().ComputePerOp + 500
+	if math.Abs(ctr.ComputeTime-want) > 1e-9 {
+		t.Errorf("ComputeTime = %v, want %v", ctr.ComputeTime, want)
+	}
+	if math.Abs(r.Clock().Now()-want) > 1e-9 {
+		t.Errorf("clock = %v, want %v", r.Clock().Now(), want)
+	}
+}
+
+func TestPutLocalNoNetworkCounters(t *testing.T) {
+	c := NewComm(2, DefaultCostModel())
+	w := c.CreateWindow("w", [][]byte{make([]byte, 8), nil})
+	r := c.Rank(0)
+	r.LockAll(w)
+	r.Put(w, 0, 0, []byte{1, 2})
+	r.UnlockAll(w)
+	if ctr := r.Counters(); ctr.Puts != 0 || ctr.RemoteBytes != 0 {
+		t.Errorf("local put touched network counters: %+v", ctr)
+	}
+}
+
+func TestRankIDValidation(t *testing.T) {
+	c := NewComm(2, DefaultCostModel())
+	defer func() {
+		if recover() == nil {
+			t.Error("Rank(5) on a 2-rank world did not panic")
+		}
+	}()
+	c.Rank(5)
+}

@@ -1,0 +1,212 @@
+package rma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// This file extends the simulated runtime beyond the operations the LCC
+// engine itself needs, covering the rest of the MPI-3 RMA surface the
+// paper's §II-E describes: per-target flushes, atomic accumulates
+// (MPI_Accumulate / MPI_Fetch_and_op), and active-target fence epochs.
+// The Jaccard extension and the examples exercise them; they also make the
+// substrate reusable for the push-style algorithms of the paper's
+// future-work list (§VI ii), which accumulate partial results at the owner
+// instead of pulling adjacency lists.
+
+// Flush completes every outstanding operation of this rank addressed to
+// one target on w (MPI_Win_flush): the clock advances to the latest
+// completion time among them. Operations to other targets stay pending.
+func (r *Rank) Flush(w *Window, target int) {
+	before := r.clock.Now()
+	rest := r.pending[:0]
+	for _, q := range r.pending {
+		if q.win != w || q.target != target {
+			rest = append(rest, q)
+			continue
+		}
+		r.clock.AdvanceTo(q.completeAt)
+		q.done = true
+	}
+	r.pending = rest
+	r.ctr.FlushWait += r.clock.Now() - before
+}
+
+// atomicMu guards read-modify-write window updates. Real MPI guarantees
+// element-wise atomicity of accumulates against each other; a single lock
+// is the simplest faithful equivalent (contention is not modeled — the
+// charge is the same α + s·β as any other one-sided op).
+var atomicMu sync.Mutex
+
+// Accumulate atomically adds delta to the uint64 at byte offset in
+// target's region (MPI_Accumulate with MPI_SUM). Like Put, the operation
+// is non-blocking; its completion is observed by a flush.
+func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request {
+	if !r.epochs[w] {
+		panic(fmt.Sprintf("rma: rank %d: Accumulate on %q outside an access epoch", r.id, w.name))
+	}
+	region := w.loc[target]
+	if offset < 0 || offset+8 > len(region) {
+		panic(fmt.Sprintf("rma: rank %d: Accumulate %q target %d [%d:+8) out of range (len %d)",
+			r.id, w.name, target, offset, len(region)))
+	}
+	atomicMu.Lock()
+	old := binary.LittleEndian.Uint64(region[offset:])
+	binary.LittleEndian.PutUint64(region[offset:], old+delta)
+	atomicMu.Unlock()
+
+	q := &Request{rank: r, win: w, target: target}
+	if target == r.id {
+		r.clock.Advance(r.comm.model.LocalCost(8))
+		q.completeAt = r.clock.Now()
+		q.done = true
+		return q
+	}
+	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(8))
+	q.completeAt = r.clock.Now() + cost
+	r.ctr.Puts++
+	r.ctr.RemoteBytes += 8
+	r.pending = append(r.pending, q)
+	return q
+}
+
+// FetchAdd64 atomically adds delta to the uint64 at byte offset in
+// target's region and returns the previous value (MPI_Fetch_and_op with
+// MPI_SUM). Unlike Accumulate it blocks until the round trip completes:
+// fetch-and-op is a synchronizing read-modify-write, so the issuing rank
+// cannot proceed without the old value.
+func (r *Rank) FetchAdd64(w *Window, target, offset int, delta uint64) uint64 {
+	if !r.epochs[w] {
+		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 on %q outside an access epoch", r.id, w.name))
+	}
+	region := w.loc[target]
+	if offset < 0 || offset+8 > len(region) {
+		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 %q target %d [%d:+8) out of range (len %d)",
+			r.id, w.name, target, offset, len(region)))
+	}
+	atomicMu.Lock()
+	old := binary.LittleEndian.Uint64(region[offset:])
+	binary.LittleEndian.PutUint64(region[offset:], old+delta)
+	atomicMu.Unlock()
+	if target == r.id {
+		r.clock.Advance(r.comm.model.LocalCost(8))
+		return old
+	}
+	r.clock.Advance(r.comm.model.RemoteCost(8))
+	r.ctr.Puts++
+	r.ctr.RemoteBytes += 8
+	return old
+}
+
+// Update is one element of a batched accumulate: add Delta to the uint64 at
+// byte Offset in the target's region.
+type Update struct {
+	Offset int
+	Delta  uint64
+}
+
+// updateWireBytes is the modeled wire size of one Update: a 4-byte index
+// plus the 8-byte operand, as an MPI_Accumulate with an indexed datatype
+// would ship.
+const updateWireBytes = 12
+
+// AccumulateBatch atomically applies every update to target's region in one
+// operation (MPI_Accumulate with an indexed datatype and MPI_SUM). The
+// whole batch is charged as a single message of 12 bytes per element —
+// this is what makes local combining pay off for push-style algorithms:
+// k scattered Accumulates cost k·(α + 8β), the combined batch α + 12k·β.
+// Like Accumulate it is non-blocking; completion is observed by a flush.
+func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
+	if !r.epochs[w] {
+		panic(fmt.Sprintf("rma: rank %d: AccumulateBatch on %q outside an access epoch", r.id, w.name))
+	}
+	region := w.loc[target]
+	for _, u := range ups {
+		if u.Offset < 0 || u.Offset+8 > len(region) {
+			panic(fmt.Sprintf("rma: rank %d: AccumulateBatch %q target %d [%d:+8) out of range (len %d)",
+				r.id, w.name, target, u.Offset, len(region)))
+		}
+	}
+	atomicMu.Lock()
+	for _, u := range ups {
+		old := binary.LittleEndian.Uint64(region[u.Offset:])
+		binary.LittleEndian.PutUint64(region[u.Offset:], old+u.Delta)
+	}
+	atomicMu.Unlock()
+
+	size := updateWireBytes * len(ups)
+	q := &Request{rank: r, win: w, target: target}
+	if target == r.id {
+		r.clock.Advance(r.comm.model.LocalCost(size))
+		q.completeAt = r.clock.Now()
+		q.done = true
+		return q
+	}
+	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(size))
+	q.completeAt = r.clock.Now() + cost
+	r.ctr.Puts++
+	r.ctr.RemoteBytes += int64(size)
+	r.pending = append(r.pending, q)
+	return q
+}
+
+// Barrier synchronizes all p ranks of a communicator: real goroutine
+// rendezvous plus simulated-clock alignment (everyone jumps to the global
+// maximum plus BarrierLatency). It is the building block for active-target
+// epochs and for the collective phases of the baselines when they run over
+// raw RMA.
+type Barrier struct {
+	comm *Comm
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     int
+	maxT    float64
+}
+
+// NewBarrier creates a reusable barrier over the communicator's p ranks.
+func (c *Comm) NewBarrier() *Barrier {
+	b := &Barrier{comm: c}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all p ranks have arrived, then advances every clock to
+// the latest arrival time plus BarrierLatency. The time a rank spends
+// blocked is accounted as FlushWait (it is synchronization, not work).
+func (b *Barrier) Wait(r *Rank) {
+	b.mu.Lock()
+	gen := b.gen
+	if t := r.clock.Now(); t > b.maxT {
+		b.maxT = t
+	}
+	b.arrived++
+	if b.arrived == b.comm.p {
+		b.maxT += b.comm.model.BarrierLatency
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	target := b.maxT
+	b.mu.Unlock()
+	before := r.clock.Now()
+	r.clock.AdvanceTo(target)
+	r.ctr.FlushWait += r.clock.Now() - before
+}
+
+// Fence closes the current active-target epoch on w and opens the next one
+// (MPI_Win_fence): all pending operations of this rank on w complete, and
+// all ranks synchronize at the given barrier. The paper's engine never
+// fences — passive target is the whole point — but the substrate supports
+// it so the synchronization cost of an active-target design can be
+// measured against the passive one (see the rma tests and the A7 bench).
+func (r *Rank) Fence(w *Window, b *Barrier) {
+	r.FlushAll(w)
+	b.Wait(r)
+}

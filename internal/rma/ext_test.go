@@ -1,0 +1,455 @@
+package rma
+
+import (
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func twoRankComm() (*Comm, *Window) {
+	c := NewComm(2, DefaultCostModel())
+	local := [][]byte{make([]byte, 64), make([]byte, 64)}
+	w := c.CreateWindow("test", local)
+	return c, w
+}
+
+func TestFlushSingleTarget(t *testing.T) {
+	c := NewComm(3, DefaultCostModel())
+	w := c.CreateWindow("w", [][]byte{make([]byte, 16), make([]byte, 16), make([]byte, 16)})
+	r := c.Rank(0)
+	r.LockAll(w)
+	q1 := r.Get(w, 1, 0, 8)
+	q2 := r.Get(w, 2, 0, 8)
+	r.Flush(w, 1)
+	if !q1.Done() {
+		t.Fatal("Flush(target 1) did not complete the target-1 get")
+	}
+	if q2.Done() {
+		t.Fatal("Flush(target 1) completed the target-2 get")
+	}
+	if q1.Target() != 1 || q2.Target() != 2 {
+		t.Fatalf("targets = %d,%d, want 1,2", q1.Target(), q2.Target())
+	}
+	r.FlushAll(w)
+	if !q2.Done() {
+		t.Fatal("FlushAll left a pending get")
+	}
+	r.UnlockAll(w)
+}
+
+func TestAccumulate(t *testing.T) {
+	c, w := twoRankComm()
+	r := c.Rank(0)
+	r.LockAll(w)
+	r.Accumulate(w, 1, 8, 5)
+	r.Accumulate(w, 1, 8, 7)
+	r.FlushAll(w)
+	got := binary.LittleEndian.Uint64(w.loc[1][8:])
+	if got != 12 {
+		t.Fatalf("accumulated value = %d, want 12", got)
+	}
+	// Local accumulate completes immediately.
+	q := r.Accumulate(w, 0, 0, 3)
+	if !q.Done() {
+		t.Fatal("local accumulate not immediately done")
+	}
+	r.UnlockAll(w)
+}
+
+func TestAccumulateConcurrentRanks(t *testing.T) {
+	const perRank = 200
+	c := NewComm(4, DefaultCostModel())
+	w := c.CreateWindow("ctr", [][]byte{make([]byte, 8), nil, nil, nil})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := c.Rank(id)
+			r.LockAll(w)
+			for k := 0; k < perRank; k++ {
+				r.Accumulate(w, 0, 0, 1)
+			}
+			r.UnlockAll(w)
+		}(i)
+	}
+	wg.Wait()
+	got := binary.LittleEndian.Uint64(w.loc[0])
+	if got != 4*perRank {
+		t.Fatalf("concurrent accumulates lost updates: %d, want %d", got, 4*perRank)
+	}
+}
+
+func TestFetchAdd64(t *testing.T) {
+	c, w := twoRankComm()
+	r := c.Rank(0)
+	r.LockAll(w)
+	if old := r.FetchAdd64(w, 1, 0, 10); old != 0 {
+		t.Fatalf("first FetchAdd returned %d, want 0", old)
+	}
+	if old := r.FetchAdd64(w, 1, 0, 5); old != 10 {
+		t.Fatalf("second FetchAdd returned %d, want 10", old)
+	}
+	if got := binary.LittleEndian.Uint64(w.loc[1]); got != 15 {
+		t.Fatalf("final value %d, want 15", got)
+	}
+	// FetchAdd blocks: the clock must have advanced by at least two
+	// remote round trips.
+	if r.Clock().Now() < 2*c.Model().RemoteCost(8) {
+		t.Fatalf("clock %.0f after two remote fetch-adds, want >= %.0f",
+			r.Clock().Now(), 2*c.Model().RemoteCost(8))
+	}
+	r.UnlockAll(w)
+}
+
+func TestFetchAdd64ConcurrentUnique(t *testing.T) {
+	// Fetch-and-add must hand out unique, gap-free tickets across ranks.
+	const perRank = 100
+	const ranks = 4
+	c := NewComm(ranks, DefaultCostModel())
+	w := c.CreateWindow("tickets", [][]byte{make([]byte, 8), nil, nil, nil})
+	got := make([][]uint64, ranks)
+	var wg sync.WaitGroup
+	for i := 0; i < ranks; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := c.Rank(id)
+			r.LockAll(w)
+			for k := 0; k < perRank; k++ {
+				got[id] = append(got[id], r.FetchAdd64(w, 0, 0, 1))
+			}
+			r.UnlockAll(w)
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool)
+	for _, ts := range got {
+		for _, v := range ts {
+			if seen[v] {
+				t.Fatalf("ticket %d issued twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	for v := uint64(0); v < ranks*perRank; v++ {
+		if !seen[v] {
+			t.Fatalf("ticket %d never issued", v)
+		}
+	}
+}
+
+func TestBarrierAlignsClocks(t *testing.T) {
+	c := NewComm(4, DefaultCostModel())
+	b := c.NewBarrier()
+	ranks := c.Run(func(r *Rank) {
+		// Rank i works i·10 µs before the barrier.
+		r.AdvanceBy(float64(r.ID()) * 10000)
+		b.Wait(r)
+	})
+	want := 30000 + c.Model().BarrierLatency
+	for _, r := range ranks {
+		if r.Clock().Now() != want {
+			t.Fatalf("rank %d clock %.0f after barrier, want %.0f", r.ID(), r.Clock().Now(), want)
+		}
+	}
+	// The straggler (rank 3) waited only the barrier latency; rank 0
+	// waited for everyone.
+	if w0, w3 := ranks[0].Counters().FlushWait, ranks[3].Counters().FlushWait; w0 <= w3 {
+		t.Fatalf("rank 0 waited %.0f, rank 3 waited %.0f; want rank 0 to wait longer", w0, w3)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	c := NewComm(2, DefaultCostModel())
+	b := c.NewBarrier()
+	ranks := c.Run(func(r *Rank) {
+		for round := 0; round < 5; round++ {
+			r.AdvanceBy(float64(r.ID()+1) * 1000)
+			b.Wait(r)
+		}
+	})
+	if ranks[0].Clock().Now() != ranks[1].Clock().Now() {
+		t.Fatalf("clocks diverged after repeated barriers: %.0f vs %.0f",
+			ranks[0].Clock().Now(), ranks[1].Clock().Now())
+	}
+}
+
+func TestFence(t *testing.T) {
+	c, w := twoRankComm()
+	b := c.NewBarrier()
+	ranks := c.Run(func(r *Rank) {
+		r.LockAll(w)
+		q := r.Get(w, 1-r.ID(), 0, 32)
+		r.Fence(w, b)
+		if !q.Done() {
+			t.Errorf("rank %d: fence did not complete the pending get", r.ID())
+		}
+		r.UnlockAll(w)
+	})
+	if ranks[0].Clock().Now() != ranks[1].Clock().Now() {
+		t.Fatalf("fence left clocks unaligned: %.0f vs %.0f",
+			ranks[0].Clock().Now(), ranks[1].Clock().Now())
+	}
+}
+
+func TestAccumulateOutsideEpochPanics(t *testing.T) {
+	c, w := twoRankComm()
+	r := c.Rank(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Accumulate outside an epoch did not panic")
+		}
+	}()
+	r.Accumulate(w, 1, 0, 1)
+}
+
+func TestAccumulateOutOfRangePanics(t *testing.T) {
+	c, w := twoRankComm()
+	r := c.Rank(0)
+	r.LockAll(w)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Accumulate did not panic")
+		}
+	}()
+	r.Accumulate(w, 1, 60, 1) // needs 8 bytes, only 4 left
+}
+
+// --- noise ----------------------------------------------------------------
+
+func TestNoiseDisabledByDefault(t *testing.T) {
+	var spec NoiseSpec
+	if spec.Enabled() {
+		t.Fatal("zero NoiseSpec reports enabled")
+	}
+	var c Clock
+	c.Advance(100)
+	if c.Now() != 100 {
+		t.Fatalf("noise-free clock advanced to %g, want 100", c.Now())
+	}
+}
+
+func TestNoiseStretchesWork(t *testing.T) {
+	spec := NoiseSpec{Amp: 0.5, Seed: 1}
+	var noisy, exact Clock
+	noisy.SetNoise(spec, 0)
+	for i := 0; i < 1000; i++ {
+		noisy.Advance(100)
+		exact.Advance(100)
+	}
+	if noisy.Now() <= exact.Now() {
+		t.Fatalf("noisy clock %.0f not ahead of exact %.0f", noisy.Now(), exact.Now())
+	}
+	// Amp=0.5 stretches each charge by at most 50%.
+	if noisy.Now() > 1.5*exact.Now() {
+		t.Fatalf("noisy clock %.0f exceeds the amp bound %.0f", noisy.Now(), 1.5*exact.Now())
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	spec := NoiseSpec{Amp: 0.3, SpikePeriodNS: 5000, SpikeNS: 2000, Seed: 42}
+	run := func() float64 {
+		var c Clock
+		c.SetNoise(spec, 3)
+		for i := 0; i < 500; i++ {
+			c.Advance(123)
+		}
+		return c.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical noisy runs diverged: %g vs %g", a, b)
+	}
+}
+
+func TestNoiseDecorrelatedAcrossRanks(t *testing.T) {
+	spec := NoiseSpec{Amp: 0.3, Seed: 42}
+	finish := func(rank int) float64 {
+		var c Clock
+		c.SetNoise(spec, rank)
+		for i := 0; i < 100; i++ {
+			c.Advance(100)
+		}
+		return c.Now()
+	}
+	if finish(0) == finish(1) {
+		t.Fatal("ranks 0 and 1 drew identical noise streams")
+	}
+}
+
+func TestNoiseSpikes(t *testing.T) {
+	spec := NoiseSpec{SpikePeriodNS: 1000, SpikeNS: 500, Seed: 7}
+	var c Clock
+	c.SetNoise(spec, 0)
+	c.Advance(100000) // crosses ~100 spike periods
+	// Expected extra: ~100 spikes × ~500·(0.5+u) each ⇒ well above the
+	// noise-free duration but bounded.
+	if c.Now() < 120000 {
+		t.Fatalf("spiky clock %.0f, want visible spike contribution above 120000", c.Now())
+	}
+	if c.Now() > 400000 {
+		t.Fatalf("spiky clock %.0f implausibly large", c.Now())
+	}
+}
+
+func TestNoiseWaitsUnperturbed(t *testing.T) {
+	spec := NoiseSpec{Amp: 1.0, Seed: 9}
+	var c Clock
+	c.SetNoise(spec, 0)
+	c.AdvanceTo(5000)
+	if c.Now() != 5000 {
+		t.Fatalf("AdvanceTo perturbed by noise: %g, want 5000", c.Now())
+	}
+}
+
+func TestNoiseFlowsThroughCostModel(t *testing.T) {
+	model := DefaultCostModel()
+	model.Noise = NoiseSpec{Amp: 0.4, Seed: 11}
+	c := NewComm(2, model)
+	w := c.CreateWindow("w", [][]byte{make([]byte, 16), make([]byte, 16)})
+	r := c.Rank(0)
+	r.LockAll(w)
+	q := r.Get(w, 1, 0, 16)
+	q.Wait()
+	r.UnlockAll(w)
+	exact := model.RemoteCost(16)
+	if got := r.Clock().Now(); got <= exact {
+		t.Fatalf("noisy get finished at %.1f, want > exact %.1f", got, exact)
+	}
+}
+
+func TestAccumulateBatch(t *testing.T) {
+	c, w := twoRankComm()
+	r := c.Rank(0)
+	r.LockAll(w)
+	q := r.AccumulateBatch(w, 1, []Update{
+		{Offset: 0, Delta: 3},
+		{Offset: 8, Delta: 5},
+		{Offset: 0, Delta: 4}, // repeated offset folds into the same word
+	})
+	if q.Done() {
+		t.Fatal("remote batch reported done before flush")
+	}
+	r.FlushAll(w)
+	if !q.Done() {
+		t.Fatal("FlushAll left the batch pending")
+	}
+	if got := binary.LittleEndian.Uint64(w.loc[1][0:]); got != 7 {
+		t.Errorf("word 0 = %d, want 7", got)
+	}
+	if got := binary.LittleEndian.Uint64(w.loc[1][8:]); got != 5 {
+		t.Errorf("word 8 = %d, want 5", got)
+	}
+	ctr := r.Counters()
+	if ctr.Puts != 1 {
+		t.Errorf("Puts = %d, want 1 (the whole batch is one message)", ctr.Puts)
+	}
+	if ctr.RemoteBytes != 3*updateWireBytes {
+		t.Errorf("RemoteBytes = %d, want %d", ctr.RemoteBytes, 3*updateWireBytes)
+	}
+	r.UnlockAll(w)
+}
+
+func TestAccumulateBatchLocal(t *testing.T) {
+	c, w := twoRankComm()
+	r := c.Rank(1)
+	r.LockAll(w)
+	q := r.AccumulateBatch(w, 1, []Update{{Offset: 16, Delta: 9}})
+	if !q.Done() {
+		t.Fatal("local batch should complete immediately")
+	}
+	if got := binary.LittleEndian.Uint64(w.loc[1][16:]); got != 9 {
+		t.Errorf("local word = %d, want 9", got)
+	}
+	if ctr := r.Counters(); ctr.Puts != 0 || ctr.RemoteBytes != 0 {
+		t.Errorf("local batch charged remote counters: %+v", ctr)
+	}
+	r.UnlockAll(w)
+}
+
+func TestAccumulateBatchCheaperThanScatter(t *testing.T) {
+	const k = 64
+	c, w := twoRankComm()
+	scatter := c.Rank(0)
+	scatter.LockAll(w)
+	// With an unbounded queue the model pipelines all k scatters behind a
+	// single latency, so compare under a bounded outstanding-op queue --
+	// the regime every real NIC (and the push engine, see
+	// maxOutstandingAccumulates) operates in. Bound of 8: one exposed
+	// latency per 8 messages.
+	const queueBound = 8
+	for i := 0; i < k; i++ {
+		scatter.Accumulate(w, 1, (i%8)*8, 1)
+		if (i+1)%queueBound == 0 {
+			scatter.FlushAll(w)
+		}
+	}
+	scatter.FlushAll(w)
+	scatterTime := scatter.Clock().Now()
+	scatter.UnlockAll(w)
+
+	c2, w2 := twoRankComm()
+	batch := c2.Rank(0)
+	batch.LockAll(w2)
+	ups := make([]Update, k)
+	for i := range ups {
+		ups[i] = Update{Offset: (i % 8) * 8, Delta: 1}
+	}
+	batch.AccumulateBatch(w2, 1, ups)
+	batch.FlushAll(w2)
+	batchTime := batch.Clock().Now()
+	batch.UnlockAll(w2)
+
+	// The scatter exposes k/queueBound latencies; the single batch
+	// exposes one latency plus 12k wire bytes and must be cheaper.
+	if batchTime >= scatterTime {
+		t.Errorf("batch time %v >= scatter time %v, want batch cheaper", batchTime, scatterTime)
+	}
+}
+
+func TestAccumulateBatchPanics(t *testing.T) {
+	c, w := twoRankComm()
+	r := c.Rank(0)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("outside epoch", func() {
+		r.AccumulateBatch(w, 1, []Update{{Offset: 0, Delta: 1}})
+	})
+	r.LockAll(w)
+	mustPanic("offset out of range", func() {
+		r.AccumulateBatch(w, 1, []Update{{Offset: 60, Delta: 1}})
+	})
+	mustPanic("negative offset", func() {
+		r.AccumulateBatch(w, 1, []Update{{Offset: -8, Delta: 1}})
+	})
+	r.UnlockAll(w)
+}
+
+func TestAccessors(t *testing.T) {
+	c, w := twoRankComm()
+	if c.NumRanks() != 2 {
+		t.Errorf("NumRanks = %d, want 2", c.NumRanks())
+	}
+	r := c.Rank(0)
+	if r.Model() != c.Model() {
+		t.Error("rank model differs from comm model")
+	}
+	if w.SizeAt(1) != 64 {
+		t.Errorf("SizeAt(1) = %d, want 64", w.SizeAt(1))
+	}
+	r.LockAll(w)
+	q := r.Get(w, 1, 0, 8)
+	if q.CompleteAt() <= r.Clock().Now() {
+		t.Error("remote get completes no later than issue time")
+	}
+	r.FlushAll(w)
+	r.UnlockAll(w)
+}

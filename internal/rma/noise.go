@@ -1,0 +1,87 @@
+package rma
+
+// System noise (OS jitter, network contention, daemons stealing cycles) is
+// a first-order concern for the two communication disciplines this
+// repository compares. A bulk-synchronous program pays, at every barrier,
+// the *worst* perturbation across all ranks; a fully asynchronous program
+// pays only each rank's *own* perturbation. The paper's argument for
+// asynchrony (§I, §IV-D) therefore predicts that noise widens the gap
+// between the RMA engine and the TriC baseline — the A7 ablation injects
+// identical noise into both substrates and measures exactly that.
+//
+// NoiseSpec travels inside CostModel, so any engine accepting a cost model
+// (lcc, tric, disttc) can be run under noise without API changes. The
+// noise process is deterministic: a per-rank xorshift stream derived from
+// (Seed, rank) drives both the proportional jitter and the spike schedule,
+// so noisy runs remain exactly reproducible.
+
+// NoiseSpec describes per-rank execution noise. The zero value disables
+// noise entirely.
+type NoiseSpec struct {
+	// Amp is the amplitude of proportional jitter: every charged
+	// duration d is stretched to d·(1 + Amp·u) with u ∈ [0,1) drawn
+	// per charge. Models fine-grained interference (cache/TLB/network
+	// contention).
+	Amp float64
+	// SpikePeriodNS and SpikeNS model coarse OS detours (daemon wakeups,
+	// page reclaim): roughly every SpikePeriodNS of simulated time the
+	// rank loses an additional SpikeNS·(0.5 + u). Both must be positive
+	// for spikes to fire.
+	SpikePeriodNS float64
+	SpikeNS       float64
+	// Seed decorrelates noise streams across experiments; rank ids
+	// decorrelate them within a run.
+	Seed uint64
+}
+
+// Enabled reports whether the spec produces any perturbation.
+func (n NoiseSpec) Enabled() bool {
+	return n.Amp > 0 || (n.SpikeNS > 0 && n.SpikePeriodNS > 0)
+}
+
+// noiseState is the per-clock instantiation of a NoiseSpec.
+type noiseState struct {
+	spec      NoiseSpec
+	rng       uint64
+	nextSpike float64
+}
+
+func newNoiseState(spec NoiseSpec, rank int) *noiseState {
+	s := &noiseState{spec: spec}
+	// splitmix-style seeding keeps streams for adjacent ranks unrelated.
+	x := spec.Seed ^ (0x9E3779B97F4A7C15 * uint64(rank+1))
+	if x == 0 {
+		x = 0x1234567
+	}
+	s.rng = x
+	if spec.SpikePeriodNS > 0 {
+		s.nextSpike = s.uniform() * spec.SpikePeriodNS
+	}
+	return s
+}
+
+// uniform returns the next deterministic u ∈ [0,1).
+func (s *noiseState) uniform() float64 {
+	x := s.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng = x
+	return float64(x>>11) / float64(1<<53)
+}
+
+// perturb maps a charged duration to its noisy equivalent given the
+// clock's current time, and advances the spike schedule past the end of
+// the charge.
+func (s *noiseState) perturb(now, d float64) float64 {
+	if s.spec.Amp > 0 {
+		d *= 1 + s.spec.Amp*s.uniform()
+	}
+	if s.spec.SpikePeriodNS > 0 && s.spec.SpikeNS > 0 {
+		for s.nextSpike <= now+d {
+			d += s.spec.SpikeNS * (0.5 + s.uniform())
+			s.nextSpike += s.spec.SpikePeriodNS * (0.5 + s.uniform())
+		}
+	}
+	return d
+}

@@ -1,0 +1,370 @@
+package rma
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Comm is a simulated MPI communicator: a world of p ranks plus the cost
+// model of the machine they run on.
+type Comm struct {
+	p     int
+	model CostModel
+
+	mu      sync.Mutex
+	windows []*Window
+}
+
+// NewComm creates a world of p ranks.
+func NewComm(p int, model CostModel) *Comm {
+	if p < 1 {
+		panic(fmt.Sprintf("rma: need at least one rank, got %d", p))
+	}
+	return &Comm{p: p, model: model}
+}
+
+// NumRanks returns the world size p.
+func (c *Comm) NumRanks() int { return c.p }
+
+// Model returns the communicator's cost model.
+func (c *Comm) Model() CostModel { return c.model }
+
+// Window is a logically distributed memory region: each rank contributes a
+// local byte buffer that remote peers can read with one-sided Gets
+// ("network exposed" in Fig. 3 of the paper).
+type Window struct {
+	name string
+	comm *Comm
+	loc  [][]byte // per-rank local regions
+}
+
+// CreateWindow collectively creates a window from per-rank local regions.
+// local must have one entry per rank (entries may differ in length, and may
+// be nil for ranks exposing nothing).
+func (c *Comm) CreateWindow(name string, local [][]byte) *Window {
+	if len(local) != c.p {
+		panic(fmt.Sprintf("rma: window %q: got %d local regions for %d ranks", name, len(local), c.p))
+	}
+	w := &Window{name: name, comm: c, loc: local}
+	c.mu.Lock()
+	c.windows = append(c.windows, w)
+	c.mu.Unlock()
+	return w
+}
+
+// Name returns the window's debug name.
+func (w *Window) Name() string { return w.name }
+
+// SizeAt returns the byte length of the region rank exposes.
+func (w *Window) SizeAt(rank int) int { return len(w.loc[rank]) }
+
+// Counters aggregates a rank's communication activity; the evaluation
+// harness reads these to report remote-read counts, bytes moved, and
+// communication time (the paper reports e.g. the remote/local read ratio
+// and the fraction of runtime spent communicating).
+type Counters struct {
+	Gets        int64   // one-sided reads issued to remote ranks
+	LocalGets   int64   // one-sided reads that targeted the rank itself
+	Puts        int64   // one-sided writes
+	RemoteBytes int64   // bytes fetched from remote ranks
+	LocalBytes  int64   // bytes read from the local region
+	GetCost     float64 // sum of α+s·β over issued remote gets (ns)
+	FlushWait   float64 // simulated time spent blocked in flushes (ns)
+	ComputeTime float64 // simulated time charged via Compute (ns)
+}
+
+// Rank is one process of the world. A Rank must be used from a single
+// goroutine; different Ranks may run concurrently.
+type Rank struct {
+	id    int
+	comm  *Comm
+	clock Clock
+	ctr   Counters
+
+	epochs  map[*Window]bool
+	pending []*Request
+}
+
+// Rank constructs the handle for rank id. Each id should be obtained once,
+// typically inside Run.
+func (c *Comm) Rank(id int) *Rank {
+	if id < 0 || id >= c.p {
+		panic(fmt.Sprintf("rma: rank %d out of range [0,%d)", id, c.p))
+	}
+	r := &Rank{id: id, comm: c, epochs: map[*Window]bool{}}
+	r.clock.SetNoise(c.model.Noise, id)
+	return r
+}
+
+// ID returns the rank's id in [0,p).
+func (r *Rank) ID() int { return r.id }
+
+// Model returns the cost model of the rank's communicator.
+func (r *Rank) Model() CostModel { return r.comm.model }
+
+// Clock returns the rank's simulated clock.
+func (r *Rank) Clock() *Clock { return &r.clock }
+
+// Counters returns a snapshot of the rank's counters.
+func (r *Rank) Counters() Counters { return r.ctr }
+
+// Compute charges modeled computation time (ops × κ) to the rank's clock.
+func (r *Rank) Compute(ops int) {
+	d := float64(ops) * r.comm.model.ComputePerOp
+	r.clock.Advance(d)
+	r.ctr.ComputeTime += d
+}
+
+// AdvanceBy charges an arbitrary simulated duration (used for modeled
+// costs that are not per-op, e.g. OpenMP region entry in the shared-memory
+// experiments).
+func (r *Rank) AdvanceBy(ns float64) {
+	r.clock.Advance(ns)
+	r.ctr.ComputeTime += ns
+}
+
+// LockAll opens a passive-target access epoch on w, after which the rank
+// may issue RMA operations to any peer. As §III-A stresses, this is not a
+// lock and involves no synchronization; here it only flips epoch state.
+func (r *Rank) LockAll(w *Window) {
+	if r.epochs[w] {
+		panic(fmt.Sprintf("rma: rank %d: LockAll on %q with epoch already open", r.id, w.name))
+	}
+	r.epochs[w] = true
+}
+
+// UnlockAll closes the access epoch on w, implying a flush. Like the real
+// operation in passive mode, it is local: no peer involvement.
+func (r *Rank) UnlockAll(w *Window) {
+	if !r.epochs[w] {
+		panic(fmt.Sprintf("rma: rank %d: UnlockAll on %q without open epoch", r.id, w.name))
+	}
+	r.FlushAll(w)
+	delete(r.epochs, w)
+}
+
+// Request is an outstanding non-blocking RMA operation. Data() is valid
+// only after the request completed (a flush on its window, or Wait).
+type Request struct {
+	rank       *Rank
+	win        *Window
+	target     int
+	data       []byte
+	completeAt float64 // simulated completion time
+	done       bool
+}
+
+// Target returns the rank this operation addressed.
+func (q *Request) Target() int { return q.target }
+
+// Done reports whether the request has completed.
+func (q *Request) Done() bool { return q.done }
+
+// Data returns the bytes read by a completed Get. It panics if the request
+// has not completed: the MPI RMA semantics the paper relies on forbid
+// touching a get's target buffer before a flush.
+func (q *Request) Data() []byte {
+	if !q.done {
+		panic("rma: Data() before flush; RMA reads complete only at flush")
+	}
+	return q.data
+}
+
+// CompleteAt returns the simulated time at which the transfer finishes.
+func (q *Request) CompleteAt() float64 { return q.completeAt }
+
+// Wait completes this single request, advancing the rank's clock to the
+// request's completion time if needed (MPI_Win_flush_local on one op).
+func (q *Request) Wait() {
+	if q.done {
+		return
+	}
+	r := q.rank
+	before := r.clock.Now()
+	r.clock.AdvanceTo(q.completeAt)
+	r.ctr.FlushWait += r.clock.Now() - before
+	q.done = true
+	r.removePending(q)
+}
+
+func (r *Rank) removePending(q *Request) {
+	for i, p := range r.pending {
+		if p == q {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Get issues a one-sided, non-blocking read of size bytes at offset in the
+// region target exposes in w. The rank's clock is charged only the issue
+// overhead; the transfer completes in the background at now+α+s·β, and a
+// later flush waits for it (this is what makes double buffering effective,
+// §III-A). Reads targeting the rank itself are served at local-memory cost
+// and complete immediately.
+func (r *Rank) Get(w *Window, target, offset, size int) *Request {
+	if !r.epochs[w] {
+		panic(fmt.Sprintf("rma: rank %d: Get on %q outside an access epoch", r.id, w.name))
+	}
+	region := w.loc[target]
+	if offset < 0 || size < 0 || offset+size > len(region) {
+		panic(fmt.Sprintf("rma: rank %d: Get %q target %d [%d:+%d) out of range (len %d)",
+			r.id, w.name, target, offset, size, len(region)))
+	}
+	// Snapshot at issue time. The algorithms here only read immutable
+	// graph data during epochs, so issue-time and completion-time
+	// contents coincide; MPI forbids conflicting concurrent access
+	// within an epoch anyway.
+	data := make([]byte, size)
+	copy(data, region[offset:offset+size])
+
+	q := &Request{rank: r, win: w, target: target, data: data}
+	if target == r.id {
+		cost := r.comm.model.LocalCost(size)
+		r.clock.Advance(cost)
+		r.ctr.LocalGets++
+		r.ctr.LocalBytes += int64(size)
+		q.completeAt = r.clock.Now()
+		q.done = true
+		return q
+	}
+	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(size))
+	q.completeAt = r.clock.Now() + cost
+	r.ctr.Gets++
+	r.ctr.RemoteBytes += int64(size)
+	r.ctr.GetCost += cost
+	r.pending = append(r.pending, q)
+	return q
+}
+
+// Put issues a one-sided write of data into target's region at offset. The
+// write is applied immediately (our callers never race puts against gets in
+// the same epoch, which MPI forbids) but completion time follows the same
+// α+s·β model.
+func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
+	if !r.epochs[w] {
+		panic(fmt.Sprintf("rma: rank %d: Put on %q outside an access epoch", r.id, w.name))
+	}
+	region := w.loc[target]
+	if offset < 0 || offset+len(data) > len(region) {
+		panic(fmt.Sprintf("rma: rank %d: Put %q target %d [%d:+%d) out of range (len %d)",
+			r.id, w.name, target, offset, len(data), len(region)))
+	}
+	copy(region[offset:], data)
+	q := &Request{rank: r, win: w, target: target}
+	if target == r.id {
+		r.clock.Advance(r.comm.model.LocalCost(len(data)))
+		q.completeAt = r.clock.Now()
+		q.done = true
+		return q
+	}
+	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(len(data)))
+	q.completeAt = r.clock.Now() + cost
+	r.ctr.Puts++
+	r.ctr.RemoteBytes += int64(len(data))
+	r.pending = append(r.pending, q)
+	return q
+}
+
+// FlushAll completes every outstanding operation of this rank on w
+// (MPI_Win_flush_all): the clock advances to the latest completion time.
+func (r *Rank) FlushAll(w *Window) {
+	before := r.clock.Now()
+	rest := r.pending[:0]
+	for _, q := range r.pending {
+		if q.win != w {
+			rest = append(rest, q)
+			continue
+		}
+		r.clock.AdvanceTo(q.completeAt)
+		q.done = true
+	}
+	r.pending = rest
+	r.ctr.FlushWait += r.clock.Now() - before
+}
+
+// Run executes body on every rank concurrently and returns the rank handles
+// (with final clocks and counters) once all have finished. This mirrors an
+// SPMD mpirun: fully asynchronous ranks, no hidden synchronization.
+func (c *Comm) Run(body func(r *Rank)) []*Rank {
+	ranks := make([]*Rank, c.p)
+	var wg sync.WaitGroup
+	for i := 0; i < c.p; i++ {
+		ranks[i] = c.Rank(i)
+		wg.Add(1)
+		go func(r *Rank) {
+			defer wg.Done()
+			body(r)
+		}(ranks[i])
+	}
+	wg.Wait()
+	return ranks
+}
+
+// MaxClock returns the largest simulated finish time over ranks — the
+// paper's measurement ("the longest-running node").
+func MaxClock(ranks []*Rank) float64 {
+	max := 0.0
+	for _, r := range ranks {
+		if t := r.Clock().Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// --- typed window helpers ------------------------------------------------
+
+// EncodeUint64s serializes vals little-endian for exposure in a window (the
+// offsets arrays of Fig. 3 are uint64 pairs).
+func EncodeUint64s(vals []uint64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], v)
+	}
+	return out
+}
+
+// DecodeUint64s parses a buffer written by EncodeUint64s.
+func DecodeUint64s(b []byte) []uint64 {
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}
+
+// EncodeVertices serializes a vertex list little-endian (4 bytes each).
+func EncodeVertices(vals []graph.V) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], v)
+	}
+	return out
+}
+
+// DecodeVertices parses a buffer written by EncodeVertices.
+func DecodeVertices(b []byte) []graph.V {
+	out := make([]graph.V, len(b)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+// DecodeVerticesInto is DecodeVertices into a caller-provided buffer,
+// avoiding the allocation on the engine's hot path.
+func DecodeVerticesInto(dst []graph.V, b []byte) []graph.V {
+	n := len(b) / 4
+	if cap(dst) < n {
+		dst = make([]graph.V, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return dst
+}

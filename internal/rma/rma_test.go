@@ -1,0 +1,275 @@
+package rma
+
+import (
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func testComm(p int) *Comm { return NewComm(p, DefaultCostModel()) }
+
+func twoRankWindow(t *testing.T, c *Comm) *Window {
+	t.Helper()
+	return c.CreateWindow("w", [][]byte{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{10, 11, 12, 13},
+	})
+}
+
+func TestGetRemoteReadsBytesAndChargesCost(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	q := r.Get(w, 1, 1, 3)
+	if q.Done() {
+		t.Fatal("remote get completed before flush")
+	}
+	r.FlushAll(w)
+	if got, want := q.Data(), []byte{11, 12, 13}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Data = %v, want %v", got, want)
+	}
+	m := c.Model()
+	want := m.RemoteCost(3)
+	if got := r.Clock().Now(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("clock = %v, want %v (α+3β)", got, want)
+	}
+	ctr := r.Counters()
+	if ctr.Gets != 1 || ctr.RemoteBytes != 3 {
+		t.Errorf("counters = %+v", ctr)
+	}
+	r.UnlockAll(w)
+}
+
+func TestGetLocalIsCheapAndImmediate(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	q := r.Get(w, 0, 2, 4)
+	if !q.Done() {
+		t.Fatal("local get should complete immediately")
+	}
+	if got, want := q.Data(), []byte{2, 3, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Data = %v, want %v", got, want)
+	}
+	if r.Clock().Now() >= c.Model().RemoteLatency {
+		t.Errorf("local read cost %v should be far below remote latency", r.Clock().Now())
+	}
+	ctr := r.Counters()
+	if ctr.LocalGets != 1 || ctr.Gets != 0 {
+		t.Errorf("counters = %+v", ctr)
+	}
+	r.UnlockAll(w)
+}
+
+func TestNonBlockingOverlap(t *testing.T) {
+	// Issue a get, compute for longer than the transfer, flush: the flush
+	// must not add time (communication fully hidden), matching the
+	// double-buffering rationale of §III-A.
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	r.Get(w, 1, 0, 4)
+	transfer := c.Model().RemoteCost(4)
+	r.AdvanceBy(2 * transfer)
+	before := r.Clock().Now()
+	r.FlushAll(w)
+	if r.Clock().Now() != before {
+		t.Errorf("flush added %v ns although compute covered the transfer", r.Clock().Now()-before)
+	}
+	if wait := r.Counters().FlushWait; wait != 0 {
+		t.Errorf("FlushWait = %v, want 0", wait)
+	}
+	r.UnlockAll(w)
+}
+
+func TestFlushWaitsForSlowTransfer(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	r.Get(w, 1, 0, 4)
+	r.FlushAll(w)
+	want := c.Model().RemoteCost(4)
+	if got := r.Counters().FlushWait; math.Abs(got-want) > 1e-9 {
+		t.Errorf("FlushWait = %v, want %v", got, want)
+	}
+	r.UnlockAll(w)
+}
+
+func TestRequestWaitSingle(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	q1 := r.Get(w, 1, 0, 2)
+	q2 := r.Get(w, 1, 2, 2)
+	q1.Wait()
+	if !q1.Done() || q2.Done() {
+		t.Fatalf("Wait completed wrong requests: q1=%v q2=%v", q1.Done(), q2.Done())
+	}
+	r.FlushAll(w)
+	if !q2.Done() {
+		t.Error("FlushAll left q2 pending")
+	}
+	r.UnlockAll(w)
+}
+
+func TestPutWritesRemote(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	r.Put(w, 1, 1, []byte{42, 43})
+	r.FlushAll(w)
+	r.UnlockAll(w)
+
+	r1 := c.Rank(1)
+	r1.LockAll(w)
+	q := r1.Get(w, 1, 0, 4)
+	r1.FlushAll(w)
+	if got, want := q.Data(), []byte{10, 42, 43, 13}; !reflect.DeepEqual(got, want) {
+		t.Errorf("after Put, region = %v, want %v", got, want)
+	}
+	r1.UnlockAll(w)
+}
+
+func TestEpochDiscipline(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	mustPanic(t, "Get outside epoch", func() { r.Get(w, 1, 0, 1) })
+	r.LockAll(w)
+	mustPanic(t, "double LockAll", func() { r.LockAll(w) })
+	r.UnlockAll(w)
+	mustPanic(t, "UnlockAll without epoch", func() { r.UnlockAll(w) })
+}
+
+func TestGetBoundsChecked(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	mustPanic(t, "get past end", func() { r.Get(w, 1, 2, 10) })
+	mustPanic(t, "negative offset", func() { r.Get(w, 1, -1, 1) })
+}
+
+func TestDataBeforeFlushPanics(t *testing.T) {
+	c := testComm(2)
+	w := twoRankWindow(t, c)
+	r := c.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	q := r.Get(w, 1, 0, 2)
+	mustPanic(t, "Data before flush", func() { q.Data() })
+}
+
+func TestRunExecutesAllRanksConcurrently(t *testing.T) {
+	c := testComm(8)
+	var visited int64
+	ranks := c.Run(func(r *Rank) {
+		atomic.AddInt64(&visited, 1)
+		r.Compute(1000)
+	})
+	if visited != 8 {
+		t.Fatalf("Run visited %d ranks, want 8", visited)
+	}
+	want := 1000 * c.Model().ComputePerOp
+	for _, r := range ranks {
+		if got := r.Clock().Now(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("rank %d clock = %v, want %v", r.ID(), got, want)
+		}
+	}
+	if got := MaxClock(ranks); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MaxClock = %v, want %v", got, want)
+	}
+}
+
+func TestWindowPerRankSizes(t *testing.T) {
+	c := testComm(3)
+	w := c.CreateWindow("var", [][]byte{make([]byte, 10), nil, make([]byte, 5)})
+	if w.SizeAt(0) != 10 || w.SizeAt(1) != 0 || w.SizeAt(2) != 5 {
+		t.Errorf("SizeAt = %d/%d/%d", w.SizeAt(0), w.SizeAt(1), w.SizeAt(2))
+	}
+	if w.Name() != "var" {
+		t.Errorf("Name = %q", w.Name())
+	}
+}
+
+func TestCreateWindowValidatesRankCount(t *testing.T) {
+	c := testComm(2)
+	mustPanic(t, "wrong region count", func() { c.CreateWindow("bad", [][]byte{nil}) })
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		return reflect.DeepEqual(DecodeUint64s(EncodeUint64s(vals)), append([]uint64{}, vals...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(vals []uint32) bool {
+		vs := make([]graph.V, len(vals))
+		for i, v := range vals {
+			vs[i] = graph.V(v)
+		}
+		dec := DecodeVertices(EncodeVertices(vs))
+		if len(dec) != len(vs) {
+			return false
+		}
+		for i := range dec {
+			if dec[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeVerticesIntoReusesBuffer(t *testing.T) {
+	b := EncodeVertices([]graph.V{1, 2, 3})
+	buf := make([]graph.V, 0, 16)
+	out := DecodeVerticesInto(buf, b)
+	if &out[0] != &buf[:1][0] {
+		t.Error("DecodeVerticesInto allocated although capacity sufficed")
+	}
+	if !reflect.DeepEqual(out, []graph.V{1, 2, 3}) {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestCostModelShape(t *testing.T) {
+	m := DefaultCostModel()
+	// Remote reads are orders of magnitude above DRAM (§III-B).
+	if m.RemoteCost(8) < 10*m.LocalCost(8) {
+		t.Errorf("remote cost %v not >> local cost %v", m.RemoteCost(8), m.LocalCost(8))
+	}
+	// Cache hits are far cheaper than remote reads.
+	if m.HitCost(1024) > m.RemoteCost(1024)/5 {
+		t.Errorf("hit cost %v too close to remote cost %v", m.HitCost(1024), m.RemoteCost(1024))
+	}
+	// Cost is monotone in size.
+	if m.RemoteCost(100) <= m.RemoteCost(10) {
+		t.Errorf("remote cost not monotone")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
