@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet fmt check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+check: fmt vet build test
+
+# bench runs the hot-path micro-benchmarks with -benchmem and appends the
+# next BENCH_<n>.json perf-trajectory record (see bench.sh).
+bench:
+	./bench.sh

@@ -1,0 +1,42 @@
+#!/bin/sh
+# bench.sh [output.json] — run the micro-benchmarks of the simulated hot
+# path with -benchmem and emit a JSON record, seeding the repository's
+# perf trajectory (BENCH_1.json, BENCH_2.json, ... — one file per PR that
+# moves a hot-path number).
+#
+# Selection: the substrate micro-benchmarks (RMA get/accumulate, CLaMPI
+# hit/miss) plus the two end-to-end engine runs whose allocation profile
+# the zero-copy substrate is accountable for. Macro experiment benchmarks
+# (Fig7, Fig9, ...) are excluded: they take minutes and measure modeled
+# time, not host performance.
+set -e
+
+out="${1:-}"
+if [ -z "$out" ]; then
+    i=1
+    while [ -e "BENCH_${i}.json" ]; do i=$((i + 1)); done
+    out="BENCH_${i}.json"
+fi
+
+pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkEngineNonCached$|BenchmarkEngineCached$)'
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test -run '^$' -bench "$pattern" -benchmem -benchtime=1s . | tee "$raw" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    bench[n] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                       name, $2, $3, $5, $7)
+    n++
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date
+    for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
+    printf "  ]\n}\n"
+}' "$raw" > "$out"
+
+echo "wrote $out" >&2

@@ -290,7 +290,7 @@ func BenchmarkRMAAccumulate(b *testing.B) {
 	defer r.UnlockAll(w)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		r.Accumulate(w, 1, (i%512)*8, 1)
+		r.Accumulate(w, 1, (i%512)*8, 1).Release()
 		if i%64 == 63 {
 			r.FlushAll(w)
 		}
@@ -326,6 +326,21 @@ func BenchmarkRMAGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		q := r.Get(w, 1, (i*64)%(1<<19), 64)
 		q.Wait()
+		q.Release()
+	}
+}
+
+func BenchmarkRMAGetReadOnly(b *testing.B) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	w := comm.CreateReadOnlyWindow("bench", [][]byte{nil, make([]byte, 1<<20)})
+	r := comm.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := r.Get(w, 1, (i*64)%(1<<19), 64)
+		q.Wait()
+		q.Release()
 	}
 }
 
@@ -336,11 +351,13 @@ func BenchmarkClampiHit(b *testing.B) {
 	r.LockAll(w)
 	defer r.UnlockAll(w)
 	c := clampi.New(r, w, clampi.Config{Capacity: 1 << 16, Mode: clampi.AlwaysCache})
-	c.Get(1, 0, 256).Wait()
+	q := c.Get(1, 0, 256)
+	q.Wait()
+	q.Release()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Get(1, 0, 256)
+		c.Get(1, 0, 256).Release()
 	}
 }
 
@@ -355,7 +372,9 @@ func BenchmarkClampiMissEvict(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.Get(1, (i%1024)*512, 512).Wait()
+		q := c.Get(1, (i%1024)*512, 512)
+		q.Wait()
+		q.Release()
 	}
 }
 

@@ -42,4 +42,15 @@
 // network model the paper itself uses (§IV-D-1). DESIGN.md documents each
 // substitution; EXPERIMENTS.md records paper-vs-measured for every table
 // and figure.
+//
+// The simulated hot path is allocation-free. RMA windows come in four
+// kinds: writable byte windows keep snapshot-copy Gets (they are the
+// regions peers write), while read-only windows — including the typed
+// uint64/vertex windows the engines expose graph data through — serve
+// every Get as an aliased view of the window region, and requests are
+// recycled through per-rank free lists (issue → flush → data → Release).
+// The aliasing contract is specified in DESIGN.md §2, and golden_test.go
+// pins that this substrate change left every simulated result — SimTime,
+// counters, LCC scores, triangle counts — bit-identical to the copying
+// implementation.
 package repro

@@ -1,0 +1,171 @@
+// Golden determinism tests: these pin the exact simulated results —
+// SimTime float bits, triangle counts, and an LCC checksum — that the
+// byte-copying seed substrate produced, captured before the zero-copy/
+// pooled rewrite of internal/rma. The zero-copy substrate only changes
+// host-side work, never modeled cost, so every value must match bit for
+// bit. Any drift here means an engine change leaked into the simulation.
+package repro_test
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/grid"
+	"repro/internal/intersect"
+	"repro/internal/lcc"
+	"repro/internal/rma"
+)
+
+// lccBits returns the float bit pattern of the score sum: a checksum that
+// is sensitive to any per-vertex change but cheap to pin.
+func lccBits(scores []float64) uint64 {
+	var s float64
+	for _, x := range scores {
+		s += x
+	}
+	return math.Float64bits(s)
+}
+
+func goldenBase() lcc.Options {
+	return lcc.Options{Ranks: 4, Method: intersect.MethodHybrid, DoubleBuffer: true}
+}
+
+const (
+	goldenTriangles = 351349
+	goldenSumT      = 1054047
+	goldenLCCBits   = 0x4091b4d6196173a8
+)
+
+func checkGolden(t *testing.T, name string, res *lcc.Result, simBits uint64) {
+	t.Helper()
+	if got := math.Float64bits(res.SimTime); got != simBits {
+		t.Errorf("%s: SimTime bits = %#x, want %#x (Δ=%g ns)", name, got, simBits,
+			res.SimTime-math.Float64frombits(simBits))
+	}
+	if res.Triangles != goldenTriangles || res.SumT != goldenSumT {
+		t.Errorf("%s: Triangles/SumT = %d/%d, want %d/%d",
+			name, res.Triangles, res.SumT, goldenTriangles, goldenSumT)
+	}
+	if got := lccBits(res.LCC); got != goldenLCCBits {
+		t.Errorf("%s: LCC checksum = %#x, want %#x", name, got, goldenLCCBits)
+	}
+}
+
+func TestGoldenPull(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	res, err := lcc.Run(g, goldenBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "pull", res, 0x419e343dbb9986d8)
+}
+
+func TestGoldenCached(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	opt := goldenBase()
+	opt.Caching = true
+	opt.OffsetsCacheBytes = 1 << 14
+	opt.AdjCacheBytes = 1 << 16
+	opt.AdjScorePolicy = lcc.ScoreDegree
+	res, err := lcc.Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "cached", res, 0x41a09b0455ccbf5c)
+	if h, m := res.PerRank[0].AdjCache.Hits, res.PerRank[0].AdjCache.Misses; h != 3592 || m != 27335 {
+		t.Errorf("rank-0 C_adj hits/misses = %d/%d, want 3592/27335", h, m)
+	}
+}
+
+func TestGoldenNoise(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	opt := goldenBase()
+	opt.Model = rma.DefaultCostModel()
+	opt.Model.Noise = rma.NoiseSpec{Amp: 0.3, SpikePeriodNS: 1e6, SpikeNS: 2e4, Seed: 42}
+	res, err := lcc.Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64bits(res.SimTime); got != 0x41a1b9b48a01a470 {
+		t.Errorf("noise: SimTime bits = %#x, want 0x41a1b9b48a01a470", got)
+	}
+	if res.Triangles != goldenTriangles {
+		t.Errorf("noise: Triangles = %d, want %d", res.Triangles, goldenTriangles)
+	}
+}
+
+func TestGoldenPush(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	res, err := lcc.RunPush(g, lcc.PushOptions{Options: goldenBase(), Aggregation: lcc.PushBatched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "push", res, 0x418f03fb880008fd)
+}
+
+func TestGoldenReplicated(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	res, err := lcc.RunReplicated(g, lcc.ReplicatedOptions{Options: goldenBase(), Replication: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "replicated", res, 0x4194d5d82066633a)
+}
+
+func TestGoldenJaccard(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	res, err := lcc.RunJaccard(g, goldenBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64bits(res.SimTime); got != 0x419e4086ab9986ca {
+		t.Errorf("jaccard: SimTime bits = %#x, want 0x419e4086ab9986ca", got)
+	}
+	if got := lccBits(res.Scores); got != 0x40d8e68d91b9c64c {
+		t.Errorf("jaccard: score checksum = %#x, want 0x40d8e68d91b9c64c", got)
+	}
+}
+
+func TestGoldenGrid(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	res, err := grid.Run(g, grid.Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64bits(res.SimTime); got != 0x4149df9a00000000 {
+		t.Errorf("grid: SimTime bits = %#x, want 0x4149df9a00000000", got)
+	}
+	if res.Triangles != goldenTriangles {
+		t.Errorf("grid: Triangles = %d, want %d", res.Triangles, goldenTriangles)
+	}
+	if got := lccBits(res.LCC); got != goldenLCCBits {
+		t.Errorf("grid: LCC checksum = %#x, want %#x", got, goldenLCCBits)
+	}
+}
+
+// TestEngineFetchAllocFree guards the engine's end-to-end allocation
+// profile: a full non-cached distributed run on a small graph must stay
+// within a fixed allocation budget dominated by setup (windows, partition,
+// per-rank state) — i.e. the per-fetch hot path contributes nothing. The
+// seed substrate allocated ~6 heap objects per remote fetch; with ~82k
+// arcs the old budget would be in the hundreds of thousands.
+func TestEngineFetchAllocFree(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	lcc.Run(g, goldenBase()) // warm dataset cache and one-time state
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if _, err := lcc.Run(g, goldenBase()); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	allocs := m1.Mallocs - m0.Mallocs
+	// Setup allocates a few hundred objects (partition extraction, window
+	// headers, per-rank stats); ~123k remote fetches would add ~600k under
+	// the seed's per-fetch allocation profile.
+	const budget = 5000
+	if allocs > budget {
+		t.Errorf("non-cached run allocated %d objects, budget %d: per-fetch allocation crept back in", allocs, budget)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/graph"
 	"repro/internal/rma"
 )
 
@@ -120,6 +121,13 @@ func (s Stats) MissRate() float64 {
 // rank issues over a single window (the engine creates two per rank,
 // C_offsets and C_adj; §III-B). A Cache must be used from the rank's own
 // goroutine, like the rank itself.
+//
+// Over read-only windows (including the typed uint64/vertex windows) the
+// cache stores no bytes at all: the window region is immutable, so cached
+// entries are bookkeeping only and hits are served as aliased views of the
+// window. The memory buffer, eviction and fragmentation behaviour are
+// simulated exactly as if the bytes were resident. Over writable windows
+// the cache owns one copy of every resident entry, as real CLaMPI does.
 type Cache struct {
 	rank  *rma.Rank
 	win   *rma.Window
@@ -134,17 +142,36 @@ type Cache struct {
 	stats   Stats
 	pending []*pendingMiss
 
+	// free lists; single-goroutine like the owning rank, so no locking.
+	reqFree []*Request
+	pmFree  []*pendingMiss
+
 	// adaptive-tuning observation window
 	obsOps       int64
 	obsConflicts int64
 	obsCapacity  int64
 }
 
+// pendingMiss carries an in-flight miss from issue to completion. After
+// complete() it holds the retrieved data (view or owned copy) so the
+// application-facing Request stays valid after the underlying RMA request
+// returned to its pool.
 type pendingMiss struct {
 	k     key
 	score float64 // application-defined score, NaN if unset
 	under *rma.Request
 	done  bool
+
+	// A pm is referenced from up to two places: the cache's pending list
+	// and the application's Request. It returns to the free list only
+	// after both drop it (inPending cleared by FlushWindow or the
+	// compaction sweep, released set by Request.Release).
+	inPending bool
+	released  bool
+
+	data  []byte
+	u64   []uint64
+	verts []graph.V
 }
 
 // New wraps window w for rank r with a cache configured by cfg.
@@ -190,43 +217,133 @@ func (c *Cache) priority(e *entry) float64 {
 	if e.hasAppScore() {
 		return e.appScore
 	}
-	mergeable := float64(c.alloc.adjacentFree(e.bufOff, len(e.data)))
-	return float64(e.lastTick) - c.cfg.PosWeight*mergeable/float64(len(e.data)+1)
+	mergeable := float64(c.alloc.adjacentFree(e.bufOff, e.key.size))
+	return float64(e.lastTick) - c.cfg.PosWeight*mergeable/float64(e.key.size+1)
 }
 
 // Request is the result of a cached Get: either served from cache (done
 // immediately) or backed by an underlying RMA request that completes at the
-// next FlushWindow/Wait.
+// next FlushWindow/Wait. Requests come from a per-cache free list; call
+// Release when done to return one (see the rma request contract — data
+// views from read-only windows stay valid after Release).
 type Request struct {
-	cache *Cache
-	hit   bool
-	data  []byte
-	pm    *pendingMiss
+	cache  *Cache
+	hit    bool
+	pooled bool // currently on the free list (double-release guard)
+	data   []byte
+	u64    []uint64
+	verts  []graph.V
+	under  *rma.Request // local bypass on a writable window: owns data until Release
+	pm     *pendingMiss
+}
+
+func (c *Cache) newReq() *Request {
+	if n := len(c.reqFree); n > 0 {
+		q := c.reqFree[n-1]
+		c.reqFree[n-1] = nil
+		c.reqFree = c.reqFree[:n-1]
+		q.pooled = false
+		return q
+	}
+	return &Request{cache: c}
+}
+
+func (c *Cache) newPM() *pendingMiss {
+	if n := len(c.pmFree); n > 0 {
+		pm := c.pmFree[n-1]
+		c.pmFree[n-1] = nil
+		c.pmFree = c.pmFree[:n-1]
+		*pm = pendingMiss{}
+		return pm
+	}
+	return &pendingMiss{}
+}
+
+// Release returns the request (and its completed pending-miss record, if
+// any) to the cache's free lists. Releasing a miss that has not completed
+// panics: complete it first (Wait or FlushWindow).
+func (q *Request) Release() {
+	c := q.cache
+	if q.pooled {
+		panic("clampi: Release of an already-released request")
+	}
+	if q.pm != nil && !q.pm.done {
+		panic("clampi: Release of an incomplete miss; Wait or FlushWindow first")
+	}
+	if q.under != nil {
+		q.under.Release()
+	}
+	if pm := q.pm; pm != nil {
+		pm.released = true
+		if !pm.inPending {
+			c.pmFree = append(c.pmFree, pm)
+		}
+	}
+	*q = Request{cache: c, pooled: true}
+	c.reqFree = append(c.reqFree, q)
+}
+
+// dropFromPending marks pm as removed from the pending list and recycles
+// it if the application already released its Request.
+func (c *Cache) dropFromPending(pm *pendingMiss) {
+	pm.inPending = false
+	if pm.released {
+		c.pmFree = append(c.pmFree, pm)
+	}
 }
 
 // Hit reports whether the request was served from cache.
 func (q *Request) Hit() bool { return q.hit }
 
-// Done reports whether Data may be called.
-func (q *Request) Done() bool { return q.hit || q.pm.under.Done() }
+// Done reports whether the data accessors may be called.
+func (q *Request) Done() bool { return q.hit || q.pm.done || q.pm.under.Done() }
 
 // Wait completes this request (flushing only its own transfer on a miss).
 func (q *Request) Wait() {
-	if q.hit {
+	if q.hit || q.pm.done {
 		return
 	}
 	q.pm.under.Wait()
 	q.cache.complete(q.pm)
 }
 
-// Data returns the bytes read. The slice aliases the cache's copy of the
-// region and must be treated as read-only. Panics if called before the
-// request completed, like the underlying RMA request.
+// Data returns the bytes read from a byte window. The slice must be
+// treated as read-only; over a read-only window it aliases the window
+// region and stays valid after Release. Panics if called before the
+// request completed, like the underlying RMA request. A miss whose
+// transfer was completed by a raw rank-level flush (rather than Wait or
+// FlushWindow) is readable too — its cache insertion simply happens later,
+// matching Done().
 func (q *Request) Data() []byte {
 	if q.hit {
 		return q.data
 	}
-	return q.pm.under.Data()
+	if q.pm.done {
+		return q.pm.data
+	}
+	return q.pm.under.Data() // panics before completion, like rma
+}
+
+// Uint64s returns the typed view read from a ReadOnlyUint64s window.
+func (q *Request) Uint64s() []uint64 {
+	if q.hit {
+		return q.u64
+	}
+	if q.pm.done {
+		return q.pm.u64
+	}
+	return q.pm.under.Uint64s()
+}
+
+// Vertices returns the typed view read from a ReadOnlyVertices window.
+func (q *Request) Vertices() []graph.V {
+	if q.hit {
+		return q.verts
+	}
+	if q.pm.done {
+		return q.pm.verts
+	}
+	return q.pm.under.Vertices()
 }
 
 // Get issues a cached one-sided read (no application score).
@@ -242,12 +359,45 @@ func (c *Cache) GetScored(target, offset, size int, score float64) *Request {
 	return c.get(target, offset, size, score)
 }
 
+// serveView fills q's data fields for a resident region: aliased window
+// views for read-only windows, the entry's owned copy otherwise.
+func (c *Cache) serveView(q *Request, k key, stored []byte) {
+	switch c.win.Kind() {
+	case rma.ReadOnlyBytes:
+		q.data = c.win.ViewBytes(k.target, k.offset, k.size)
+	case rma.ReadOnlyUint64s:
+		q.u64 = c.win.ViewUint64s(k.target, k.offset, k.size)
+	case rma.ReadOnlyVertices:
+		q.verts = c.win.ViewVertices(k.target, k.offset, k.size)
+	default:
+		q.data = stored
+	}
+}
+
 func (c *Cache) get(target, offset, size int, score float64) *Request {
 	// Local accesses bypass the cache entirely: the partition owner reads
 	// its own memory (Fig. 3: node A reads adj(0), adj(2) locally).
 	if target == c.rank.ID() {
-		q := c.rank.Get(c.win, target, offset, size)
-		return &Request{cache: c, hit: true, data: q.Data()}
+		uq := c.rank.Get(c.win, target, offset, size)
+		q := c.newReq()
+		q.hit = true
+		switch c.win.Kind() {
+		case rma.ReadOnlyUint64s:
+			q.u64 = uq.Uint64s()
+			uq.Release()
+		case rma.ReadOnlyVertices:
+			q.verts = uq.Vertices()
+			uq.Release()
+		case rma.ReadOnlyBytes:
+			q.data = uq.Data()
+			uq.Release()
+		default:
+			// Writable window: the snapshot belongs to uq; hold it
+			// until this request is released.
+			q.data = uq.Data()
+			q.under = uq
+		}
+		return q
 	}
 	k := key{target: target, offset: offset, size: size}
 	c.obsOps++
@@ -260,7 +410,10 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 		cost := c.model.HitCost(size)
 		c.rank.Clock().Advance(cost)
 		c.stats.HitTime += cost
-		return &Request{cache: c, hit: true, data: e.data}
+		q := c.newReq()
+		q.hit = true
+		c.serveView(q, k, e.data)
+		return q
 	}
 	// Miss: issue the real RMA get; the entry is inserted when the
 	// transfer completes (at flush), since only then is the data known.
@@ -273,21 +426,32 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 	over := c.model.CacheMissOverhead
 	c.rank.Clock().Advance(over)
 	c.stats.OverheadTime += over
-	pm := &pendingMiss{k: k, score: score, under: c.rank.Get(c.win, target, offset, size)}
+	pm := c.newPM()
+	pm.k = k
+	pm.score = score
+	pm.under = c.rank.Get(c.win, target, offset, size)
+	pm.inPending = true
 	// Compact completed pendings so callers that use per-request Wait
-	// (instead of FlushWindow) don't accumulate garbage.
+	// (instead of FlushWindow) don't accumulate stale records.
 	if len(c.pending) >= 32 {
 		keep := c.pending[:0]
 		for _, p := range c.pending {
 			if !p.done {
 				keep = append(keep, p)
+			} else {
+				c.dropFromPending(p)
 			}
+		}
+		for i := len(keep); i < len(c.pending); i++ {
+			c.pending[i] = nil
 		}
 		c.pending = keep
 	}
 	c.pending = append(c.pending, pm)
 	c.maybeResize()
-	return &Request{cache: c, pm: pm}
+	q := c.newReq()
+	q.pm = pm
+	return q
 }
 
 // FlushWindow completes all outstanding RMA operations on the window
@@ -295,8 +459,10 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 // step 6).
 func (c *Cache) FlushWindow() {
 	c.rank.FlushAll(c.win)
-	for _, pm := range c.pending {
+	for i, pm := range c.pending {
 		c.complete(pm)
+		c.dropFromPending(pm)
+		c.pending[i] = nil
 	}
 	c.pending = c.pending[:0]
 }
@@ -306,22 +472,41 @@ func (c *Cache) complete(pm *pendingMiss) {
 		return
 	}
 	pm.done = true
-	data := pm.under.Data()
+	// Capture the retrieved data before the underlying request returns to
+	// its pool: read-only windows yield stable aliased views; a writable
+	// window's snapshot is copied once into cache-owned storage.
+	var own []byte
+	switch c.win.Kind() {
+	case rma.ReadOnlyBytes:
+		pm.data = pm.under.Data()
+	case rma.ReadOnlyUint64s:
+		pm.u64 = pm.under.Uint64s()
+	case rma.ReadOnlyVertices:
+		pm.verts = pm.under.Vertices()
+	default:
+		own = append([]byte(nil), pm.under.Data()...)
+		pm.data = own
+	}
+	pm.under.Release()
+	pm.under = nil
 	// Storing an entry costs real work: hash insert, allocator search,
 	// and copying the retrieved bytes into the memory buffer. Together
 	// with CacheMissOverhead this is the cache-management overhead that
 	// makes caching a net loss when compulsory misses dominate (§IV-D-2
 	// scenario 2, the LiveJournal case).
-	cost := c.model.LocalCost(len(data))
+	cost := c.model.LocalCost(pm.k.size)
 	c.rank.Clock().Advance(cost)
 	c.stats.OverheadTime += cost
-	c.insert(pm.k, data, pm.score)
+	c.insert(pm.k, own, pm.score)
 }
 
-// insert stores data under k, evicting victims as needed. CLaMPI caches a
-// missing entry only if it has (or can free) the resources to store it.
+// insert stores a region under k, evicting victims as needed. CLaMPI caches
+// a missing entry only if it has (or can free) the resources to store it.
+// data is the cache-owned byte copy for writable windows and nil for
+// read-only windows, whose entries are bookkeeping-only (hits re-slice the
+// window region).
 func (c *Cache) insert(k key, data []byte, score float64) {
-	if c.cfg.Capacity <= 0 || len(data) > c.cfg.Capacity || len(data) == 0 {
+	if c.cfg.Capacity <= 0 || k.size > c.cfg.Capacity || k.size == 0 {
 		c.stats.RejectedInserts++
 		return
 	}
@@ -359,7 +544,7 @@ func (c *Cache) insert(k key, data []byte, score float64) {
 	// Buffer space: evict ascending-priority victims until the allocation
 	// succeeds. Under app-defined scores, stop as soon as the cheapest
 	// victim is at least as valuable as the newcomer.
-	bufOff, ok := c.alloc.alloc(len(data))
+	bufOff, ok := c.alloc.alloc(k.size)
 	for !ok {
 		if c.victims.peekMinPrio() >= newPrio && !math.IsNaN(score) {
 			c.stats.RejectedInserts++
@@ -373,7 +558,7 @@ func (c *Cache) insert(k key, data []byte, score float64) {
 		c.evict(v)
 		c.stats.CapacityEvictions++
 		c.obsCapacity++
-		bufOff, ok = c.alloc.alloc(len(data))
+		bufOff, ok = c.alloc.alloc(k.size)
 	}
 
 	e := &entry{
@@ -392,7 +577,7 @@ func (c *Cache) evict(e *entry) {
 	e.dead = true
 	e.stamp++
 	c.tab.remove(e)
-	c.alloc.free(e.bufOff, len(e.data))
+	c.alloc.free(e.bufOff, e.key.size)
 }
 
 // SetScore assigns (or updates) the application-defined score of an already
@@ -482,7 +667,7 @@ func (c *Cache) checkInvariants() error {
 		if e.dead {
 			err = fmt.Errorf("clampi: dead entry %v still in table", e.key)
 		}
-		bytes += len(e.data)
+		bytes += e.key.size
 		count++
 	})
 	if err != nil {

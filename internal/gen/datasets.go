@@ -79,9 +79,21 @@ var registry = []Dataset{
 	},
 }
 
+// cacheEntry memoizes one prepared dataset. The sync.Once decouples the
+// registry lock from graph generation: cacheMu is held only long enough to
+// find-or-create the entry, so concurrent Loads of different datasets (the
+// benchmark harness, cmd/compare) generate in parallel instead of
+// serializing on one global mutex, while concurrent Loads of the same
+// dataset still generate exactly once.
+type cacheEntry struct {
+	once sync.Once
+	g    *graph.Graph
+	err  error
+}
+
 var (
 	cacheMu sync.Mutex
-	cache   = map[string]*graph.Graph{}
+	cache   = map[string]*cacheEntry{}
 )
 
 // Names returns the registered dataset names in registry order.
@@ -110,17 +122,21 @@ func Lookup(name string) (Dataset, error) {
 // vertices are the hubs).
 func Load(name string) (*graph.Graph, error) {
 	cacheMu.Lock()
-	defer cacheMu.Unlock()
-	if g, ok := cache[name]; ok {
-		return g, nil
+	e, ok := cache[name]
+	if !ok {
+		e = &cacheEntry{}
+		cache[name] = e
 	}
-	d, err := Lookup(name)
-	if err != nil {
-		return nil, err
-	}
-	g := Prepare(d.Make(), 0xC0FFEE)
-	cache[name] = g
-	return g, nil
+	cacheMu.Unlock()
+	e.once.Do(func() {
+		d, err := Lookup(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.g = Prepare(d.Make(), 0xC0FFEE)
+	})
+	return e.g, e.err
 }
 
 // MustLoad is Load for registry names known at compile time; it panics on

@@ -64,8 +64,10 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		blocks[r] = gr.Extract(g, i, j)
 		bufs[r] = blocks[r].Serialize()
 	}
+	// Serialized blocks are immutable for the whole run, so the window is
+	// read-only: every block get is served as an aliased view.
 	comm := rma.NewComm(opt.Ranks, opt.Model)
-	win := comm.CreateWindow("blocks", bufs)
+	win := comm.CreateReadOnlyWindow("blocks", bufs)
 
 	// Per-row triangle partials: rank (i,j) writes only rows of chunk i;
 	// ranks in the same grid row write disjoint... no — they write the
@@ -101,7 +103,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 			cLo2, cHi2 := gr.Chunk(bc)
 			qreq := r.Get(win, owner, 0, win.SizeAt(owner))
 			qreq.Wait()
-			return DeserializeBlock(qreq.Data(), rLo2, rHi2, cLo2, cHi2)
+			blk, err := DeserializeBlock(qreq.Data(), rLo2, rHi2, cLo2, cHi2)
+			qreq.Release()
+			return blk, err
 		}
 
 		for k := 0; k < q; k++ {

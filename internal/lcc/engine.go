@@ -250,22 +250,12 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 	// Each rank exposes (start,end) pairs rather than the raw offsets
 	// array: one 16-byte get fetches both bounds of an adjacency list
-	// (Fig. 3 reads offsets[li] and offsets[li+1] in one operation).
-	offBufs := make([][]byte, opt.Ranks)
-	adjBufs := make([][]byte, opt.Ranks)
-	for r, lc := range locals {
-		pairs := make([]uint64, 2*lc.NumLocal())
-		for i := 0; i < lc.NumLocal(); i++ {
-			pairs[2*i] = lc.Offsets[i]
-			pairs[2*i+1] = lc.Offsets[i+1]
-		}
-		offBufs[r] = rma.EncodeUint64s(pairs)
-		adjBufs[r] = rma.EncodeVertices(lc.Adj)
-	}
-
+	// (Fig. 3 reads offsets[li] and offsets[li+1] in one operation). Both
+	// windows are typed and read-only: setup involves no byte encoding,
+	// the adjacency window aliases the partition's own storage, and every
+	// Get returns a view instead of a copy.
 	comm := rma.NewComm(opt.Ranks, opt.Model)
-	wOff := comm.CreateWindow("offsets", offBufs)
-	wAdj := comm.CreateWindow("adjacencies", adjBufs)
+	wOff, wAdj := makeGraphWindows(comm, locals)
 
 	lccOut := make([]float64, n)
 	triOut := make([]int64, opt.Ranks)
@@ -299,6 +289,38 @@ func RunDataset(name string, opt Options) (*Result, error) {
 	return Run(g, opt)
 }
 
+// makeGraphWindows builds the two typed, read-only RMA windows every
+// engine exposes: (start,end) offset pairs as native []uint64 and the
+// adjacency arrays as native []graph.V (aliasing the partitions' own CSR
+// storage — the O(|E|) encode copy of the byte-window design is gone).
+func makeGraphWindows(comm *rma.Comm, locals []*part.LocalCSR) (wOff, wAdj *rma.Window) {
+	p := comm.NumRanks()
+	// Replicas of a slot (the 1.5D engine passes fewer locals than ranks)
+	// share one pairs array, like they share the CSR storage itself.
+	pairs := make([][]uint64, len(locals))
+	for s, lc := range locals {
+		pairs[s] = offsetPairs(lc)
+	}
+	offs := make([][]uint64, p)
+	adjs := make([][]graph.V, p)
+	for r := 0; r < p; r++ {
+		offs[r] = pairs[r%len(locals)]
+		adjs[r] = locals[r%len(locals)].Adj
+	}
+	return comm.CreateUint64Window("offsets", offs), comm.CreateVertexWindow("adjacencies", adjs)
+}
+
+// offsetPairs lays the rank's offsets out as (start,end) pairs, the window
+// image one 16-byte get addresses by 16*li.
+func offsetPairs(lc *part.LocalCSR) []uint64 {
+	pairs := make([]uint64, 2*lc.NumLocal())
+	for i := 0; i < lc.NumLocal(); i++ {
+		pairs[2*i] = lc.Offsets[i]
+		pairs[2*i+1] = lc.Offsets[i+1]
+	}
+	return pairs
+}
+
 // worker is the per-rank execution state.
 type worker struct {
 	r    *rma.Rank
@@ -330,9 +352,6 @@ type worker struct {
 	// it accepts. The push engine uses it to walk only the upper wedge
 	// vj > vi so each triangle is discovered exactly once.
 	edgeFilter func(li int, vj graph.V) bool
-
-	// scratch decode buffers, double-buffered alongside the pipeline
-	bufA, bufB []graph.V
 }
 
 func newWorker(r *rma.Rank, kind graph.Kind, pt *part.Partition, lc *part.LocalCSR,
@@ -376,9 +395,14 @@ type fetch struct {
 }
 
 // reqHandle abstracts rma.Request and clampi.Request for the pipeline.
+// Both are pooled: Release returns them to their free lists, and the typed
+// views they hand out alias the (immutable) windows, so the views outlive
+// the handle.
 type reqHandle interface {
 	Wait()
-	Data() []byte
+	Uint64s() []uint64
+	Vertices() []graph.V
+	Release()
 }
 
 // start issues the first get (or resolves a local list immediately).
@@ -424,8 +448,10 @@ func (w *worker) mid(f *fetch) {
 		return
 	}
 	f.offReq.Wait()
-	pair := rma.DecodeUint64s(f.offReq.Data())
+	pair := f.offReq.Uint64s()
 	start, end := pair[0], pair[1]
+	f.offReq.Release()
+	f.offReq = nil
 	deg := int(end - start)
 	f.adjOff, f.adjSize = int(start)*4, deg*4
 	if w.cAdj == nil {
@@ -455,13 +481,16 @@ func (w *worker) mid(f *fetch) {
 	}
 }
 
-// finish completes the adjacency get and decodes the list into buf.
-func (w *worker) finish(f *fetch, buf []graph.V) []graph.V {
+// finish completes the adjacency get and resolves the list as an aliased
+// view of the adjacency window — no decode, no copy.
+func (w *worker) finish(f *fetch) []graph.V {
 	if f.local {
 		return f.list
 	}
 	f.adjReq.Wait()
-	f.list = rma.DecodeVerticesInto(buf, f.adjReq.Data())
+	f.list = f.adjReq.Vertices()
+	f.adjReq.Release()
+	f.adjReq = nil
 	return f.list
 }
 
@@ -499,7 +528,6 @@ func (w *worker) forEachEdge(visit func(li int, vj graph.V, adjJ []graph.V)) {
 	}
 
 	var cur, nxt fetch
-	curBuf, nxtBuf := &w.bufA, &w.bufB
 
 	e, li, j, ok := next(0, 0)
 	if ok {
@@ -511,14 +539,7 @@ func (w *worker) forEachEdge(visit func(li int, vj graph.V, adjJ []graph.V)) {
 		// latencies are exposed here, as in the paper: §IV-D observes
 		// that communication dominates and overlap cannot hide it.
 		w.mid(&cur)
-		list := w.finish(&cur, (*curBuf)[:0])
-		if !cur.local {
-			// Keep the (possibly grown) decode buffer for reuse. Local
-			// fetches return the graph's own storage, which must never
-			// be adopted as scratch — decoding into it would corrupt
-			// the partition.
-			*curBuf = list[:0]
-		}
+		list := w.finish(&cur)
 
 		// Double buffering (§III-A): issue the next edge's first get
 		// now, so its transfer overlaps the visit below — the
@@ -538,7 +559,6 @@ func (w *worker) forEachEdge(visit func(li int, vj graph.V, adjJ []graph.V)) {
 		if w.opt.DoubleBuffer {
 			e, ok = en, okn
 			cur, nxt = nxt, fetch{}
-			curBuf, nxtBuf = nxtBuf, curBuf
 		} else {
 			e, li, j, ok = next(li, j)
 			if ok {

@@ -40,20 +40,8 @@ func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
 	}
 	locals := part.ExtractAll(g, pt)
 
-	offBufs := make([][]byte, opt.Ranks)
-	adjBufs := make([][]byte, opt.Ranks)
-	for r, lc := range locals {
-		pairs := make([]uint64, 2*lc.NumLocal())
-		for i := 0; i < lc.NumLocal(); i++ {
-			pairs[2*i] = lc.Offsets[i]
-			pairs[2*i+1] = lc.Offsets[i+1]
-		}
-		offBufs[r] = rma.EncodeUint64s(pairs)
-		adjBufs[r] = rma.EncodeVertices(lc.Adj)
-	}
 	comm := rma.NewComm(opt.Ranks, opt.Model)
-	wOff := comm.CreateWindow("offsets", offBufs)
-	wAdj := comm.CreateWindow("adjacencies", adjBufs)
+	wOff, wAdj := makeGraphWindows(comm, locals)
 
 	scores := make([]float64, g.NumArcs())
 	stats := make([]RankStats, opt.Ranks)

@@ -128,23 +128,16 @@ func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
 	}
 	locals := part.ExtractAll(g, pt)
 
-	offBufs := make([][]byte, opt.Ranks)
-	adjBufs := make([][]byte, opt.Ranks)
+	// The graph windows are typed and read-only; the triangle-counter
+	// window stays a writable byte window — it is the one region peers
+	// write (Accumulate), so its gets keep snapshot-copy semantics.
 	triBufs := make([][]byte, opt.Ranks)
 	for r, lc := range locals {
-		pairs := make([]uint64, 2*lc.NumLocal())
-		for i := 0; i < lc.NumLocal(); i++ {
-			pairs[2*i] = lc.Offsets[i]
-			pairs[2*i+1] = lc.Offsets[i+1]
-		}
-		offBufs[r] = rma.EncodeUint64s(pairs)
-		adjBufs[r] = rma.EncodeVertices(lc.Adj)
 		triBufs[r] = make([]byte, 8*lc.NumLocal())
 	}
 
 	comm := rma.NewComm(opt.Ranks, opt.Model)
-	wOff := comm.CreateWindow("offsets", offBufs)
-	wAdj := comm.CreateWindow("adjacencies", adjBufs)
+	wOff, wAdj := makeGraphWindows(comm, locals)
 	wTri := comm.CreateWindow("triangles", triBufs)
 	bar := comm.NewBarrier()
 	deleg := BuildDelegation(g, opt.DelegateBytes)
@@ -193,7 +186,9 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 		}
 		owner := w.pt.Owner(u)
 		li := w.pt.LocalIndex(u)
-		w.r.Accumulate(wTri, owner, 8*li, 1)
+		// Fire-and-forget: release immediately so the pooled request is
+		// recycled at the next flush instead of becoming garbage.
+		w.r.Accumulate(wTri, owner, 8*li, 1).Release()
 		if owner != w.r.ID() {
 			outstanding++
 			if outstanding >= maxOutstandingAccumulates {
@@ -241,6 +236,7 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 	// and score. The local region is read back with one local get.
 	req := w.r.Get(wTri, w.r.ID(), 0, 8*nLocal)
 	pushed := rma.DecodeUint64s(req.Data())
+	req.Release()
 
 	var sumT int64
 	for li := 0; li < nLocal; li++ {
@@ -274,6 +270,6 @@ func (w *worker) flushCombined(wTri *rma.Window, combined map[graph.V]uint64) {
 		ups := byOwner[o]
 		sort.Slice(ups, func(i, j int) bool { return ups[i].Offset < ups[j].Offset })
 		w.r.Compute(len(ups))
-		w.r.AccumulateBatch(wTri, o, ups)
+		w.r.AccumulateBatch(wTri, o, ups).Release()
 	}
 }

@@ -61,25 +61,13 @@ func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
 	}
 	slots := part.ExtractAll(g, pt)
 
-	// Rank r = group·q + slot exposes partition `slot`; the buffers are
-	// rebuilt per rank rather than shared so that per-rank window sizes
-	// (and hence the memory accounting) reflect the real replication.
-	offBufs := make([][]byte, opt.Ranks)
-	adjBufs := make([][]byte, opt.Ranks)
-	for r := 0; r < opt.Ranks; r++ {
-		lc := slots[r%q]
-		pairs := make([]uint64, 2*lc.NumLocal())
-		for i := 0; i < lc.NumLocal(); i++ {
-			pairs[2*i] = lc.Offsets[i]
-			pairs[2*i+1] = lc.Offsets[i+1]
-		}
-		offBufs[r] = rma.EncodeUint64s(pairs)
-		adjBufs[r] = rma.EncodeVertices(lc.Adj)
-	}
-
+	// Rank r = group·q + slot exposes partition `slot` (makeGraphWindows
+	// wraps the slot index modulo len(slots)). The per-rank window sizes
+	// — and hence the memory accounting of the 2.5D trade — are identical
+	// across replicas of a slot; the host-side storage is now shared,
+	// which is exactly the zero-copy point.
 	comm := rma.NewComm(opt.Ranks, opt.Model)
-	wOff := comm.CreateWindow("offsets", offBufs)
-	wAdj := comm.CreateWindow("adjacencies", adjBufs)
+	wOff, wAdj := makeGraphWindows(comm, slots)
 	deleg := BuildDelegation(g, opt.DelegateBytes)
 
 	lccOut := make([]float64, n)

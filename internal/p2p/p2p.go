@@ -169,12 +169,15 @@ func (w *World) Exchange() {
 		r.ctr.BarrierWait += max - r.clock.Now()
 		r.clock.AdvanceTo(max)
 	}
-	// Deliver and charge receive costs.
+	// Deliver and charge receive costs. Outbox backing arrays are kept
+	// for reuse: the Message values were copied into the inbox, so the
+	// staging slots can be overwritten by the next superstep's sends
+	// without a fresh allocation per (src, dst) pair per round.
 	for _, dst := range w.ranks {
 		dst.inbox = dst.inbox[:0]
 		for src := 0; src < w.p; src++ {
 			msgs := w.ranks[src].outbox[dst.id]
-			for _, m := range msgs {
+			for i, m := range msgs {
 				cost := w.model.SendRecvOverhead + w.model.LocalCost(m.Size)
 				if src == dst.id {
 					cost = w.model.LocalCost(m.Size)
@@ -182,8 +185,9 @@ func (w *World) Exchange() {
 				dst.clock.Advance(cost)
 				dst.ctr.RecvCost += cost
 				dst.inbox = append(dst.inbox, m)
+				msgs[i].Payload = nil // drop the staging reference
 			}
-			w.ranks[src].outbox[dst.id] = nil
+			w.ranks[src].outbox[dst.id] = msgs[:0]
 		}
 	}
 }

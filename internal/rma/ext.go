@@ -19,18 +19,7 @@ import (
 // one target on w (MPI_Win_flush): the clock advances to the latest
 // completion time among them. Operations to other targets stay pending.
 func (r *Rank) Flush(w *Window, target int) {
-	before := r.clock.Now()
-	rest := r.pending[:0]
-	for _, q := range r.pending {
-		if q.win != w || q.target != target {
-			rest = append(rest, q)
-			continue
-		}
-		r.clock.AdvanceTo(q.completeAt)
-		q.done = true
-	}
-	r.pending = rest
-	r.ctr.FlushWait += r.clock.Now() - before
+	r.completePending(func(q *Request) bool { return q.win == w && q.target == target })
 }
 
 // atomicMu guards read-modify-write window updates. Real MPI guarantees
@@ -46,6 +35,9 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 	if !r.epochs[w] {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate on %q outside an access epoch", r.id, w.name))
 	}
+	if w.kind != WritableBytes {
+		panic(fmt.Sprintf("rma: rank %d: Accumulate on %v window %q", r.id, w.kind, w.name))
+	}
 	region := w.loc[target]
 	if offset < 0 || offset+8 > len(region) {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate %q target %d [%d:+8) out of range (len %d)",
@@ -56,7 +48,7 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 	binary.LittleEndian.PutUint64(region[offset:], old+delta)
 	atomicMu.Unlock()
 
-	q := &Request{rank: r, win: w, target: target}
+	q := r.newRequest(w, target)
 	if target == r.id {
 		r.clock.Advance(r.comm.model.LocalCost(8))
 		q.completeAt = r.clock.Now()
@@ -79,6 +71,9 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 func (r *Rank) FetchAdd64(w *Window, target, offset int, delta uint64) uint64 {
 	if !r.epochs[w] {
 		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 on %q outside an access epoch", r.id, w.name))
+	}
+	if w.kind != WritableBytes {
+		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 on %v window %q", r.id, w.kind, w.name))
 	}
 	region := w.loc[target]
 	if offset < 0 || offset+8 > len(region) {
@@ -121,6 +116,9 @@ func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
 	if !r.epochs[w] {
 		panic(fmt.Sprintf("rma: rank %d: AccumulateBatch on %q outside an access epoch", r.id, w.name))
 	}
+	if w.kind != WritableBytes {
+		panic(fmt.Sprintf("rma: rank %d: AccumulateBatch on %v window %q", r.id, w.kind, w.name))
+	}
 	region := w.loc[target]
 	for _, u := range ups {
 		if u.Offset < 0 || u.Offset+8 > len(region) {
@@ -136,7 +134,7 @@ func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
 	atomicMu.Unlock()
 
 	size := updateWireBytes * len(ups)
-	q := &Request{rank: r, win: w, target: target}
+	q := r.newRequest(w, target)
 	if target == r.id {
 		r.clock.Advance(r.comm.model.LocalCost(size))
 		q.completeAt = r.clock.Now()

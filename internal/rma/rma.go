@@ -32,34 +32,154 @@ func (c *Comm) NumRanks() int { return c.p }
 // Model returns the communicator's cost model.
 func (c *Comm) Model() CostModel { return c.model }
 
+// WindowKind identifies the storage and aliasing discipline of a window.
+// The modeled communication cost is identical across kinds — only the
+// host-side behaviour of Get differs (snapshot copy vs. aliased view); see
+// DESIGN.md §2 for the full aliasing contract.
+type WindowKind uint8
+
+const (
+	// WritableBytes is the classic window: a byte region peers may Put,
+	// Accumulate and FetchAdd into. Get snapshots the region at issue
+	// time into a request-owned buffer.
+	WritableBytes WindowKind = iota
+	// ReadOnlyBytes exposes immutable byte data: Get returns an aliased
+	// subslice of the target region, no copy. Put/Accumulate panic.
+	ReadOnlyBytes
+	// ReadOnlyUint64s exposes immutable []uint64 data natively (the
+	// offset pairs of Fig. 3); Get returns an aliased []uint64 view via
+	// Request.Uint64s. Offsets and sizes remain byte-addressed.
+	ReadOnlyUint64s
+	// ReadOnlyVertices exposes immutable []graph.V data natively (the
+	// adjacency arrays of Fig. 3); Get returns an aliased []graph.V view
+	// via Request.Vertices. Offsets and sizes remain byte-addressed.
+	ReadOnlyVertices
+)
+
+func (k WindowKind) String() string {
+	switch k {
+	case WritableBytes:
+		return "writable-bytes"
+	case ReadOnlyBytes:
+		return "readonly-bytes"
+	case ReadOnlyUint64s:
+		return "readonly-uint64s"
+	case ReadOnlyVertices:
+		return "readonly-vertices"
+	default:
+		return fmt.Sprintf("WindowKind(%d)", uint8(k))
+	}
+}
+
 // Window is a logically distributed memory region: each rank contributes a
-// local byte buffer that remote peers can read with one-sided Gets
-// ("network exposed" in Fig. 3 of the paper).
+// local region that remote peers can read with one-sided Gets ("network
+// exposed" in Fig. 3 of the paper). Exactly one of loc/locU/locV is
+// populated, according to kind; all public addressing is in bytes
+// regardless of kind, so cost accounting and cache keys are uniform.
 type Window struct {
 	name string
 	comm *Comm
-	loc  [][]byte // per-rank local regions
+	kind WindowKind
+	loc  [][]byte    // WritableBytes / ReadOnlyBytes
+	locU [][]uint64  // ReadOnlyUint64s
+	locV [][]graph.V // ReadOnlyVertices
 }
 
-// CreateWindow collectively creates a window from per-rank local regions.
-// local must have one entry per rank (entries may differ in length, and may
-// be nil for ranks exposing nothing).
-func (c *Comm) CreateWindow(name string, local [][]byte) *Window {
-	if len(local) != c.p {
-		panic(fmt.Sprintf("rma: window %q: got %d local regions for %d ranks", name, len(local), c.p))
+func (c *Comm) register(w *Window, nLocal int) *Window {
+	if nLocal != c.p {
+		panic(fmt.Sprintf("rma: window %q: got %d local regions for %d ranks", w.name, nLocal, c.p))
 	}
-	w := &Window{name: name, comm: c, loc: local}
 	c.mu.Lock()
 	c.windows = append(c.windows, w)
 	c.mu.Unlock()
 	return w
 }
 
+// CreateWindow collectively creates a writable byte window from per-rank
+// local regions. local must have one entry per rank (entries may differ in
+// length, and may be nil for ranks exposing nothing). Gets on a writable
+// window snapshot the region at issue time.
+func (c *Comm) CreateWindow(name string, local [][]byte) *Window {
+	return c.register(&Window{name: name, comm: c, kind: WritableBytes, loc: local}, len(local))
+}
+
+// CreateReadOnlyWindow creates a window over immutable byte data: Get
+// returns aliased views instead of copies. The caller asserts that no
+// region is modified while any epoch on the window is open (the MPI RMA
+// separation rules the paper's engines rely on anyway).
+func (c *Comm) CreateReadOnlyWindow(name string, local [][]byte) *Window {
+	return c.register(&Window{name: name, comm: c, kind: ReadOnlyBytes, loc: local}, len(local))
+}
+
+// CreateUint64Window creates a read-only window natively exposing []uint64
+// regions, eliminating the encode copy at setup and the decode at every
+// fetch. Byte addressing: rank i exposes 8*len(local[i]) bytes.
+func (c *Comm) CreateUint64Window(name string, local [][]uint64) *Window {
+	return c.register(&Window{name: name, comm: c, kind: ReadOnlyUint64s, locU: local}, len(local))
+}
+
+// CreateVertexWindow creates a read-only window natively exposing []graph.V
+// regions. Byte addressing: rank i exposes 4*len(local[i]) bytes.
+func (c *Comm) CreateVertexWindow(name string, local [][]graph.V) *Window {
+	return c.register(&Window{name: name, comm: c, kind: ReadOnlyVertices, locV: local}, len(local))
+}
+
 // Name returns the window's debug name.
 func (w *Window) Name() string { return w.name }
 
+// Kind returns the window's storage/aliasing kind.
+func (w *Window) Kind() WindowKind { return w.kind }
+
+// ReadOnly reports whether Gets on this window return aliased views.
+func (w *Window) ReadOnly() bool { return w.kind != WritableBytes }
+
 // SizeAt returns the byte length of the region rank exposes.
-func (w *Window) SizeAt(rank int) int { return len(w.loc[rank]) }
+func (w *Window) SizeAt(rank int) int {
+	switch w.kind {
+	case ReadOnlyUint64s:
+		return 8 * len(w.locU[rank])
+	case ReadOnlyVertices:
+		return 4 * len(w.locV[rank])
+	default:
+		return len(w.loc[rank])
+	}
+}
+
+// ViewBytes returns the aliased [offset, offset+size) byte view of target's
+// region in a ReadOnlyBytes window. The view is immutable and remains valid
+// for the lifetime of the window (it does not depend on any request).
+func (w *Window) ViewBytes(target, offset, size int) []byte {
+	if w.kind != ReadOnlyBytes {
+		panic(fmt.Sprintf("rma: ViewBytes on %v window %q", w.kind, w.name))
+	}
+	return w.loc[target][offset : offset+size : offset+size]
+}
+
+// ViewUint64s returns the aliased typed view of a byte range in a
+// ReadOnlyUint64s window. offset and size are in bytes and must be
+// 8-aligned.
+func (w *Window) ViewUint64s(target, offset, size int) []uint64 {
+	if w.kind != ReadOnlyUint64s {
+		panic(fmt.Sprintf("rma: ViewUint64s on %v window %q", w.kind, w.name))
+	}
+	if offset%8 != 0 || size%8 != 0 {
+		panic(fmt.Sprintf("rma: misaligned uint64 view [%d:+%d) on %q", offset, size, w.name))
+	}
+	return w.locU[target][offset/8 : (offset+size)/8 : (offset+size)/8]
+}
+
+// ViewVertices returns the aliased typed view of a byte range in a
+// ReadOnlyVertices window. offset and size are in bytes and must be
+// 4-aligned.
+func (w *Window) ViewVertices(target, offset, size int) []graph.V {
+	if w.kind != ReadOnlyVertices {
+		panic(fmt.Sprintf("rma: ViewVertices on %v window %q", w.kind, w.name))
+	}
+	if offset%4 != 0 || size%4 != 0 {
+		panic(fmt.Sprintf("rma: misaligned vertex view [%d:+%d) on %q", offset, size, w.name))
+	}
+	return w.locV[target][offset/4 : (offset+size)/4 : (offset+size)/4]
+}
 
 // Counters aggregates a rank's communication activity; the evaluation
 // harness reads these to report remote-read counts, bytes moved, and
@@ -77,7 +197,8 @@ type Counters struct {
 }
 
 // Rank is one process of the world. A Rank must be used from a single
-// goroutine; different Ranks may run concurrently.
+// goroutine; different Ranks may run concurrently. That single-goroutine
+// contract is what makes the request free list safe without locking.
 type Rank struct {
 	id    int
 	comm  *Comm
@@ -86,6 +207,7 @@ type Rank struct {
 
 	epochs  map[*Window]bool
 	pending []*Request
+	free    []*Request // recycled requests (see Request.Release)
 }
 
 // Rank constructs the handle for rank id. Each id should be obtained once,
@@ -146,15 +268,69 @@ func (r *Rank) UnlockAll(w *Window) {
 	delete(r.epochs, w)
 }
 
-// Request is an outstanding non-blocking RMA operation. Data() is valid
-// only after the request completed (a flush on its window, or Wait).
+// Request is an outstanding non-blocking RMA operation. The data accessors
+// are valid only after the request completed (a flush on its window, or
+// Wait). Requests come from a per-rank free list: call Release when done
+// with a request to return it — the allocation-free discipline every hot
+// path here relies on. A request that is never released is ordinary
+// garbage, exactly as before pooling.
 type Request struct {
 	rank       *Rank
 	win        *Window
 	target     int
-	data       []byte
-	completeAt float64 // simulated completion time
+	data       []byte    // byte windows: snapshot (writable) or view (read-only)
+	u64        []uint64  // ReadOnlyUint64s windows: aliased view
+	verts      []graph.V // ReadOnlyVertices windows: aliased view
+	buf        []byte    // owned snapshot storage, reused across pool cycles
+	completeAt float64   // simulated completion time
 	done       bool
+	autoFree   bool // released while pending; recycle at completion
+	pooled     bool // currently on the free list (double-release guard)
+}
+
+// newRequest pops a recycled request or allocates one.
+func (r *Rank) newRequest(w *Window, target int) *Request {
+	var q *Request
+	if n := len(r.free); n > 0 {
+		q = r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		q.pooled = false
+	} else {
+		q = &Request{rank: r}
+	}
+	q.win = w
+	q.target = target
+	q.data, q.u64, q.verts = nil, nil, nil
+	q.completeAt = 0
+	q.done = false
+	q.autoFree = false
+	return q
+}
+
+// Release returns the request to its rank's free list. If the request is
+// still pending, it is recycled automatically when a flush completes it
+// (the fire-and-forget pattern of the push engine's accumulates). After
+// Release, the request must not be touched again; data obtained from a
+// read-only window remains valid (it aliases the window, not the request),
+// while a writable-window snapshot is invalidated.
+func (q *Request) Release() {
+	if q.pooled {
+		panic("rma: Release of an already-released request")
+	}
+	if !q.done {
+		q.autoFree = true
+		return
+	}
+	q.recycle()
+}
+
+func (q *Request) recycle() {
+	q.win = nil
+	q.data, q.u64, q.verts = nil, nil, nil
+	q.autoFree = false
+	q.pooled = true
+	q.rank.free = append(q.rank.free, q)
 }
 
 // Target returns the rank this operation addressed.
@@ -163,14 +339,37 @@ func (q *Request) Target() int { return q.target }
 // Done reports whether the request has completed.
 func (q *Request) Done() bool { return q.done }
 
-// Data returns the bytes read by a completed Get. It panics if the request
-// has not completed: the MPI RMA semantics the paper relies on forbid
-// touching a get's target buffer before a flush.
+// Data returns the bytes read by a completed Get on a byte window. It
+// panics if the request has not completed: the MPI RMA semantics the paper
+// relies on forbid touching a get's target buffer before a flush. For
+// writable windows the slice is a request-owned snapshot (valid until
+// Release); for ReadOnlyBytes windows it aliases the window region and
+// outlives the request.
 func (q *Request) Data() []byte {
 	if !q.done {
 		panic("rma: Data() before flush; RMA reads complete only at flush")
 	}
 	return q.data
+}
+
+// Uint64s returns the typed view read by a completed Get on a
+// ReadOnlyUint64s window. The view aliases the window region and remains
+// valid after Release.
+func (q *Request) Uint64s() []uint64 {
+	if !q.done {
+		panic("rma: Uint64s() before flush; RMA reads complete only at flush")
+	}
+	return q.u64
+}
+
+// Vertices returns the typed view read by a completed Get on a
+// ReadOnlyVertices window. The view aliases the window region and remains
+// valid after Release.
+func (q *Request) Vertices() []graph.V {
+	if !q.done {
+		panic("rma: Vertices() before flush; RMA reads complete only at flush")
+	}
+	return q.verts
 }
 
 // CompleteAt returns the simulated time at which the transfer finishes.
@@ -188,14 +387,46 @@ func (q *Request) Wait() {
 	r.ctr.FlushWait += r.clock.Now() - before
 	q.done = true
 	r.removePending(q)
+	if q.autoFree {
+		q.recycle()
+	}
 }
 
+// removePending unlinks q with a swap-remove: completion order does not
+// matter to the simulated clock (AdvanceTo is a running max), so the O(n)
+// shift of an ordered delete would buy nothing.
 func (r *Rank) removePending(q *Request) {
 	for i, p := range r.pending {
 		if p == q {
-			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			last := len(r.pending) - 1
+			r.pending[i] = r.pending[last]
+			r.pending[last] = nil
+			r.pending = r.pending[:last]
 			return
 		}
+	}
+}
+
+// resolve fills the request's data fields for a Get of [offset, offset+size)
+// on the target region: a snapshot copy for writable windows, an aliased
+// view otherwise. Snapshot-at-issue and view semantics coincide for the
+// algorithms here: they only read immutable graph data during epochs, and
+// MPI forbids conflicting concurrent access within an epoch anyway.
+func (q *Request) resolve(w *Window, target, offset, size int) {
+	switch w.kind {
+	case WritableBytes:
+		if cap(q.buf) < size {
+			q.buf = make([]byte, size)
+		}
+		b := q.buf[:size]
+		copy(b, w.loc[target][offset:offset+size])
+		q.data = b
+	case ReadOnlyBytes:
+		q.data = w.loc[target][offset : offset+size : offset+size]
+	case ReadOnlyUint64s:
+		q.u64 = w.ViewUint64s(target, offset, size)
+	case ReadOnlyVertices:
+		q.verts = w.ViewVertices(target, offset, size)
 	}
 }
 
@@ -209,19 +440,12 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 	if !r.epochs[w] {
 		panic(fmt.Sprintf("rma: rank %d: Get on %q outside an access epoch", r.id, w.name))
 	}
-	region := w.loc[target]
-	if offset < 0 || size < 0 || offset+size > len(region) {
+	if rl := w.SizeAt(target); offset < 0 || size < 0 || offset+size > rl {
 		panic(fmt.Sprintf("rma: rank %d: Get %q target %d [%d:+%d) out of range (len %d)",
-			r.id, w.name, target, offset, size, len(region)))
+			r.id, w.name, target, offset, size, rl))
 	}
-	// Snapshot at issue time. The algorithms here only read immutable
-	// graph data during epochs, so issue-time and completion-time
-	// contents coincide; MPI forbids conflicting concurrent access
-	// within an epoch anyway.
-	data := make([]byte, size)
-	copy(data, region[offset:offset+size])
-
-	q := &Request{rank: r, win: w, target: target, data: data}
+	q := r.newRequest(w, target)
+	q.resolve(w, target, offset, size)
 	if target == r.id {
 		cost := r.comm.model.LocalCost(size)
 		r.clock.Advance(cost)
@@ -243,10 +467,13 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 // Put issues a one-sided write of data into target's region at offset. The
 // write is applied immediately (our callers never race puts against gets in
 // the same epoch, which MPI forbids) but completion time follows the same
-// α+s·β model.
+// α+s·β model. Put requires a writable window.
 func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
 	if !r.epochs[w] {
 		panic(fmt.Sprintf("rma: rank %d: Put on %q outside an access epoch", r.id, w.name))
+	}
+	if w.kind != WritableBytes {
+		panic(fmt.Sprintf("rma: rank %d: Put on %v window %q", r.id, w.kind, w.name))
 	}
 	region := w.loc[target]
 	if offset < 0 || offset+len(data) > len(region) {
@@ -254,7 +481,7 @@ func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
 			r.id, w.name, target, offset, len(data), len(region)))
 	}
 	copy(region[offset:], data)
-	q := &Request{rank: r, win: w, target: target}
+	q := r.newRequest(w, target)
 	if target == r.id {
 		r.clock.Advance(r.comm.model.LocalCost(len(data)))
 		q.completeAt = r.clock.Now()
@@ -269,21 +496,37 @@ func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
 	return q
 }
 
-// FlushAll completes every outstanding operation of this rank on w
-// (MPI_Win_flush_all): the clock advances to the latest completion time.
-func (r *Rank) FlushAll(w *Window) {
+// completePending completes every pending request that match accepts:
+// the clock advances to the latest completion time among them, auto-freed
+// requests return to the pool, and the pending list is compacted. Shared
+// by FlushAll and the per-target Flush.
+func (r *Rank) completePending(match func(q *Request) bool) {
 	before := r.clock.Now()
 	rest := r.pending[:0]
 	for _, q := range r.pending {
-		if q.win != w {
+		if !match(q) {
 			rest = append(rest, q)
 			continue
 		}
 		r.clock.AdvanceTo(q.completeAt)
 		q.done = true
+		if q.autoFree {
+			q.recycle()
+		}
+	}
+	for i := len(rest); i < len(r.pending); i++ {
+		r.pending[i] = nil
 	}
 	r.pending = rest
 	r.ctr.FlushWait += r.clock.Now() - before
+}
+
+// FlushAll completes every outstanding operation of this rank on w
+// (MPI_Win_flush_all): the clock advances to the latest completion time.
+// Completed requests that were released while pending return to the free
+// list here.
+func (r *Rank) FlushAll(w *Window) {
+	r.completePending(func(q *Request) bool { return q.win == w })
 }
 
 // Run executes body on every rank concurrently and returns the rank handles
@@ -318,8 +561,9 @@ func MaxClock(ranks []*Rank) float64 {
 
 // --- typed window helpers ------------------------------------------------
 
-// EncodeUint64s serializes vals little-endian for exposure in a window (the
-// offsets arrays of Fig. 3 are uint64 pairs).
+// EncodeUint64s serializes vals little-endian for exposure in a byte window
+// (used by serialization formats; the engines expose uint64 data natively
+// via CreateUint64Window instead).
 func EncodeUint64s(vals []uint64) []byte {
 	out := make([]byte, 8*len(vals))
 	for i, v := range vals {
@@ -356,7 +600,7 @@ func DecodeVertices(b []byte) []graph.V {
 }
 
 // DecodeVerticesInto is DecodeVertices into a caller-provided buffer,
-// avoiding the allocation on the engine's hot path.
+// avoiding the allocation on the caller's hot path.
 func DecodeVerticesInto(dst []graph.V, b []byte) []graph.V {
 	n := len(b) / 4
 	if cap(dst) < n {
