@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt check bench
+.PHONY: all build test vet fmt check bench benchdiff
 
 all: build
 
@@ -22,3 +22,8 @@ check: fmt vet build test
 # next BENCH_<n>.json perf-trajectory record (see bench.sh).
 bench:
 	./bench.sh
+
+# benchdiff compares the two newest committed BENCH_<n>.json records and
+# fails on per-benchmark regressions past the thresholds (cmd/benchdiff).
+benchdiff:
+	$(GO) run ./cmd/benchdiff

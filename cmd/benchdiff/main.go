@@ -1,0 +1,157 @@
+// Command benchdiff compares the repository's two newest perf-trajectory
+// records (BENCH_<n>.json, emitted by bench.sh / make bench) and prints the
+// per-benchmark deltas in ns/op and allocs/op. It exits non-zero when any
+// benchmark regressed past the threshold, so CI fails visibly when a change
+// walks back a hot-path win.
+//
+// Usage:
+//
+//	benchdiff [-dir .] [-max-regress 0.15] [old.json new.json]
+//
+// With explicit file arguments the directory scan is skipped. ns/op noise
+// on shared machines is real, so the default threshold is deliberately
+// loose for time and strict for allocations (alloc counts are exact and
+// deterministic; any increase above the slack is a structural regression).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type record struct {
+	Date       string      `json:"date"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   float64 `json:"bytes_per_op"`
+	AllocsOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json records")
+	maxRegress := flag.Float64("max-regress", 0.15, "fail when ns/op grows more than this fraction")
+	allocSlack := flag.Float64("alloc-slack", 0.10, "fail when allocs/op grows more than this fraction (plus 16 absolute)")
+	flag.Parse()
+
+	var oldPath, newPath string
+	if flag.NArg() == 2 {
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	} else if flag.NArg() == 0 {
+		var err error
+		oldPath, newPath, err = newestPair(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-dir .] [old.json new.json]")
+		os.Exit(2)
+	}
+
+	oldRec, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldBy := map[string]benchmark{}
+	for _, b := range oldRec.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	names := make([]string, 0, len(newRec.Benchmarks))
+	newBy := map[string]benchmark{}
+	for _, b := range newRec.Benchmarks {
+		newBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchdiff %s -> %s\n", filepath.Base(oldPath), filepath.Base(newPath))
+	fmt.Printf("%-28s %14s %14s %8s   %12s %12s %8s\n",
+		"benchmark", "ns/op(old)", "ns/op(new)", "Δ%", "allocs(old)", "allocs(new)", "Δ")
+	failed := false
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-28s %14s %14.1f %8s   %12s %12.0f %8s   (new)\n",
+				name, "-", nb.NsPerOp, "-", "-", nb.AllocsOp, "-")
+			continue
+		}
+		nsDelta := 0.0
+		if ob.NsPerOp > 0 {
+			nsDelta = (nb.NsPerOp - ob.NsPerOp) / ob.NsPerOp
+		}
+		allocDelta := nb.AllocsOp - ob.AllocsOp
+		mark := ""
+		if nsDelta > *maxRegress {
+			mark, failed = "  TIME-REGRESSION", true
+		}
+		if allocDelta > ob.AllocsOp**allocSlack+16 {
+			mark, failed = mark+"  ALLOC-REGRESSION", true
+		}
+		fmt.Printf("%-28s %14.1f %14.1f %+7.1f%%   %12.0f %12.0f %+8.0f%s\n",
+			name, ob.NsPerOp, nb.NsPerOp, 100*nsDelta, ob.AllocsOp, nb.AllocsOp, allocDelta, mark)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Printf("%-28s   dropped from the new record\n", name)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: performance regression past threshold")
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r record
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// newestPair returns the two highest-numbered BENCH_<n>.json files in dir.
+func newestPair(dir string) (old, new string, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	var nums []int
+	for _, e := range entries {
+		if m := benchFile.FindStringSubmatch(e.Name()); m != nil {
+			n, _ := strconv.Atoi(m[1])
+			nums = append(nums, n)
+		}
+	}
+	if len(nums) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_<n>.json records in %s, found %d", dir, len(nums))
+	}
+	sort.Ints(nums)
+	o := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", nums[len(nums)-2]))
+	n := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", nums[len(nums)-1]))
+	return o, n, nil
+}

@@ -145,6 +145,37 @@ func TestGoldenGrid(t *testing.T) {
 	}
 }
 
+// TestEngineCachedAllocBudget is TestEngineFetchAllocFree's cached-engine
+// companion guard: the allocation-free metadata plane (pooled entries/
+// blocks/AVL nodes, packed keys, lane tables, open-addressed seen set)
+// brings a full CLaMPI-cached run from ~302k heap allocations to about a
+// thousand — cache construction plus a bounded number of slab/pool
+// ramp-ups. The budget leaves modest headroom; the benchmark-visible
+// number (BENCH_*.json) is the precise trajectory.
+func TestEngineCachedAllocBudget(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	opt := goldenBase()
+	opt.Caching = true
+	opt.OffsetsCacheBytes = 1 << 14
+	opt.AdjCacheBytes = 1 << 16
+	opt.AdjScorePolicy = lcc.ScoreDegree
+	lcc.Run(g, opt) // warm dataset cache and one-time state
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	if _, err := lcc.Run(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&m1)
+	allocs := m1.Mallocs - m0.Mallocs
+	// The seed's cached run allocated ~300k objects (per-miss entries,
+	// boxed heap snapshots, map traffic). Setup for 4 ranks x 2 caches
+	// plus pool ramp-up fits comfortably in 2000.
+	const budget = 2000
+	if allocs > budget {
+		t.Errorf("cached run allocated %d objects, budget %d: per-access allocation crept back into the cache", allocs, budget)
+	}
+}
+
 // TestEngineFetchAllocFree guards the engine's end-to-end allocation
 // profile: a full non-cached distributed run on a small graph must stay
 // within a fixed allocation budget dominated by setup (windows, partition,

@@ -2,127 +2,229 @@ package clampi
 
 import "fmt"
 
+// block is one region of the cache's memory buffer: either the extent of an
+// allocated entry or a free region. All blocks — allocated and free — form
+// an address-ordered doubly-linked list that tiles [0, capacity) with no
+// gaps (boundary-tag style). The links make freeing O(1): a block's
+// potential coalescing partners are exactly its prev/next neighbors, which
+// replaces the byStart/byEnd offset maps the seed allocator used. The same
+// hops answer the adjacent-free query behind the positional eviction score.
+type block struct {
+	off, size  int
+	prev, next *block
+	free       bool
+	poolNext   *block // pool linkage while recycled
+}
+
 // allocator manages the cache's memory buffer: a contiguous region of
-// `capacity` bytes from which variable-size entries are carved. Free space
-// is tracked in an AVL tree keyed by (size, offset) for best-fit allocation
-// (§II-F), plus boundary maps that allow adjacent free regions to coalesce
-// when an entry is evicted. External fragmentation is real in this design:
-// an allocation fails when no single free region is large enough, even if
-// the total free space would suffice — exactly the condition CLaMPI's
-// positional eviction score exists to fight.
+// `capacity` bytes from which variable-size entries are carved. Free blocks
+// are additionally indexed by an AVL tree keyed by (size, offset) for
+// best-fit allocation (§II-F). External fragmentation is real in this
+// design: an allocation fails when no single free region is large enough,
+// even if the total free space would suffice — exactly the condition
+// CLaMPI's positional eviction score exists to fight.
+//
+// Blocks and tree nodes are pooled (slab-grown), so steady-state
+// alloc/free/coalesce traffic performs no heap allocations, and reset()
+// restores the pristine one-free-region state in place.
 type allocator struct {
 	capacity int
 	used     int
 	tree     avlTree
-	byStart  map[int]int // free region start offset -> size
-	byEnd    map[int]int // free region end offset (exclusive) -> start
+	head     *block // address-ordered list, lowest offset first
+	tail     *block
+	pool     *block
+	slab     int
 }
 
 func newAllocator(capacity int) *allocator {
-	a := &allocator{
-		capacity: capacity,
-		byStart:  map[int]int{},
-		byEnd:    map[int]int{},
-	}
-	if capacity > 0 {
-		a.addFree(0, capacity)
-	}
+	return newAllocatorSized(capacity, 0)
+}
+
+// newAllocatorSized pre-sizes the block pool's first slab (0 = default).
+func newAllocatorSized(capacity, slabHint int) *allocator {
+	a := &allocator{slab: slabHint}
+	a.init(capacity)
 	return a
 }
 
-func (a *allocator) addFree(off, size int) {
-	a.tree.insert(size, off)
-	a.byStart[off] = size
-	a.byEnd[off+size] = off
-}
-
-func (a *allocator) delFree(off, size int) {
-	if !a.tree.remove(size, off) {
-		panic(fmt.Sprintf("clampi: allocator free-list corruption at [%d,+%d)", off, size))
+func (a *allocator) init(capacity int) {
+	a.capacity = capacity
+	a.used = 0
+	if capacity > 0 {
+		b := a.newBlock()
+		b.off, b.size, b.free = 0, capacity, true
+		a.head, a.tail = b, b
+		a.tree.insert(b.size, b.off, b)
 	}
-	delete(a.byStart, off)
-	delete(a.byEnd, off+size)
 }
 
-// alloc reserves size bytes, best-fit, and returns the buffer offset.
-func (a *allocator) alloc(size int) (int, bool) {
+// reset returns every block and tree node to the pools and restores the
+// single pristine free region, without reallocating any structure.
+func (a *allocator) reset() {
+	for b := a.head; b != nil; {
+		next := b.next
+		a.putBlock(b)
+		b = next
+	}
+	a.head, a.tail = nil, nil
+	a.tree.reset()
+	a.init(a.capacity)
+}
+
+func (a *allocator) newBlock() *block {
+	if a.pool == nil {
+		if a.slab == 0 {
+			a.slab = 32
+		}
+		blocks := make([]block, a.slab)
+		if a.slab < 4096 {
+			a.slab *= 2
+		}
+		for i := range blocks {
+			blocks[i].poolNext = a.pool
+			a.pool = &blocks[i]
+		}
+	}
+	b := a.pool
+	a.pool = b.poolNext
+	*b = block{}
+	return b
+}
+
+func (a *allocator) putBlock(b *block) {
+	*b = block{poolNext: a.pool}
+	a.pool = b
+}
+
+// mustRemove drops a free block's tree node, panicking if the tree and the
+// block list ever desynchronize — fail fast at the corruption site rather
+// than letting bestFit hand out overlapping regions later.
+func (a *allocator) mustRemove(b *block) {
+	if !a.tree.remove(b.size, b.off) {
+		panic(fmt.Sprintf("clampi: allocator free-list corruption at [%d,+%d)", b.off, b.size))
+	}
+}
+
+// alloc reserves size bytes, best-fit, and returns the allocated block.
+// The block handle is what free and adjacentFree operate on; its offset is
+// the position in the simulated memory buffer.
+func (a *allocator) alloc(size int) (*block, bool) {
 	if size <= 0 {
-		return 0, false
+		return nil, false
 	}
-	rsize, roff, ok := a.tree.bestFit(size)
-	if !ok {
-		return 0, false
+	n := a.tree.bestFit(size)
+	if n == nil {
+		return nil, false
 	}
-	a.delFree(roff, rsize)
-	if rsize > size {
-		a.addFree(roff+size, rsize-size)
-	}
+	b := n.blk
+	a.mustRemove(b)
 	a.used += size
-	return roff, true
+	if b.size > size {
+		// Carve the allocated head off b; the tail of b stays free, which
+		// matches the seed allocator's best-fit split (entry at the
+		// region's start, remainder re-freed).
+		nb := a.newBlock()
+		nb.off, nb.size = b.off, size
+		nb.prev, nb.next = b.prev, b
+		if b.prev != nil {
+			b.prev.next = nb
+		} else {
+			a.head = nb
+		}
+		b.prev = nb
+		b.off += size
+		b.size -= size
+		a.tree.insert(b.size, b.off, b)
+		return nb, true
+	}
+	b.free = false
+	return b, true
 }
 
-// free releases the region [off, off+size), coalescing with free neighbours.
-func (a *allocator) free(off, size int) {
-	if size <= 0 {
+// free releases an allocated block, coalescing with free neighbors in O(1)
+// via the address links. The neighbors' blocks are absorbed and recycled.
+func (a *allocator) free(b *block) {
+	if b == nil || b.free {
 		return
 	}
-	start, total := off, size
-	// Merge with the free region ending exactly at off.
-	if lstart, ok := a.byEnd[off]; ok {
-		lsize := a.byStart[lstart]
-		a.delFree(lstart, lsize)
-		start = lstart
-		total += lsize
+	a.used -= b.size
+	if l := b.prev; l != nil && l.free {
+		a.mustRemove(l)
+		b.off = l.off
+		b.size += l.size
+		b.prev = l.prev
+		if l.prev != nil {
+			l.prev.next = b
+		} else {
+			a.head = b
+		}
+		a.putBlock(l)
 	}
-	// Merge with the free region starting exactly at off+size.
-	if rsize, ok := a.byStart[off+size]; ok {
-		a.delFree(off+size, rsize)
-		total += rsize
+	if r := b.next; r != nil && r.free {
+		a.mustRemove(r)
+		b.size += r.size
+		b.next = r.next
+		if r.next != nil {
+			r.next.prev = b
+		} else {
+			a.tail = b
+		}
+		a.putBlock(r)
 	}
-	a.addFree(start, total)
-	a.used -= size
+	b.free = true
+	a.tree.insert(b.size, b.off, b)
 }
 
-// freeBytes returns the total number of unallocated bytes.
 // grow extends the buffer by extra bytes. The new tail merges with a
 // trailing free region if one ends at the old capacity, so a grown buffer
 // is indistinguishable from one created at the larger size with the same
-// entries. Existing entries keep their offsets — growth never invalidates.
+// entries. Existing blocks keep their offsets — growth never invalidates.
 func (a *allocator) grow(extra int) {
 	if extra <= 0 {
 		return
 	}
-	off, size := a.capacity, extra
-	if start, ok := a.byEnd[a.capacity]; ok {
-		sz := a.byStart[start]
-		a.delFree(start, sz)
-		off, size = start, sz+extra
-	}
 	a.capacity += extra
-	a.addFree(off, size)
+	if t := a.tail; t != nil && t.free {
+		a.mustRemove(t)
+		t.size += extra
+		a.tree.insert(t.size, t.off, t)
+		return
+	}
+	b := a.newBlock()
+	b.off, b.size, b.free = a.capacity-extra, extra, true
+	b.prev = a.tail
+	if a.tail != nil {
+		a.tail.next = b
+	} else {
+		a.head = b
+	}
+	a.tail = b
+	a.tree.insert(b.size, b.off, b)
 }
 
+// freeBytes returns the total number of unallocated bytes.
 func (a *allocator) freeBytes() int { return a.capacity - a.used }
 
 // largestFree returns the size of the largest single free region.
 func (a *allocator) largestFree() int {
-	size, _, ok := a.tree.max()
-	if !ok {
+	n := a.tree.max()
+	if n == nil {
 		return 0
 	}
-	return size
+	return n.size
 }
 
-// adjacentFree returns how many free bytes border the allocated region
-// [off,off+size) on either side — the merge potential that feeds the
-// positional component of the eviction score.
-func (a *allocator) adjacentFree(off, size int) int {
+// adjacentFree returns how many free bytes border the allocated block on
+// either side — the merge potential that feeds the positional component of
+// the eviction score. Two pointer hops, no map lookups.
+func (a *allocator) adjacentFree(b *block) int {
 	adj := 0
-	if lstart, ok := a.byEnd[off]; ok {
-		adj += a.byStart[lstart]
+	if l := b.prev; l != nil && l.free {
+		adj += l.size
 	}
-	if rsize, ok := a.byStart[off+size]; ok {
-		adj += rsize
+	if r := b.next; r != nil && r.free {
+		adj += r.size
 	}
 	return adj
 }
@@ -137,54 +239,59 @@ func (a *allocator) fragmentation() float64 {
 	return 1 - float64(a.largestFree())/float64(free)
 }
 
-// check verifies allocator invariants (tests only): free regions are
-// disjoint, within bounds, non-adjacent (fully coalesced), and account for
-// exactly capacity-used bytes.
+// check verifies allocator invariants (tests only): the block list tiles
+// [0, capacity) exactly, free blocks are fully coalesced and indexed by the
+// tree, and used/free byte accounting matches.
 func (a *allocator) check() error {
 	if n := a.tree.checkBalance(); n < 0 {
 		return fmt.Errorf("clampi: AVL invariants violated")
 	}
-	type region struct{ off, size int }
-	var regions []region
-	total := 0
+	treeRegions := map[[2]int]bool{}
+	treeTotal := 0
 	a.tree.walk(func(size, off int) {
-		regions = append(regions, region{off, size})
-		total += size
+		treeRegions[[2]int{off, size}] = true
+		treeTotal += size
 	})
-	if total != a.freeBytes() {
-		return fmt.Errorf("clampi: free bytes %d != tracked %d", total, a.freeBytes())
+	if treeTotal != a.freeBytes() {
+		return fmt.Errorf("clampi: free bytes %d != tracked %d", treeTotal, a.freeBytes())
 	}
-	if len(regions) != len(a.byStart) || len(regions) != len(a.byEnd) {
-		return fmt.Errorf("clampi: boundary maps out of sync with tree")
-	}
-	for _, r := range regions {
-		if r.off < 0 || r.off+r.size > a.capacity || r.size <= 0 {
-			return fmt.Errorf("clampi: region [%d,+%d) out of bounds", r.off, r.size)
+	pos, usedSum, freeCount := 0, 0, 0
+	var prev *block
+	for b := a.head; b != nil; b = b.next {
+		if b.off != pos {
+			return fmt.Errorf("clampi: block list gap: block at %d, expected %d", b.off, pos)
 		}
-		if got, ok := a.byStart[r.off]; !ok || got != r.size {
-			return fmt.Errorf("clampi: byStart missing region [%d,+%d)", r.off, r.size)
+		if b.size <= 0 {
+			return fmt.Errorf("clampi: non-positive block size %d at %d", b.size, b.off)
 		}
-		if got, ok := a.byEnd[r.off+r.size]; !ok || got != r.off {
-			return fmt.Errorf("clampi: byEnd missing region [%d,+%d)", r.off, r.size)
+		if b.prev != prev {
+			return fmt.Errorf("clampi: broken prev link at offset %d", b.off)
 		}
-	}
-	// Disjoint and coalesced: sort by offset via insertion (few regions in
-	// tests) and check gaps.
-	for i := range regions {
-		for j := i + 1; j < len(regions); j++ {
-			if regions[j].off < regions[i].off {
-				regions[i], regions[j] = regions[j], regions[i]
+		if b.free {
+			freeCount++
+			if prev != nil && prev.free {
+				return fmt.Errorf("clampi: uncoalesced adjacent free regions at %d", b.off)
 			}
+			if !treeRegions[[2]int{b.off, b.size}] {
+				return fmt.Errorf("clampi: free block [%d,+%d) missing from tree", b.off, b.size)
+			}
+		} else {
+			usedSum += b.size
 		}
+		pos += b.size
+		prev = b
 	}
-	for i := 1; i < len(regions); i++ {
-		prevEnd := regions[i-1].off + regions[i-1].size
-		if regions[i].off < prevEnd {
-			return fmt.Errorf("clampi: overlapping free regions")
-		}
-		if regions[i].off == prevEnd {
-			return fmt.Errorf("clampi: uncoalesced adjacent free regions at %d", prevEnd)
-		}
+	if a.capacity > 0 && pos != a.capacity {
+		return fmt.Errorf("clampi: block list covers %d bytes of %d", pos, a.capacity)
+	}
+	if prev != a.tail {
+		return fmt.Errorf("clampi: tail link out of sync")
+	}
+	if usedSum != a.used {
+		return fmt.Errorf("clampi: allocated blocks hold %d bytes but used=%d", usedSum, a.used)
+	}
+	if freeCount != len(treeRegions) || freeCount != a.tree.len() {
+		return fmt.Errorf("clampi: tree holds %d regions, list holds %d", a.tree.len(), freeCount)
 	}
 	return nil
 }

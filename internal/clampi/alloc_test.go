@@ -7,13 +7,13 @@ import (
 
 func TestAllocatorBasic(t *testing.T) {
 	a := newAllocator(100)
-	off1, ok := a.alloc(40)
-	if !ok || off1 != 0 {
-		t.Fatalf("alloc(40) = (%d,%v), want (0,true)", off1, ok)
+	b1, ok := a.alloc(40)
+	if !ok || b1.off != 0 {
+		t.Fatalf("alloc(40) = (%v,%v), want (0,true)", b1, ok)
 	}
-	off2, ok := a.alloc(60)
-	if !ok || off2 != 40 {
-		t.Fatalf("alloc(60) = (%d,%v), want (40,true)", off2, ok)
+	b2, ok := a.alloc(60)
+	if !ok || b2.off != 40 {
+		t.Fatalf("alloc(60) = (%v,%v), want (40,true)", b2, ok)
 	}
 	if _, ok := a.alloc(1); ok {
 		t.Error("alloc on a full buffer succeeded")
@@ -21,7 +21,7 @@ func TestAllocatorBasic(t *testing.T) {
 	if a.freeBytes() != 0 {
 		t.Errorf("freeBytes = %d, want 0", a.freeBytes())
 	}
-	a.free(off1, 40)
+	a.free(b1)
 	if a.freeBytes() != 40 {
 		t.Errorf("freeBytes = %d, want 40", a.freeBytes())
 	}
@@ -32,11 +32,11 @@ func TestAllocatorBasic(t *testing.T) {
 
 func TestAllocatorBestFitReducesWaste(t *testing.T) {
 	a := newAllocator(100)
-	o1, _ := a.alloc(30) // [0,30)
-	o2, _ := a.alloc(20) // [30,50)
+	b1, _ := a.alloc(30) // [0,30)
+	b2, _ := a.alloc(20) // [30,50)
 	_, _ = a.alloc(50)   // [50,100)
-	a.free(o1, 30)
-	a.free(o2, 20) // coalesces to [0,50)
+	a.free(b1)
+	a.free(b2) // coalesces to [0,50)
 	if got := a.largestFree(); got != 50 {
 		t.Fatalf("largestFree = %d, want 50 after coalescing", got)
 	}
@@ -47,15 +47,15 @@ func TestAllocatorBestFitReducesWaste(t *testing.T) {
 
 func TestAllocatorCoalescingBothSides(t *testing.T) {
 	a := newAllocator(90)
-	o1, _ := a.alloc(30)
-	o2, _ := a.alloc(30)
-	o3, _ := a.alloc(30)
-	a.free(o1, 30)
-	a.free(o3, 30)
+	b1, _ := a.alloc(30)
+	b2, _ := a.alloc(30)
+	b3, _ := a.alloc(30)
+	a.free(b1)
+	a.free(b3)
 	if a.largestFree() != 30 {
 		t.Fatalf("largestFree = %d, want 30 (two separate regions)", a.largestFree())
 	}
-	a.free(o2, 30) // merges left and right into one 90-byte region
+	a.free(b2) // merges left and right into one 90-byte region
 	if a.largestFree() != 90 {
 		t.Fatalf("largestFree = %d, want 90 after middle free", a.largestFree())
 	}
@@ -69,16 +69,16 @@ func TestAllocatorExternalFragmentation(t *testing.T) {
 	// region bigger than 10 — an alloc(20) must fail. This is exactly the
 	// external fragmentation §II-F describes.
 	a := newAllocator(100)
-	offs := make([]int, 10)
-	for i := range offs {
-		off, ok := a.alloc(10)
+	blks := make([]*block, 10)
+	for i := range blks {
+		b, ok := a.alloc(10)
 		if !ok {
 			t.Fatalf("alloc #%d failed", i)
 		}
-		offs[i] = off
+		blks[i] = b
 	}
 	for i := 0; i < 10; i += 2 {
-		a.free(offs[i], 10)
+		a.free(blks[i])
 	}
 	if a.freeBytes() != 50 {
 		t.Fatalf("freeBytes = %d, want 50", a.freeBytes())
@@ -96,12 +96,12 @@ func TestAllocatorExternalFragmentation(t *testing.T) {
 
 func TestAllocatorAdjacentFree(t *testing.T) {
 	a := newAllocator(100)
-	o1, _ := a.alloc(20) // [0,20)
-	o2, _ := a.alloc(20) // [20,40)
+	b1, _ := a.alloc(20) // [0,20)
+	b2, _ := a.alloc(20) // [20,40)
 	_, _ = a.alloc(60)   // [40,100)
-	a.free(o1, 20)
-	// o2 has 20 free bytes on its left, none on its right.
-	if adj := a.adjacentFree(o2, 20); adj != 20 {
+	a.free(b1)
+	// b2 has 20 free bytes on its left, none on its right.
+	if adj := a.adjacentFree(b2); adj != 20 {
 		t.Errorf("adjacentFree = %d, want 20", adj)
 	}
 }
@@ -126,20 +126,50 @@ func TestAllocatorRejectsNonPositive(t *testing.T) {
 	}
 }
 
+func TestAllocatorResetRestoresPristineState(t *testing.T) {
+	a := newAllocator(1 << 10)
+	var live []*block
+	for i := 0; i < 20; i++ {
+		if b, ok := a.alloc(17 + i); ok {
+			live = append(live, b)
+		}
+	}
+	for i := 0; i < len(live); i += 2 {
+		a.free(live[i])
+	}
+	a.reset()
+	if a.used != 0 || a.freeBytes() != 1<<10 || a.largestFree() != 1<<10 {
+		t.Fatalf("reset left used=%d free=%d largest=%d", a.used, a.freeBytes(), a.largestFree())
+	}
+	if err := a.check(); err != nil {
+		t.Fatal(err)
+	}
+	// The pools must make post-reset churn allocation-free.
+	if got := testing.AllocsPerRun(100, func() {
+		b1, _ := a.alloc(64)
+		b2, _ := a.alloc(128)
+		a.free(b1)
+		b3, _ := a.alloc(32)
+		a.free(b2)
+		a.free(b3)
+	}); got != 0 {
+		t.Errorf("steady-state alloc/free allocates %.1f/op, want 0", got)
+	}
+}
+
 func TestAllocatorChurnInvariants(t *testing.T) {
 	rng := rand.New(rand.NewPCG(7, 9))
 	a := newAllocator(1 << 16)
-	type block struct{ off, size int }
-	var live []block
+	var live []*block
 	for i := 0; i < 20000; i++ {
 		if rng.Float64() < 0.55 {
 			size := 1 + rng.IntN(512)
-			if off, ok := a.alloc(size); ok {
-				live = append(live, block{off, size})
+			if b, ok := a.alloc(size); ok {
+				live = append(live, b)
 			}
 		} else if len(live) > 0 {
 			j := rng.IntN(len(live))
-			a.free(live[j].off, live[j].size)
+			a.free(live[j])
 			live[j] = live[len(live)-1]
 			live = live[:len(live)-1]
 		}
@@ -158,7 +188,7 @@ func TestAllocatorChurnInvariants(t *testing.T) {
 	}
 	// Free everything: buffer must return to one pristine region.
 	for _, b := range live {
-		a.free(b.off, b.size)
+		a.free(b)
 	}
 	if a.largestFree() != 1<<16 || a.freeBytes() != 1<<16 {
 		t.Errorf("after freeing all: largest %d free %d, want %d", a.largestFree(), a.freeBytes(), 1<<16)
@@ -171,26 +201,30 @@ func TestAllocatorChurnInvariants(t *testing.T) {
 func TestAllocatedBlocksNeverOverlap(t *testing.T) {
 	rng := rand.New(rand.NewPCG(3, 4))
 	a := newAllocator(4096)
-	type block struct{ off, size int }
-	var live []block
-	overlap := func(x, y block) bool {
+	type region struct{ off, size int }
+	var live []region
+	var blks []*block
+	overlap := func(x, y region) bool {
 		return x.off < y.off+y.size && y.off < x.off+x.size
 	}
 	for i := 0; i < 3000; i++ {
 		if rng.Float64() < 0.6 {
 			size := 1 + rng.IntN(128)
-			if off, ok := a.alloc(size); ok {
-				nb := block{off, size}
-				for _, b := range live {
-					if overlap(nb, b) {
+			if b, ok := a.alloc(size); ok {
+				nb := region{b.off, size}
+				for _, r := range live {
+					if overlap(nb, r) {
 						t.Fatalf("step %d: alloc returned overlapping block", i)
 					}
 				}
 				live = append(live, nb)
+				blks = append(blks, b)
 			}
-		} else if len(live) > 0 {
-			j := rng.IntN(len(live))
-			a.free(live[j].off, live[j].size)
+		} else if len(blks) > 0 {
+			j := rng.IntN(len(blks))
+			a.free(blks[j])
+			blks[j] = blks[len(blks)-1]
+			blks = blks[:len(blks)-1]
 			live[j] = live[len(live)-1]
 			live = live[:len(live)-1]
 		}

@@ -9,23 +9,75 @@
 // (§II-F). Both the hash-table size and the buffer capacity are tunable,
 // and an adaptive heuristic can resize the hash table by observing misses,
 // conflicts and evictions.
+//
+// The metadata plane is allocation-free at steady state: entries, free-list
+// blocks and AVL nodes are recycled through per-cache pools, the victim
+// heap and hash table reuse their backing arrays, and epoch flushes clear
+// the structures in place.
 package clampi
 
 // avlTree is a balanced tree over free buffer regions ordered by
 // (size, offset). It supports the best-fit query the allocator needs: the
-// smallest free region of at least a given size.
+// smallest free region of at least a given size. Nodes are recycled through
+// an internal pool (grown in slabs), so steady-state insert/remove traffic
+// performs no heap allocations.
 type avlTree struct {
 	root *avlNode
 	n    int
+	pool *avlNode // free nodes, linked through right
+	slab int      // next slab size (doubles up to a cap)
 }
 
 type avlNode struct {
 	size, off   int
+	blk         *block // the free block this node indexes (nil in bare tests)
 	left, right *avlNode
 	height      int
 }
 
 func (t *avlTree) len() int { return t.n }
+
+func (t *avlTree) newNode(size, off int, b *block) *avlNode {
+	if t.pool == nil {
+		if t.slab == 0 {
+			t.slab = 32
+		}
+		nodes := make([]avlNode, t.slab)
+		if t.slab < 4096 {
+			t.slab *= 2
+		}
+		for i := range nodes {
+			nodes[i].right = t.pool
+			t.pool = &nodes[i]
+		}
+	}
+	n := t.pool
+	t.pool = n.right
+	*n = avlNode{size: size, off: off, blk: b, height: 1}
+	return n
+}
+
+func (t *avlTree) putNode(n *avlNode) {
+	*n = avlNode{right: t.pool}
+	t.pool = n
+}
+
+// reset returns every node to the pool, leaving an empty tree.
+func (t *avlTree) reset() {
+	t.poolSubtree(t.root)
+	t.root = nil
+	t.n = 0
+}
+
+func (t *avlTree) poolSubtree(n *avlNode) {
+	if n == nil {
+		return
+	}
+	t.poolSubtree(n.left)
+	r := n.right
+	t.putNode(n)
+	t.poolSubtree(r)
+}
 
 // less orders regions by (size, offset); offsets are unique because free
 // regions are disjoint, so the order is total.
@@ -88,22 +140,23 @@ func rebalance(n *avlNode) *avlNode {
 	return n
 }
 
-// insert adds the region (size, off). Duplicate keys must not occur (free
-// regions are disjoint); inserting one panics, exposing allocator bugs.
-func (t *avlTree) insert(size, off int) {
-	t.root = avlInsert(t.root, size, off)
+// insert adds the region (size, off) carrying payload b. Duplicate keys must
+// not occur (free regions are disjoint); inserting one panics, exposing
+// allocator bugs.
+func (t *avlTree) insert(size, off int, b *block) {
+	t.root = t.avlInsert(t.root, size, off, b)
 	t.n++
 }
 
-func avlInsert(n *avlNode, size, off int) *avlNode {
+func (t *avlTree) avlInsert(n *avlNode, size, off int, b *block) *avlNode {
 	if n == nil {
-		return &avlNode{size: size, off: off, height: 1}
+		return t.newNode(size, off, b)
 	}
 	switch {
 	case regionLess(size, off, n.size, n.off):
-		n.left = avlInsert(n.left, size, off)
+		n.left = t.avlInsert(n.left, size, off, b)
 	case regionLess(n.size, n.off, size, off):
-		n.right = avlInsert(n.right, size, off)
+		n.right = t.avlInsert(n.right, size, off, b)
 	default:
 		panic("clampi: duplicate free region in AVL tree")
 	}
@@ -111,66 +164,73 @@ func avlInsert(n *avlNode, size, off int) *avlNode {
 }
 
 // remove deletes the region (size, off); it reports whether it was present.
+// The physically removed node returns to the pool.
 func (t *avlTree) remove(size, off int) bool {
 	var removed bool
-	t.root, removed = avlRemove(t.root, size, off)
+	t.root, removed = t.avlRemove(t.root, size, off)
 	if removed {
 		t.n--
 	}
 	return removed
 }
 
-func avlRemove(n *avlNode, size, off int) (*avlNode, bool) {
+func (t *avlTree) avlRemove(n *avlNode, size, off int) (*avlNode, bool) {
 	if n == nil {
 		return nil, false
 	}
 	var removed bool
 	switch {
 	case regionLess(size, off, n.size, n.off):
-		n.left, removed = avlRemove(n.left, size, off)
+		n.left, removed = t.avlRemove(n.left, size, off)
 	case regionLess(n.size, n.off, size, off):
-		n.right, removed = avlRemove(n.right, size, off)
+		n.right, removed = t.avlRemove(n.right, size, off)
 	default:
 		removed = true
 		if n.left == nil {
-			return n.right, true
+			r := n.right
+			t.putNode(n)
+			return r, true
 		}
 		if n.right == nil {
-			return n.left, true
+			l := n.left
+			t.putNode(n)
+			return l, true
 		}
-		// Replace with the in-order successor.
+		// Replace with the in-order successor (key and payload).
 		s := n.right
 		for s.left != nil {
 			s = s.left
 		}
-		n.size, n.off = s.size, s.off
-		n.right, _ = avlRemove(n.right, s.size, s.off)
+		n.size, n.off, n.blk = s.size, s.off, s.blk
+		n.right, _ = t.avlRemove(n.right, s.size, s.off)
 	}
 	return rebalance(n), removed
 }
 
-// bestFit returns the smallest free region with size >= want, or ok=false.
-func (t *avlTree) bestFit(want int) (size, off int, ok bool) {
+// bestFit returns the smallest region with size >= want, or nil.
+func (t *avlTree) bestFit(want int) *avlNode {
+	var best *avlNode
 	n := t.root
 	for n != nil {
 		if n.size >= want {
-			size, off, ok = n.size, n.off, true
+			best = n
 			n = n.left
 		} else {
 			n = n.right
 		}
 	}
-	return
+	return best
 }
 
-// max returns the largest region in the tree, or ok=false if empty.
-func (t *avlTree) max() (size, off int, ok bool) {
+// max returns the largest region in the tree, or nil if empty.
+func (t *avlTree) max() *avlNode {
+	var m *avlNode
 	n := t.root
 	for n != nil {
-		size, off, ok = n.size, n.off, true
+		m = n
 		n = n.right
 	}
-	return
+	return m
 }
 
 // walk visits every region in (size, offset) order.

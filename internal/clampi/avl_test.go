@@ -8,21 +8,21 @@ import (
 
 func TestAVLInsertRemoveBestFit(t *testing.T) {
 	var tr avlTree
-	tr.insert(10, 0)
-	tr.insert(5, 100)
-	tr.insert(20, 200)
+	tr.insert(10, 0, nil)
+	tr.insert(5, 100, nil)
+	tr.insert(20, 200, nil)
 	if tr.len() != 3 {
 		t.Fatalf("len = %d, want 3", tr.len())
 	}
-	size, off, ok := tr.bestFit(6)
-	if !ok || size != 10 || off != 0 {
-		t.Errorf("bestFit(6) = (%d,%d,%v), want (10,0,true)", size, off, ok)
+	n := tr.bestFit(6)
+	if n == nil || n.size != 10 || n.off != 0 {
+		t.Errorf("bestFit(6) = %v, want (10,0)", n)
 	}
-	size, off, ok = tr.bestFit(11)
-	if !ok || size != 20 || off != 200 {
-		t.Errorf("bestFit(11) = (%d,%d,%v), want (20,200,true)", size, off, ok)
+	n = tr.bestFit(11)
+	if n == nil || n.size != 20 || n.off != 200 {
+		t.Errorf("bestFit(11) = %v, want (20,200)", n)
 	}
-	if _, _, ok := tr.bestFit(21); ok {
+	if tr.bestFit(21) != nil {
 		t.Error("bestFit(21) found a region in a tree whose max is 20")
 	}
 	if !tr.remove(10, 0) {
@@ -31,20 +31,20 @@ func TestAVLInsertRemoveBestFit(t *testing.T) {
 	if tr.remove(10, 0) {
 		t.Error("remove(10,0) succeeded twice")
 	}
-	size, off, ok = tr.bestFit(6)
-	if !ok || size != 20 || off != 200 {
-		t.Errorf("after removal bestFit(6) = (%d,%d,%v), want (20,200,true)", size, off, ok)
+	n = tr.bestFit(6)
+	if n == nil || n.size != 20 || n.off != 200 {
+		t.Errorf("after removal bestFit(6) = %v, want (20,200)", n)
 	}
 }
 
 func TestAVLTiesBrokenByOffset(t *testing.T) {
 	var tr avlTree
-	tr.insert(8, 300)
-	tr.insert(8, 100)
-	tr.insert(8, 200)
-	_, off, ok := tr.bestFit(8)
-	if !ok || off != 100 {
-		t.Errorf("bestFit(8) offset = %d, want 100 (lowest offset among equal sizes)", off)
+	tr.insert(8, 300, nil)
+	tr.insert(8, 100, nil)
+	tr.insert(8, 200, nil)
+	n := tr.bestFit(8)
+	if n == nil || n.off != 100 {
+		t.Errorf("bestFit(8) = %v, want offset 100 (lowest offset among equal sizes)", n)
 	}
 	if n := tr.checkBalance(); n != 3 {
 		t.Errorf("checkBalance = %d, want 3", n)
@@ -53,15 +53,15 @@ func TestAVLTiesBrokenByOffset(t *testing.T) {
 
 func TestAVLMax(t *testing.T) {
 	var tr avlTree
-	if _, _, ok := tr.max(); ok {
-		t.Error("max of empty tree reported ok")
+	if tr.max() != nil {
+		t.Error("max of empty tree reported a node")
 	}
-	tr.insert(3, 0)
-	tr.insert(9, 50)
-	tr.insert(7, 80)
-	size, _, ok := tr.max()
-	if !ok || size != 9 {
-		t.Errorf("max = %d, want 9", size)
+	tr.insert(3, 0, nil)
+	tr.insert(9, 50, nil)
+	tr.insert(7, 80, nil)
+	n := tr.max()
+	if n == nil || n.size != 9 {
+		t.Errorf("max = %v, want size 9", n)
 	}
 }
 
@@ -75,7 +75,7 @@ func TestAVLStaysBalancedUnderChurn(t *testing.T) {
 		if rng.Float64() < 0.6 || len(live) == 0 {
 			r := region{size: 1 + rng.IntN(100), off: nextOff}
 			nextOff += 1000
-			tr.insert(r.size, r.off)
+			tr.insert(r.size, r.off, nil)
 			live[r] = true
 		} else {
 			for r := range live {
@@ -95,15 +95,41 @@ func TestAVLStaysBalancedUnderChurn(t *testing.T) {
 	}
 }
 
+// TestAVLNodePoolRecycles pins the allocation profile: once the pool has
+// grown to the working-set size, insert/remove churn allocates nothing.
+func TestAVLNodePoolRecycles(t *testing.T) {
+	var tr avlTree
+	for i := 0; i < 64; i++ {
+		tr.insert(i+1, i*100, nil)
+	}
+	for i := 0; i < 64; i++ {
+		tr.remove(i+1, i*100)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			tr.insert(i+1, i*100, nil)
+		}
+		for i := 0; i < 64; i++ {
+			tr.remove(i+1, i*100)
+		}
+	}); got != 0 {
+		t.Errorf("steady-state insert/remove allocates %.1f/op, want 0", got)
+	}
+	tr.reset()
+	if tr.len() != 0 || tr.root != nil {
+		t.Error("reset left nodes in the tree")
+	}
+}
+
 func TestAVLDuplicatePanics(t *testing.T) {
 	var tr avlTree
-	tr.insert(4, 4)
+	tr.insert(4, 4, nil)
 	defer func() {
 		if recover() == nil {
 			t.Error("duplicate insert did not panic")
 		}
 	}()
-	tr.insert(4, 4)
+	tr.insert(4, 4, nil)
 }
 
 // Property: bestFit always returns the minimal adequate region.
@@ -114,12 +140,12 @@ func TestAVLBestFitProperty(t *testing.T) {
 		var all [][2]int
 		for _, s := range sizes {
 			size := int(s)%64 + 1
-			tr.insert(size, off)
+			tr.insert(size, off, nil)
 			all = append(all, [2]int{size, off})
 			off += 100
 		}
 		w := int(want)%64 + 1
-		size, foundOff, ok := tr.bestFit(w)
+		n := tr.bestFit(w)
 		// Reference scan.
 		bestSize, bestOff, refOK := 0, 0, false
 		for _, r := range all {
@@ -127,13 +153,13 @@ func TestAVLBestFitProperty(t *testing.T) {
 				bestSize, bestOff, refOK = r[0], r[1], true
 			}
 		}
-		if ok != refOK {
+		if (n != nil) != refOK {
 			return false
 		}
-		if !ok {
+		if n == nil {
 			return true
 		}
-		return size == bestSize && foundOff == bestOff
+		return n.size == bestSize && n.off == bestOff
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)

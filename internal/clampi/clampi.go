@@ -128,17 +128,24 @@ func (s Stats) MissRate() float64 {
 // window. The memory buffer, eviction and fragmentation behaviour are
 // simulated exactly as if the bytes were resident. Over writable windows
 // the cache owns one copy of every resident entry, as real CLaMPI does.
+//
+// Steady-state operation — hit, miss, insert, evict, epoch flush — performs
+// no heap allocations: entries, buffer blocks and AVL nodes recycle through
+// pools, requests and pending misses come from free lists, and the victim
+// heap, hash table and compulsory-miss set reuse their backing arrays.
 type Cache struct {
 	rank  *rma.Rank
 	win   *rma.Window
 	cfg   Config
 	model rma.CostModel
+	coder keyCoder
 
 	tab     *table
 	alloc   *allocator
 	victims *victimHeap
+	entries entryPool
 	tick    uint64
-	seen    map[key]struct{}
+	seen    seenSet
 	stats   Stats
 	pending []*pendingMiss
 
@@ -157,10 +164,11 @@ type Cache struct {
 // application-facing Request stays valid after the underlying RMA request
 // returned to its pool.
 type pendingMiss struct {
-	k     key
-	score float64 // application-defined score, NaN if unset
-	under *rma.Request
-	done  bool
+	target, offset, size int
+	pk, h                uint64  // packed key and bucket hash of the access
+	score                float64 // application-defined score, NaN if unset
+	under                *rma.Request
+	done                 bool
 
 	// A pm is referenced from up to two places: the cache's pending list
 	// and the application's Request. It returns to the free list only
@@ -170,6 +178,7 @@ type pendingMiss struct {
 	released  bool
 
 	data  []byte
+	buf   []byte // pooled storage backing data on writable windows
 	u64   []uint64
 	verts []graph.V
 }
@@ -181,16 +190,44 @@ func New(r *rma.Rank, w *rma.Window, cfg Config) *Cache {
 		win:   w,
 		cfg:   cfg.withDefaults(),
 		model: rmaModel(r),
-		seen:  map[key]struct{}{},
 	}
+	maxRegion := 0
+	for t := 0; t < r.NumRanks(); t++ {
+		if s := w.SizeAt(t); s > maxRegion {
+			maxRegion = s
+		}
+	}
+	c.coder = newKeyCoder(r.NumRanks(), maxRegion)
 	c.tab = newTable(c.cfg.Buckets, c.cfg.Assoc)
-	c.alloc = newAllocator(c.cfg.Capacity)
-	c.victims = newVictimHeap(c.priority)
+	// Pre-size the pools from the buffer capacity so filling the cache
+	// costs a handful of slab allocations instead of a doubling cascade
+	// per structure. Entry counts depend on the (unknown) entry-size mix;
+	// capacity/1024 is a low-cost floor the slabs double past when needed
+	// — oversizing here inflates the per-instance memory footprint, which
+	// is itself a host-speed concern (metadata competes with graph data
+	// for last-level cache).
+	hint := clampRange(c.cfg.Capacity/1024, 64, 8192)
+	c.entries.slab = hint
+	c.entries.free = make([]*entry, 0, hint)
+	c.alloc = newAllocatorSized(c.cfg.Capacity, hint)
+	c.victims = newVictimHeap(c.priority, c.stampOf, c.entries.put)
+	c.victims.h = make([]heapItem, 0, hint)
+	c.seen.presize(clampRange(c.cfg.Capacity/64, 64, 1<<14))
 	return c
 }
 
 // rmaModel extracts the cost model; indirection keeps New's signature tidy.
 func rmaModel(r *rma.Rank) rma.CostModel { return r.Model() }
+
+func clampRange(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
 
 // Rank returns the owning rank.
 func (c *Cache) Rank() *rma.Rank { return c.rank }
@@ -217,9 +254,13 @@ func (c *Cache) priority(e *entry) float64 {
 	if e.hasAppScore() {
 		return e.appScore
 	}
-	mergeable := float64(c.alloc.adjacentFree(e.bufOff, e.key.size))
-	return float64(e.lastTick) - c.cfg.PosWeight*mergeable/float64(e.key.size+1)
+	mergeable := float64(c.alloc.adjacentFree(e.blk))
+	return float64(c.tab.tickOf(int(e.slot))) - c.cfg.PosWeight*mergeable/float64(e.size()+1)
 }
+
+// stampOf reads a live entry's revalidation stamp from its table slot (the
+// stamp lives in the bucket lane so hits stay single-cache-line; see table).
+func (c *Cache) stampOf(e *entry) uint64 { return c.tab.stampOf(int(e.slot)) }
 
 // Request is the result of a cached Get: either served from cache (done
 // immediately) or backed by an underlying RMA request that completes at the
@@ -231,6 +272,7 @@ type Request struct {
 	hit    bool
 	pooled bool // currently on the free list (double-release guard)
 	data   []byte
+	buf    []byte // pooled storage backing data for writable-window hits
 	u64    []uint64
 	verts  []graph.V
 	under  *rma.Request // local bypass on a writable window: owns data until Release
@@ -253,7 +295,8 @@ func (c *Cache) newPM() *pendingMiss {
 		pm := c.pmFree[n-1]
 		c.pmFree[n-1] = nil
 		c.pmFree = c.pmFree[:n-1]
-		*pm = pendingMiss{}
+		buf := pm.buf
+		*pm = pendingMiss{buf: buf[:0]}
 		return pm
 	}
 	return &pendingMiss{}
@@ -279,7 +322,8 @@ func (q *Request) Release() {
 			c.pmFree = append(c.pmFree, pm)
 		}
 	}
-	*q = Request{cache: c, pooled: true}
+	buf := q.buf
+	*q = Request{cache: c, pooled: true, buf: buf[:0]}
 	c.reqFree = append(c.reqFree, q)
 }
 
@@ -309,8 +353,9 @@ func (q *Request) Wait() {
 
 // Data returns the bytes read from a byte window. The slice must be
 // treated as read-only; over a read-only window it aliases the window
-// region and stays valid after Release. Panics if called before the
-// request completed, like the underlying RMA request. A miss whose
+// region and stays valid after Release. Over a writable window the bytes
+// are a request-owned copy, valid until Release. Panics if called before
+// the request completed, like the underlying RMA request. A miss whose
 // transfer was completed by a raw rank-level flush (rather than Wait or
 // FlushWindow) is readable too — its cache insertion simply happens later,
 // matching Done().
@@ -360,17 +405,21 @@ func (c *Cache) GetScored(target, offset, size int, score float64) *Request {
 }
 
 // serveView fills q's data fields for a resident region: aliased window
-// views for read-only windows, the entry's owned copy otherwise.
-func (c *Cache) serveView(q *Request, k key, stored []byte) {
+// views for read-only windows (the entry itself is never touched), a
+// pooled request-owned copy of the entry's bytes otherwise (entry storage
+// is recycled on eviction, so hits must not alias it past the entry's
+// lifetime).
+func (c *Cache) serveView(q *Request, target, offset, size, slot int) {
 	switch c.win.Kind() {
 	case rma.ReadOnlyBytes:
-		q.data = c.win.ViewBytes(k.target, k.offset, k.size)
+		q.data = c.win.ViewBytes(target, offset, size)
 	case rma.ReadOnlyUint64s:
-		q.u64 = c.win.ViewUint64s(k.target, k.offset, k.size)
+		q.u64 = c.win.ViewUint64s(target, offset, size)
 	case rma.ReadOnlyVertices:
-		q.verts = c.win.ViewVertices(k.target, k.offset, k.size)
+		q.verts = c.win.ViewVertices(target, offset, size)
 	default:
-		q.data = stored
+		q.buf = append(q.buf[:0], c.tab.entryAt(slot).bytes.data...)
+		q.data = q.buf
 	}
 }
 
@@ -399,12 +448,17 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 		}
 		return q
 	}
-	k := key{target: target, offset: offset, size: size}
+	if !c.coder.fits(target, offset, size) {
+		// The seed compared three exact ints and panicked later inside
+		// rma on the out-of-window access; packed keys would alias a
+		// valid entry instead, so fail at the boundary.
+		panic(fmt.Sprintf("clampi: get (target %d, offset %d, size %d) outside window geometry", target, offset, size))
+	}
+	pk := c.coder.pack(target, offset, size)
+	h := c.coder.hash(target, offset, size)
 	c.obsOps++
-	if e := c.tab.lookup(k); e != nil {
+	if slot := c.tab.lookupTouch(pk, h, c.tick+1); slot >= 0 {
 		c.tick++
-		e.lastTick = c.tick
-		e.stamp++
 		c.stats.Hits++
 		c.stats.HitBytes += int64(size)
 		cost := c.model.HitCost(size)
@@ -412,14 +466,13 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 		c.stats.HitTime += cost
 		q := c.newReq()
 		q.hit = true
-		c.serveView(q, k, e.data)
+		c.serveView(q, target, offset, size, slot)
 		return q
 	}
 	// Miss: issue the real RMA get; the entry is inserted when the
 	// transfer completes (at flush), since only then is the data known.
-	if _, ok := c.seen[k]; !ok {
+	if c.seen.addIfMissing(pk) {
 		c.stats.CompulsoryMisses++
-		c.seen[k] = struct{}{}
 	}
 	c.stats.Misses++
 	c.stats.MissBytes += int64(size)
@@ -427,13 +480,16 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 	c.rank.Clock().Advance(over)
 	c.stats.OverheadTime += over
 	pm := c.newPM()
-	pm.k = k
+	pm.target, pm.offset, pm.size = target, offset, size
+	pm.pk, pm.h = pk, h
 	pm.score = score
 	pm.under = c.rank.Get(c.win, target, offset, size)
 	pm.inPending = true
 	// Compact completed pendings so callers that use per-request Wait
-	// (instead of FlushWindow) don't accumulate stale records.
-	if len(c.pending) >= 32 {
+	// (instead of FlushWindow) don't accumulate stale records. Host-side
+	// list management only — no modeled cost, so the threshold is free to
+	// be small, which keeps the pm pool (and its ramp-up) small too.
+	if len(c.pending) >= 8 {
 		keep := c.pending[:0]
 		for _, p := range c.pending {
 			if !p.done {
@@ -474,7 +530,7 @@ func (c *Cache) complete(pm *pendingMiss) {
 	pm.done = true
 	// Capture the retrieved data before the underlying request returns to
 	// its pool: read-only windows yield stable aliased views; a writable
-	// window's snapshot is copied once into cache-owned storage.
+	// window's snapshot is copied once into the pm's pooled buffer.
 	var own []byte
 	switch c.win.Kind() {
 	case rma.ReadOnlyBytes:
@@ -484,8 +540,9 @@ func (c *Cache) complete(pm *pendingMiss) {
 	case rma.ReadOnlyVertices:
 		pm.verts = pm.under.Vertices()
 	default:
-		own = append([]byte(nil), pm.under.Data()...)
-		pm.data = own
+		pm.buf = append(pm.buf[:0], pm.under.Data()...)
+		pm.data = pm.buf
+		own = pm.buf
 	}
 	pm.under.Release()
 	pm.under = nil
@@ -494,23 +551,24 @@ func (c *Cache) complete(pm *pendingMiss) {
 	// with CacheMissOverhead this is the cache-management overhead that
 	// makes caching a net loss when compulsory misses dominate (§IV-D-2
 	// scenario 2, the LiveJournal case).
-	cost := c.model.LocalCost(pm.k.size)
+	cost := c.model.LocalCost(pm.size)
 	c.rank.Clock().Advance(cost)
 	c.stats.OverheadTime += cost
-	c.insert(pm.k, own, pm.score)
+	c.insert(pm.pk, pm.h, pm.size, own, pm.score)
 }
 
-// insert stores a region under k, evicting victims as needed. CLaMPI caches
-// a missing entry only if it has (or can free) the resources to store it.
-// data is the cache-owned byte copy for writable windows and nil for
-// read-only windows, whose entries are bookkeeping-only (hits re-slice the
-// window region).
-func (c *Cache) insert(k key, data []byte, score float64) {
-	if c.cfg.Capacity <= 0 || k.size > c.cfg.Capacity || k.size == 0 {
+// insert stores a region under the packed key pk (bucket hash h), evicting
+// victims as needed. CLaMPI caches a missing entry only if it has (or can
+// free) the resources to store it. data is the retrieved byte copy for
+// writable windows (copied again into entry-owned pooled storage) and nil
+// for read-only windows, whose entries are bookkeeping-only (hits re-slice
+// the window region).
+func (c *Cache) insert(pk, h uint64, size int, data []byte, score float64) {
+	if c.cfg.Capacity <= 0 || size > c.cfg.Capacity || size == 0 {
 		c.stats.RejectedInserts++
 		return
 	}
-	if c.tab.lookup(k) != nil {
+	if c.tab.lookup(pk, h) >= 0 {
 		return // duplicate in-flight get; entry already present
 	}
 	c.tick++
@@ -520,15 +578,9 @@ func (c *Cache) insert(k key, data []byte, score float64) {
 	}
 
 	// Hash-table space: a full bucket forces a conflict eviction.
-	slot := c.tab.freeSlot(k)
+	slot := c.tab.freeSlot(h)
 	if slot < 0 {
-		var victim *entry
-		vPrio := math.Inf(1)
-		for _, e := range c.tab.bucketEntries(k) {
-			if p := c.priority(e); p < vPrio {
-				victim, vPrio = e, p
-			}
-		}
+		victim, vPrio := c.tab.bucketVictim(h, c.priority)
 		if victim == nil || vPrio >= newPrio {
 			// All residents are more valuable than the newcomer
 			// (possible only under app-defined scores).
@@ -538,13 +590,13 @@ func (c *Cache) insert(k key, data []byte, score float64) {
 		c.evict(victim)
 		c.stats.ConflictEvictions++
 		c.obsConflicts++
-		slot = c.tab.freeSlot(k)
+		slot = c.tab.freeSlot(h)
 	}
 
 	// Buffer space: evict ascending-priority victims until the allocation
 	// succeeds. Under app-defined scores, stop as soon as the cheapest
 	// victim is at least as valuable as the newcomer.
-	bufOff, ok := c.alloc.alloc(k.size)
+	blk, ok := c.alloc.alloc(size)
 	for !ok {
 		if c.victims.peekMinPrio() >= newPrio && !math.IsNaN(score) {
 			c.stats.RejectedInserts++
@@ -558,55 +610,80 @@ func (c *Cache) insert(k key, data []byte, score float64) {
 		c.evict(v)
 		c.stats.CapacityEvictions++
 		c.obsCapacity++
-		bufOff, ok = c.alloc.alloc(k.size)
+		blk, ok = c.alloc.alloc(size)
 	}
 
-	e := &entry{
-		key:      k,
-		bufOff:   bufOff,
-		data:     data,
-		lastTick: c.tick,
-		appScore: score,
+	e := c.entries.get()
+	e.key = pk
+	e.blk = blk
+	if data != nil {
+		if e.bytes == nil {
+			e.bytes = &entryData{}
+		}
+		e.bytes.buf = append(e.bytes.buf[:0], data...)
+		e.bytes.data = e.bytes.buf
 	}
-	c.tab.insertAt(slot, e)
+	e.appScore = score
+	c.tab.insertAt(slot, e, c.tick)
 	c.victims.push(e)
 	c.stats.Inserts++
 }
 
+// evict removes e from the table and frees its buffer block. A capacity
+// victim was already popped off the heap and recycles immediately; a
+// conflict victim leaves a dead remnant in the heap (preserving the seed's
+// lazy shape — see the victimHeap determinism contract) and recycles when
+// a later pop or reset collects it. The dead flag alone retires the
+// remnant: every heap path checks it before consulting the stamp, so no
+// stamp bump is needed (the slot's meta now belongs to the next tenant).
 func (c *Cache) evict(e *entry) {
 	e.dead = true
-	e.stamp++
 	c.tab.remove(e)
-	c.alloc.free(e.bufOff, e.key.size)
+	c.alloc.free(e.blk)
+	e.blk = nil
+	if e.heapIdx < 0 {
+		c.entries.put(e)
+	}
 }
 
 // SetScore assigns (or updates) the application-defined score of an already
 // cached entry, as the modified CLaMPI accepts from the user (§III-B-2).
 // It is a no-op if the entry is not cached.
 func (c *Cache) SetScore(target, offset, size int, score float64) {
-	k := key{target: target, offset: offset, size: size}
-	if e := c.tab.lookup(k); e != nil {
+	if !c.coder.fits(target, offset, size) {
+		return // nothing outside the window geometry is ever cached
+	}
+	pk := c.coder.pack(target, offset, size)
+	h := c.coder.hash(target, offset, size)
+	if slot := c.tab.lookup(pk, h); slot >= 0 {
+		e := c.tab.entryAt(slot)
 		e.appScore = score
-		e.stamp++
-		c.victims.push(e)
+		c.tab.bumpStamp(slot)
+		c.victims.update(e)
 	}
 }
 
 // Contains reports whether the exact region is currently cached.
 func (c *Cache) Contains(target, offset, size int) bool {
-	return c.tab.lookup(key{target: target, offset: offset, size: size}) != nil
+	if !c.coder.fits(target, offset, size) {
+		return false
+	}
+	return c.tab.lookup(c.coder.pack(target, offset, size), c.coder.hash(target, offset, size)) >= 0
 }
 
 // Flush empties the cache (user-defined mode, or internal use by the
-// adaptive heuristic and the transparent mode).
+// adaptive heuristic and the transparent mode). All structures are cleared
+// in place: entries recycle to the pool, the allocator returns to one
+// pristine free region, and the table keeps its slot array unless the
+// adaptive heuristic changed its geometry.
 func (c *Cache) Flush() {
-	c.tab.each(func(e *entry) {
-		e.dead = true
-		e.stamp++
-	})
-	c.tab = newTable(c.cfg.Buckets, c.cfg.Assoc)
-	c.alloc = newAllocator(c.cfg.Capacity)
+	c.tab.each(func(e *entry) { e.dead = true })
+	// Every live entry sits in the heap (inserts push, only eviction pops),
+	// so resetting the heap recycles the whole population, dead conflict
+	// remnants included.
 	c.victims.reset()
+	c.tab.clearFor(c.cfg.Buckets, c.cfg.Assoc)
+	c.alloc.reset()
 	c.stats.Flushes++
 }
 
@@ -665,9 +742,17 @@ func (c *Cache) checkInvariants() error {
 	var err error
 	c.tab.each(func(e *entry) {
 		if e.dead {
-			err = fmt.Errorf("clampi: dead entry %v still in table", e.key)
+			err = fmt.Errorf("clampi: dead entry %#x still in table", e.key)
 		}
-		bytes += e.key.size
+		if e.heapIdx < 0 {
+			err = fmt.Errorf("clampi: live entry %#x missing from victim heap", e.key)
+		} else if c.victims.h[e.heapIdx].e != e {
+			err = fmt.Errorf("clampi: heap index of entry %#x out of sync", e.key)
+		}
+		if e.blk == nil || e.blk.free {
+			err = fmt.Errorf("clampi: entry %#x block out of sync", e.key)
+		}
+		bytes += e.size()
 		count++
 	})
 	if err != nil {
@@ -678,6 +763,19 @@ func (c *Cache) checkInvariants() error {
 	}
 	if count != c.tab.n {
 		return fmt.Errorf("clampi: table count %d != tracked %d", count, c.tab.n)
+	}
+	live := 0
+	for i := range c.victims.h {
+		it := c.victims.h[i]
+		if int(it.e.heapIdx) != i {
+			return fmt.Errorf("clampi: heap item %d has stale heapIdx %d", i, it.e.heapIdx)
+		}
+		if !it.e.dead {
+			live++
+		}
+	}
+	if live != count {
+		return fmt.Errorf("clampi: heap holds %d live entries, table %d", live, count)
 	}
 	return nil
 }

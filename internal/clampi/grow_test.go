@@ -7,7 +7,7 @@ import (
 
 func TestAllocatorGrow(t *testing.T) {
 	a := newAllocator(64)
-	off1, ok := a.alloc(40)
+	b1, ok := a.alloc(40)
 	if !ok {
 		t.Fatal("alloc 40 in 64 failed")
 	}
@@ -20,12 +20,12 @@ func TestAllocatorGrow(t *testing.T) {
 	}
 	// The 24-byte tail must have merged with the new 64: a 64-byte
 	// allocation fits only if the regions coalesced (24+64=88).
-	off2, ok := a.alloc(80)
+	b2, ok := a.alloc(80)
 	if !ok {
 		t.Fatal("alloc 80 after grow failed: tail did not coalesce")
 	}
-	if off2 < off1+40 {
-		t.Fatalf("grown allocation at %d overlaps the first at %d", off2, off1)
+	if b2.off < b1.off+40 {
+		t.Fatalf("grown allocation at %d overlaps the first at %d", b2.off, b1.off)
 	}
 	if err := a.check(); err != nil {
 		t.Fatal(err)
@@ -38,8 +38,8 @@ func TestAllocatorGrowFullBuffer(t *testing.T) {
 		t.Fatal("alloc full buffer failed")
 	}
 	a.grow(16) // no trailing free region to merge with
-	if off, ok := a.alloc(16); !ok || off != 32 {
-		t.Fatalf("alloc after grow = (%d,%v), want (32,true)", off, ok)
+	if b, ok := a.alloc(16); !ok || b.off != 32 {
+		t.Fatalf("alloc after grow = (%v,%v), want (32,true)", b, ok)
 	}
 	a.grow(0) // no-op
 	a.grow(-5)

@@ -2,16 +2,113 @@ package clampi
 
 import (
 	"math"
+	"math/rand/v2"
 	"testing"
 )
 
+// refFNV is the seed's byte-loop FNV-1a over the three key fields as 8-byte
+// little-endian words — the reference the fast keyCoder hash must match bit
+// for bit (bucket selection is pinned by the golden tests).
+func refFNV(target, offset, size int) uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= 1099511628211
+			x >>= 8
+		}
+	}
+	mix(uint64(target))
+	mix(uint64(offset))
+	mix(uint64(size))
+	return h
+}
+
+// TestKeyCoderHashMatchesFNVReference pins the determinism contract: for
+// every coordinate within the coder's bounds, the collapsed hash equals the
+// seed's byte-loop FNV-1a exactly.
+func TestKeyCoderHashMatchesFNVReference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	for _, dims := range [][2]int{{2, 1 << 16}, {7, 3000}, {1, 1}, {4096, 1 << 25}, {3, 1 << 9}} {
+		ranks, maxRegion := dims[0], dims[1]
+		c := newKeyCoder(ranks, maxRegion)
+		for i := 0; i < 2000; i++ {
+			target := rng.IntN(ranks)
+			size := 1 + rng.IntN(maxRegion)
+			offset := rng.IntN(maxRegion - size + 1)
+			if got, want := c.hash(target, offset, size), refFNV(target, offset, size); got != want {
+				t.Fatalf("coder(%d,%d): hash(%d,%d,%d) = %#x, want %#x",
+					ranks, maxRegion, target, offset, size, got, want)
+			}
+		}
+	}
+}
+
+func TestKeyCoderPackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	c := newKeyCoder(48, 1<<20)
+	seen := map[uint64][3]int{}
+	for i := 0; i < 5000; i++ {
+		target := rng.IntN(48)
+		size := rng.IntN(1 << 20)
+		offset := rng.IntN(1<<20 - size + 1)
+		k := c.pack(target, offset, size)
+		gt, go_, gs := c.unpack(k)
+		if gt != target || go_ != offset || gs != size {
+			t.Fatalf("unpack(pack(%d,%d,%d)) = (%d,%d,%d)", target, offset, size, gt, go_, gs)
+		}
+		if prev, dup := seen[k]; dup && prev != [3]int{target, offset, size} {
+			t.Fatalf("pack collision: %v and (%d,%d,%d) -> %#x", prev, target, offset, size, k)
+		}
+		seen[k] = [3]int{target, offset, size}
+	}
+}
+
+func TestKeyCoderRejectsUnpackableGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("oversized geometry did not panic")
+		}
+	}()
+	newKeyCoder(1<<20, 1<<30) // 20 + 2*31 bits > 64
+}
+
+// TestDivMagicExact pins the divisionless bucket mapping: for every
+// divisor shape the cache can see (tiny, power-of-two, odd, prime-ish,
+// maximal) and adversarial dividends, mod must equal % exactly.
+func TestDivMagicExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 37))
+	divisors := []uint64{1, 2, 3, 4, 5, 7, 64, 1000, 1024, 16384, 16383, 65537, 1 << 22, 1<<22 - 1, 3_456_789}
+	for d := uint64(1); d <= 512; d++ {
+		divisors = append(divisors, d)
+	}
+	for _, d := range divisors {
+		m := newDivMagic(d)
+		check := func(n uint64) {
+			if got, want := m.mod(n), n%d; got != want {
+				t.Fatalf("mod(%d) with d=%d = %d, want %d", n, d, got, want)
+			}
+		}
+		check(0)
+		check(d - 1)
+		check(d)
+		check(d + 1)
+		check(^uint64(0))
+		check(^uint64(0) - 1)
+		for i := 0; i < 2000; i++ {
+			check(rng.Uint64())
+		}
+	}
+}
+
 func TestKeyHashSpreads(t *testing.T) {
 	// Distinct keys should hash to distinct values overwhelmingly often.
+	c := newKeyCoder(4, 1<<16)
 	seen := map[uint64]bool{}
 	collisions := 0
 	for target := 0; target < 4; target++ {
 		for off := 0; off < 256; off++ {
-			h := key{target: target, offset: off * 16, size: 16}.hash()
+			h := c.hash(target, off*16, 16)
 			if seen[h] {
 				collisions++
 			}
@@ -24,48 +121,94 @@ func TestKeyHashSpreads(t *testing.T) {
 }
 
 func TestTableLookupInsertRemove(t *testing.T) {
+	c := newKeyCoder(4, 1<<12)
 	tab := newTable(8, 2)
-	k := key{target: 1, offset: 32, size: 8}
-	if tab.lookup(k) != nil {
+	k, h := c.pack(1, 32, 8), c.hash(1, 32, 8)
+	if tab.lookup(k, h) >= 0 {
 		t.Fatal("lookup found entry in empty table")
 	}
 	e := &entry{key: k, appScore: math.NaN()}
-	slot := tab.freeSlot(k)
+	slot := tab.freeSlot(h)
 	if slot < 0 {
 		t.Fatal("no free slot in empty table")
 	}
-	tab.insertAt(slot, e)
-	if tab.lookup(k) != e {
+	tab.insertAt(slot, e, 7)
+	got := tab.lookup(k, h)
+	if got < 0 || tab.entryAt(got) != e {
 		t.Fatal("lookup missed inserted entry")
+	}
+	if tab.tickOf(got) != 7 || tab.stampOf(got) != 0 {
+		t.Errorf("fresh slot meta = (tick %d, stamp %d), want (7, 0)", tab.tickOf(got), tab.stampOf(got))
+	}
+	if hit := tab.lookupTouch(k, h, 9); hit != got {
+		t.Fatalf("lookupTouch = %d, want %d", hit, got)
+	}
+	if tab.tickOf(got) != 9 || tab.stampOf(got) != 1 {
+		t.Errorf("touched slot meta = (tick %d, stamp %d), want (9, 1)", tab.tickOf(got), tab.stampOf(got))
+	}
+	tab.bumpStamp(got)
+	if tab.tickOf(got) != 9 || tab.stampOf(got) != 2 {
+		t.Errorf("bumped slot meta = (tick %d, stamp %d), want (9, 2)", tab.tickOf(got), tab.stampOf(got))
 	}
 	if tab.n != 1 {
 		t.Errorf("n = %d", tab.n)
 	}
 	tab.remove(e)
-	if tab.lookup(k) != nil || tab.n != 0 {
+	if tab.lookup(k, h) >= 0 || tab.n != 0 {
 		t.Error("remove did not unlink entry")
 	}
 }
 
 func TestTableBucketFullConflict(t *testing.T) {
+	c := newKeyCoder(2, 1<<12)
 	tab := newTable(1, 2) // one bucket, 2-way: third key conflicts
 	for i := 0; i < 2; i++ {
-		k := key{offset: i * 16, size: 16}
-		tab.insertAt(tab.freeSlot(k), &entry{key: k, appScore: math.NaN()})
+		k, h := c.pack(0, i*16, 16), c.hash(0, i*16, 16)
+		e := &entry{key: k, appScore: float64(10 * (i + 1))}
+		tab.insertAt(tab.freeSlot(h), e, uint64(i))
 	}
-	if tab.freeSlot(key{offset: 99, size: 16}) != -1 {
+	h := c.hash(0, 99, 16)
+	if tab.freeSlot(h) != -1 {
 		t.Error("full bucket reported a free slot")
 	}
-	if got := len(tab.bucketEntries(key{offset: 99, size: 16})); got != 2 {
-		t.Errorf("bucketEntries = %d, want 2", got)
+	prio := func(e *entry) float64 { return e.appScore }
+	victim, vPrio := tab.bucketVictim(h, prio)
+	if victim == nil || vPrio != 10 {
+		t.Errorf("bucketVictim = (%v,%v), want the score-10 entry", victim, vPrio)
 	}
 }
 
-func TestVictimHeapOrdersByPriority(t *testing.T) {
+func TestTableClearForReusesSlots(t *testing.T) {
+	tab := newTable(8, 2)
+	tab.insertAt(0, &entry{key: 1}, 1)
+	before := &tab.ents[0]
+	tab.clearFor(8, 2)
+	if tab.n != 0 || tab.ents[0] != nil || tab.lane[0] != 0 {
+		t.Error("clearFor left entries")
+	}
+	if &tab.ents[0] != before {
+		t.Error("clearFor reallocated the slot array for unchanged geometry")
+	}
+	tab.clearFor(16, 2)
+	if len(tab.ents) != 32 || len(tab.lane) != 64 {
+		t.Errorf("clearFor(16,2) slots = %d/%d, want 64/32", len(tab.lane), len(tab.ents))
+	}
+}
+
+// testHeap builds a victimHeap whose priorities come from appScore and
+// whose stamps come from a test-owned side map (in the cache the stamps
+// live in the table's bucket lanes).
+func testHeap() (*victimHeap, map[*entry]uint64) {
+	stamps := map[*entry]uint64{}
 	prio := func(e *entry) float64 { return e.appScore }
-	h := newVictimHeap(prio)
+	stamp := func(e *entry) uint64 { return stamps[e] }
+	return newVictimHeap(prio, stamp, nil), stamps
+}
+
+func TestVictimHeapOrdersByPriority(t *testing.T) {
+	h, _ := testHeap()
 	es := []*entry{
-		{appScore: 30}, {appScore: 10}, {appScore: 20},
+		{appScore: 30, heapIdx: -1}, {appScore: 10, heapIdx: -1}, {appScore: 20, heapIdx: -1},
 	}
 	for _, e := range es {
 		h.push(e)
@@ -79,17 +222,16 @@ func TestVictimHeapOrdersByPriority(t *testing.T) {
 }
 
 func TestVictimHeapSkipsDeadAndStale(t *testing.T) {
-	prio := func(e *entry) float64 { return e.appScore }
-	h := newVictimHeap(prio)
-	dead := &entry{appScore: 1}
-	stale := &entry{appScore: 2}
-	live := &entry{appScore: 3}
+	h, stamps := testHeap()
+	dead := &entry{appScore: 1, heapIdx: -1}
+	stale := &entry{appScore: 2, heapIdx: -1}
+	live := &entry{appScore: 3, heapIdx: -1}
 	h.push(dead)
 	h.push(stale)
 	h.push(live)
 	dead.dead = true
 	stale.appScore = 99 // priority drift: must be re-ranked, not returned at 2
-	stale.stamp++
+	stamps[stale]++
 	if got := h.popMin(); got != live {
 		t.Errorf("popMin returned %v, want the live entry (3)", got.appScore)
 	}
@@ -102,16 +244,51 @@ func TestVictimHeapSkipsDeadAndStale(t *testing.T) {
 }
 
 func TestVictimHeapEmptyBehaviour(t *testing.T) {
-	h := newVictimHeap(func(e *entry) float64 { return 0 })
+	h, _ := testHeap()
 	if h.popMin() != nil {
 		t.Error("popMin on empty heap")
 	}
 	if !math.IsInf(h.peekMinPrio(), 1) {
 		t.Error("peekMinPrio on empty heap should be +Inf")
 	}
-	h.push(&entry{})
+	h.push(&entry{heapIdx: -1})
 	h.reset()
 	if h.popMin() != nil {
 		t.Error("reset did not clear the heap")
+	}
+}
+
+// TestVictimHeapUpdateKeepsOneItemPerEntry pins the intrusive-update
+// contract: re-scoring an entry re-keys it in place instead of stranding a
+// duplicate snapshot, and heapIdx tracks positions through sifts.
+func TestVictimHeapUpdateKeepsOneItemPerEntry(t *testing.T) {
+	h, stamps := testHeap()
+	var es []*entry
+	for i := 0; i < 16; i++ {
+		e := &entry{appScore: float64(i), heapIdx: -1}
+		es = append(es, e)
+		h.push(e)
+	}
+	for round := 0; round < 100; round++ {
+		e := es[round%len(es)]
+		e.appScore = float64((round * 37) % 100)
+		stamps[e]++
+		h.update(e)
+		if h.len() != len(es) {
+			t.Fatalf("round %d: heap len %d, want %d", round, h.len(), len(es))
+		}
+	}
+	for i, it := range h.h {
+		if int(it.e.heapIdx) != i {
+			t.Fatalf("item %d has heapIdx %d", i, it.e.heapIdx)
+		}
+	}
+	// Popping everything yields ascending priorities.
+	last := math.Inf(-1)
+	for e := h.popMin(); e != nil; e = h.popMin() {
+		if e.appScore < last {
+			t.Fatalf("pop order not ascending: %v after %v", e.appScore, last)
+		}
+		last = e.appScore
 	}
 }

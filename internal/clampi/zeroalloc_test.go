@@ -126,7 +126,7 @@ func TestRequestPoolRoundTrip(t *testing.T) {
 		q.Wait()
 		q.Release()
 	}
-	if len(c.pending) > 33 {
+	if len(c.pending) > 9 {
 		t.Errorf("pending list grew to %d; stale records not compacted", len(c.pending))
 	}
 	if err := c.checkInvariants(); err != nil {
@@ -164,6 +164,137 @@ func TestMissReadableAfterRawFlush(t *testing.T) {
 		t.Error("FlushWindow did not insert the completed miss")
 	}
 	q.Release()
+}
+
+// TestMissEvictAllocFree guards the full metadata plane at steady state: a
+// workload where every access misses and evicts (tiny cache, wide key set)
+// must not allocate once the pools have warmed — entries, blocks, AVL
+// nodes, heap items, pending misses and requests all recycle. Checked over
+// both a writable window (cache-owned byte copies) and a typed read-only
+// window (bookkeeping-only entries).
+func TestMissEvictAllocFree(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	ww := comm.CreateWindow("rw", [][]byte{nil, make([]byte, 1<<20)})
+	wv := comm.CreateVertexWindow("adj", [][]graph.V{nil, make([]graph.V, 1<<18)})
+	r := comm.Rank(0)
+	r.LockAll(ww)
+	r.LockAll(wv)
+	defer r.UnlockAll(ww)
+	defer r.UnlockAll(wv)
+	for name, c := range map[string]*Cache{
+		"writable": New(r, ww, Config{Capacity: 1 << 10, Mode: AlwaysCache}),
+		"readonly": New(r, wv, Config{Capacity: 1 << 10, Mode: AlwaysCache}),
+	} {
+		i := 0
+		cycle := func() {
+			q := c.Get(1, (i%1024)*512, 512)
+			q.Wait()
+			q.Release()
+			i++
+		}
+		for w := 0; w < 2048; w++ {
+			cycle() // warm the pools through the full key cycle
+		}
+		if got := testing.AllocsPerRun(500, cycle); got != 0 {
+			t.Errorf("%s: steady-state miss+evict allocates %.1f/op, want 0", name, got)
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestEpochFlushAllocFree: transparent-mode epoch closures must clear the
+// table, allocator and heap in place — a steady epoch loop allocates
+// nothing (the seed rebuilt table+allocator every epoch).
+func TestEpochFlushAllocFree(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	w := comm.CreateReadOnlyWindow("ro", [][]byte{nil, make([]byte, 1<<16)})
+	r := comm.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	c := New(r, w, Config{Capacity: 1 << 12, Mode: Transparent})
+	epoch := func() {
+		for i := 0; i < 16; i++ {
+			q := c.Get(1, i*256, 256)
+			q.Wait()
+			q.Release()
+		}
+		c.CloseEpoch()
+	}
+	for i := 0; i < 8; i++ {
+		epoch()
+	}
+	if got := testing.AllocsPerRun(100, epoch); got != 0 {
+		t.Errorf("steady-state epoch flush allocates %.1f/op, want 0", got)
+	}
+	if c.Stats().Flushes == 0 {
+		t.Fatal("transparent mode never flushed")
+	}
+}
+
+// TestVictimHeapStaysCompact is the stale-item bloat guard: across a
+// hit-heavy workload with per-hit score updates (the ScoreDegreeRecency
+// pattern), the victim heap must stay at one item per live entry. The
+// seed's snapshot heap stranded a duplicate on every SetScore and only
+// shed them on future evictions, so this workload grew it without bound.
+func TestVictimHeapStaysCompact(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	w := comm.CreateReadOnlyWindow("ro", [][]byte{nil, make([]byte, 1<<20)})
+	r := comm.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	c := New(r, w, Config{Capacity: 1 << 14, Mode: AlwaysCache})
+	const entries = 64
+	for i := 0; i < entries; i++ {
+		q := c.GetScored(1, i*256, 256, float64(i))
+		q.Wait()
+		q.Release()
+	}
+	for round := 0; round < 10000; round++ {
+		i := round % entries
+		q := c.Get(1, i*256, 256) // hit: bumps the entry's stamp
+		if !q.Hit() {
+			t.Fatalf("round %d: unexpected miss", round)
+		}
+		q.Release()
+		c.SetScore(1, i*256, 256, float64((round*31)%997)) // re-key in place
+		if got := c.victims.len(); got > c.tab.n {
+			t.Fatalf("round %d: heap holds %d items for %d live entries (stale bloat)", round, got, c.tab.n)
+		}
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroKeyIsNeverAHit pins the empty-slot-sentinel guard: the packed
+// key 0 (a size-0 get of target 0, offset 0, issued from another rank) is
+// a legal access the seed served as an ordinary miss, and must not match
+// empty table slots.
+func TestZeroKeyIsNeverAHit(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	w := comm.CreateReadOnlyWindow("ro", [][]byte{make([]byte, 64), make([]byte, 64)})
+	r := comm.Rank(1) // target 0 is remote from rank 1
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	c := New(r, w, Config{Capacity: 1 << 10, Mode: AlwaysCache})
+	if c.Contains(0, 0, 0) {
+		t.Fatal("empty cache claims to contain the zero key")
+	}
+	q := c.Get(0, 0, 0)
+	if q.Hit() {
+		t.Fatal("zero-key get reported a phantom hit on an empty cache")
+	}
+	q.Wait()
+	q.Release()
+	s := c.Stats()
+	if s.Hits != 0 || s.Misses != 1 || s.RejectedInserts != 1 {
+		t.Errorf("zero-key stats = %+v, want 1 miss, 1 rejected insert, 0 hits", s)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func mustPanicClampi(t *testing.T, name string, f func()) {

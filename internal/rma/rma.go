@@ -224,6 +224,9 @@ func (c *Comm) Rank(id int) *Rank {
 // ID returns the rank's id in [0,p).
 func (r *Rank) ID() int { return r.id }
 
+// NumRanks returns the world size of the rank's communicator.
+func (r *Rank) NumRanks() int { return r.comm.p }
+
 // Model returns the cost model of the rank's communicator.
 func (r *Rank) Model() CostModel { return r.comm.model }
 
