@@ -161,7 +161,11 @@ type NoiseSpec = rma.NoiseSpec
 // --- LCC / TC engines -------------------------------------------------------
 
 // LCCOptions configure the asynchronous distributed engine (Algorithm 3 +
-// §III-B caching).
+// §III-B caching). The Workers field bounds how many simulated ranks
+// execute concurrently on host goroutines (0 = GOMAXPROCS); every engine
+// result is bit-identical at any worker count, so Workers is purely a
+// host-performance knob. TriCOptions, DistTCOptions and LCC2DOptions
+// carry the same field.
 type LCCOptions = lcc.Options
 
 // LCCResult is the output of a distributed run: per-vertex LCC scores,

@@ -18,13 +18,21 @@ if [ -z "$out" ]; then
     out="BENCH_${i}.json"
 fi
 
-pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkEngineNonCached$|BenchmarkEngineCached$)'
+pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkEngineNonCached$|BenchmarkEngineCached$|BenchmarkEngineNonCachedParallel$|BenchmarkEngineCachedParallel$)'
+
+# Environment provenance: engine wall-clock now scales with cores (the
+# rank scheduler runs simulated ranks in parallel), so records from hosts
+# with different effective parallelism are not comparable. benchdiff
+# refuses to diff times across differing go_max_procs.
+gmp="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+cpu=$(awk -F': *' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null)
+[ -n "$cpu" ] || cpu="unknown"
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 go test -run '^$' -bench "$pattern" -benchmem -benchtime=1s . | tee "$raw" >&2
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$gmp" -v cpu="$cpu" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -34,7 +42,7 @@ BEGIN { n = 0 }
     n++
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", date
+    printf "{\n  \"date\": \"%s\",\n  \"go_max_procs\": %d,\n  \"cpu_model\": \"%s\",\n  \"benchmarks\": [\n", date, gmp, cpu
     for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
     printf "  ]\n}\n"
 }' "$raw" > "$out"

@@ -12,6 +12,7 @@ package repro_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -388,12 +389,17 @@ func BenchmarkSharedLCC(b *testing.B) {
 	b.ReportMetric(float64(g.NumArcs()), "arcs")
 }
 
+// The two trajectory benchmarks pin Workers: 1 — the serial baseline
+// BENCH_1/BENCH_2 recorded (the default went parallel with the rank
+// scheduler, so an explicit pin is what keeps the trajectory
+// semantically one series). The *Parallel variants below are the
+// scaling numbers.
 func BenchmarkEngineNonCached(b *testing.B) {
 	g := gen.MustLoad("rmat-s14-ef16")
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := lcc.Run(g, lcc.Options{Ranks: 8, Method: intersect.MethodHybrid, DoubleBuffer: true}); err != nil {
+		if _, err := lcc.Run(g, lcc.Options{Ranks: 8, Workers: 1, Method: intersect.MethodHybrid, DoubleBuffer: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -405,7 +411,45 @@ func BenchmarkEngineCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, err := lcc.Run(g, lcc.Options{
-			Ranks: 8, Method: intersect.MethodHybrid, DoubleBuffer: true,
+			Ranks: 8, Workers: 1, Method: intersect.MethodHybrid, DoubleBuffer: true,
+			Caching: true, OffsetsCacheBytes: 1 << 18, AdjCacheBytes: 1 << 22,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineNonCachedParallel opens the rank scheduler to every host
+// core (Workers=GOMAXPROCS, also the default; explicit so the record is
+// self-describing). Results are bit-identical to the serial run; only
+// host wall-clock changes, which is why BENCH_*.json records carry
+// go_max_procs and benchdiff refuses to compare times across differing
+// values.
+func BenchmarkEngineNonCachedParallel(b *testing.B) {
+	g := gen.MustLoad("rmat-s14-ef16")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lcc.Run(g, lcc.Options{
+			Ranks: 8, Workers: runtime.GOMAXPROCS(0),
+			Method: intersect.MethodHybrid, DoubleBuffer: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCachedParallel is BenchmarkEngineCached at
+// Workers=GOMAXPROCS; see BenchmarkEngineNonCachedParallel.
+func BenchmarkEngineCachedParallel(b *testing.B) {
+	g := gen.MustLoad("rmat-s14-ef16")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := lcc.Run(g, lcc.Options{
+			Ranks: 8, Workers: runtime.GOMAXPROCS(0),
+			Method: intersect.MethodHybrid, DoubleBuffer: true,
 			Caching: true, OffsetsCacheBytes: 1 << 18, AdjCacheBytes: 1 << 22,
 		})
 		if err != nil {

@@ -27,6 +27,8 @@ import (
 
 type record struct {
 	Date       string      `json:"date"`
+	GoMaxProcs int         `json:"go_max_procs"` // 0 in records predating the field
+	CPUModel   string      `json:"cpu_model"`
 	Benchmarks []benchmark `json:"benchmarks"`
 }
 
@@ -82,7 +84,19 @@ func main() {
 	}
 	sort.Strings(names)
 
+	// Engine wall-clock scales with host parallelism (the rank scheduler
+	// runs simulated ranks on real goroutines), so ns/op is only
+	// meaningful between records taken at the same GOMAXPROCS — including
+	// records predating the field (go_max_procs 0, an undeclared
+	// environment), which only match each other. Alloc counts are
+	// parallelism-independent and always compared.
+	timesComparable := oldRec.GoMaxProcs == newRec.GoMaxProcs
+
 	fmt.Printf("benchdiff %s -> %s\n", filepath.Base(oldPath), filepath.Base(newPath))
+	if !timesComparable {
+		fmt.Printf("go_max_procs differ (%d -> %d): comparing allocs only, ns/op is informational\n",
+			oldRec.GoMaxProcs, newRec.GoMaxProcs)
+	}
 	fmt.Printf("%-28s %14s %14s %8s   %12s %12s %8s\n",
 		"benchmark", "ns/op(old)", "ns/op(new)", "Δ%", "allocs(old)", "allocs(new)", "Δ")
 	failed := false
@@ -100,7 +114,7 @@ func main() {
 		}
 		allocDelta := nb.AllocsOp - ob.AllocsOp
 		mark := ""
-		if nsDelta > *maxRegress {
+		if timesComparable && nsDelta > *maxRegress {
 			mark, failed = "  TIME-REGRESSION", true
 		}
 		if allocDelta > ob.AllocsOp**allocSlack+16 {

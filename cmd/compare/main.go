@@ -118,13 +118,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		var puts int64
-		for _, s := range pushed.PerRank {
-			puts += s.RMA.Puts
-		}
 		rows = append(rows, row{name: "async RMA push (batched)", simMS: pushed.SimTime / 1e6,
 			tricnt: pushed.Triangles, checked: true,
-			notes: fmt.Sprintf("%d batched accumulates", puts)})
+			notes: fmt.Sprintf("%d batched accumulates", pushed.AggregateRMA().Puts)})
 	}
 
 	if *ranks%2 == 0 && !skipped["replicated"] {

@@ -32,6 +32,7 @@ func main() {
 		format    = flag.String("format", "binary", `input format: "binary", "edgelist", or "mtx" (MatrixMarket)`)
 		directed  = flag.Bool("directed", false, "treat edge-list input as directed")
 		ranks     = flag.Int("ranks", 4, "number of simulated computing nodes")
+		workers   = flag.Int("workers", 0, "host worker goroutines executing simulated ranks (0 = GOMAXPROCS); results are identical at any setting")
 		scheme    = flag.String("scheme", "block", `1D distribution: "block" or "cyclic"`)
 		method    = flag.String("method", "hybrid", `intersection method: "hybrid", "ssi", "binary", or "hash"`)
 		caching   = flag.Bool("cache", false, "enable CLaMPI RMA caching (C_offsets + C_adj)")
@@ -54,6 +55,7 @@ func main() {
 
 	opt := lcc.Options{
 		Ranks:        *ranks,
+		Workers:      *workers,
 		Method:       parseMethod(*method),
 		DoubleBuffer: !*noOverlap,
 		Caching:      *caching,

@@ -31,10 +31,17 @@
 //	g := repro.MustLoadDataset("fb-sim")
 //	res, err := repro.RunLCC(g, repro.LCCOptions{
 //		Ranks:        8,
+//		Workers:      0, // host cores running the ranks; 0 = GOMAXPROCS
 //		Method:       repro.MethodHybrid,
 //		DoubleBuffer: true,
 //		Caching:      true,
 //	})
+//
+// Simulated ranks execute on real goroutines under a deterministic
+// multicore scheduler (internal/sched): Workers bounds how many run
+// concurrently, host wall-clock scales with cores, and every simulated
+// result is bit-identical at any worker count — the golden tests sweep
+// Workers ∈ {1, 2, 4, 8} to pin exactly that (DESIGN.md §4).
 //
 // There is no MPI for Go and this reproduction targets a single machine, so
 // the distributed runtime is a simulation: ranks are goroutines with

@@ -25,6 +25,7 @@ func main() {
 
 	res, err := repro.RunLCC(g, repro.LCCOptions{
 		Ranks:        2,                  // two simulated computing nodes
+		Workers:      0,                  // host cores running the ranks: 0 = all (GOMAXPROCS); results are identical at any setting
 		Method:       repro.MethodHybrid, // Eq. (3) decision rule
 		DoubleBuffer: true,               // overlap comm with compute (§III-A)
 	})

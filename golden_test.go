@@ -4,14 +4,20 @@
 // pooled rewrite of internal/rma. The zero-copy substrate only changes
 // host-side work, never modeled cost, so every value must match bit for
 // bit. Any drift here means an engine change leaked into the simulation.
+//
+// Since the parallel rank scheduler, the same pins also guard
+// schedule-independence: TestGoldenWorkerSweep replays every
+// configuration at several worker counts against the same table.
 package repro_test
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/graph"
 	"repro/internal/grid"
 	"repro/internal/intersect"
 	"repro/internal/lcc"
@@ -38,110 +44,183 @@ const (
 	goldenLCCBits   = 0x4091b4d6196173a8
 )
 
-func checkGolden(t *testing.T, name string, res *lcc.Result, simBits uint64) {
+// goldenRun holds the comparable quantities of one engine run. A field
+// set to its sentinel (-1 counts, 0 checksum) is not checked for that
+// configuration.
+type goldenRun struct {
+	simBits uint64
+	sumBits uint64 // lccBits over the result's score vector
+	tri     int64  // global triangle count
+	sumT    int64  // closed-triplet sum
+}
+
+// goldenConfigs is the single source of the pinned values: the seven
+// engine configurations the individual TestGolden* tests assert and the
+// worker sweep replays. Each run function executes its engine at the
+// given worker count, performs any configuration-specific extra checks
+// (e.g. per-rank cache hit counts), and returns the comparable result.
+var goldenConfigs = []struct {
+	name string
+	want goldenRun
+	run  func(t *testing.T, g *graph.Graph, workers int) goldenRun
+}{
+	{
+		name: "pull",
+		want: goldenRun{0x419e343dbb9986d8, goldenLCCBits, goldenTriangles, goldenSumT},
+		run: func(t *testing.T, g *graph.Graph, workers int) goldenRun {
+			opt := goldenBase()
+			opt.Workers = workers
+			res, err := lcc.Run(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goldenRun{math.Float64bits(res.SimTime), lccBits(res.LCC), res.Triangles, res.SumT}
+		},
+	},
+	{
+		name: "cached",
+		want: goldenRun{0x41a09b0455ccbf5c, goldenLCCBits, goldenTriangles, goldenSumT},
+		run: func(t *testing.T, g *graph.Graph, workers int) goldenRun {
+			opt := goldenBase()
+			opt.Workers = workers
+			opt.Caching = true
+			opt.OffsetsCacheBytes = 1 << 14
+			opt.AdjCacheBytes = 1 << 16
+			opt.AdjScorePolicy = lcc.ScoreDegree
+			res, err := lcc.Run(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if h, m := res.PerRank[0].AdjCache.Hits, res.PerRank[0].AdjCache.Misses; h != 3592 || m != 27335 {
+				t.Errorf("cached: rank-0 C_adj hits/misses = %d/%d, want 3592/27335", h, m)
+			}
+			return goldenRun{math.Float64bits(res.SimTime), lccBits(res.LCC), res.Triangles, res.SumT}
+		},
+	},
+	{
+		name: "noise",
+		want: goldenRun{0x41a1b9b48a01a470, 0, goldenTriangles, -1},
+		run: func(t *testing.T, g *graph.Graph, workers int) goldenRun {
+			opt := goldenBase()
+			opt.Workers = workers
+			opt.Model = rma.DefaultCostModel()
+			opt.Model.Noise = rma.NoiseSpec{Amp: 0.3, SpikePeriodNS: 1e6, SpikeNS: 2e4, Seed: 42}
+			res, err := lcc.Run(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goldenRun{math.Float64bits(res.SimTime), 0, res.Triangles, -1}
+		},
+	},
+	{
+		name: "push",
+		want: goldenRun{0x418f03fb880008fd, goldenLCCBits, goldenTriangles, goldenSumT},
+		run: func(t *testing.T, g *graph.Graph, workers int) goldenRun {
+			opt := goldenBase()
+			opt.Workers = workers
+			res, err := lcc.RunPush(g, lcc.PushOptions{Options: opt, Aggregation: lcc.PushBatched})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goldenRun{math.Float64bits(res.SimTime), lccBits(res.LCC), res.Triangles, res.SumT}
+		},
+	},
+	{
+		name: "replicated",
+		want: goldenRun{0x4194d5d82066633a, goldenLCCBits, goldenTriangles, goldenSumT},
+		run: func(t *testing.T, g *graph.Graph, workers int) goldenRun {
+			opt := goldenBase()
+			opt.Workers = workers
+			res, err := lcc.RunReplicated(g, lcc.ReplicatedOptions{Options: opt, Replication: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goldenRun{math.Float64bits(res.SimTime), lccBits(res.LCC), res.Triangles, res.SumT}
+		},
+	},
+	{
+		name: "jaccard",
+		want: goldenRun{0x419e4086ab9986ca, 0x40d8e68d91b9c64c, -1, -1},
+		run: func(t *testing.T, g *graph.Graph, workers int) goldenRun {
+			opt := goldenBase()
+			opt.Workers = workers
+			res, err := lcc.RunJaccard(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goldenRun{math.Float64bits(res.SimTime), lccBits(res.Scores), -1, -1}
+		},
+	},
+	{
+		name: "grid",
+		want: goldenRun{0x4149df9a00000000, goldenLCCBits, goldenTriangles, -1},
+		run: func(t *testing.T, g *graph.Graph, workers int) goldenRun {
+			res, err := grid.Run(g, grid.Options{Ranks: 4, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return goldenRun{math.Float64bits(res.SimTime), lccBits(res.LCC), res.Triangles, -1}
+		},
+	},
+}
+
+func checkGoldenRun(t *testing.T, name string, got, want goldenRun) {
 	t.Helper()
-	if got := math.Float64bits(res.SimTime); got != simBits {
-		t.Errorf("%s: SimTime bits = %#x, want %#x (Δ=%g ns)", name, got, simBits,
-			res.SimTime-math.Float64frombits(simBits))
+	if got.simBits != want.simBits {
+		t.Errorf("%s: SimTime bits = %#x, want %#x (Δ=%g ns)", name, got.simBits, want.simBits,
+			math.Float64frombits(got.simBits)-math.Float64frombits(want.simBits))
 	}
-	if res.Triangles != goldenTriangles || res.SumT != goldenSumT {
-		t.Errorf("%s: Triangles/SumT = %d/%d, want %d/%d",
-			name, res.Triangles, res.SumT, goldenTriangles, goldenSumT)
+	if want.sumBits != 0 && got.sumBits != want.sumBits {
+		t.Errorf("%s: checksum = %#x, want %#x", name, got.sumBits, want.sumBits)
 	}
-	if got := lccBits(res.LCC); got != goldenLCCBits {
-		t.Errorf("%s: LCC checksum = %#x, want %#x", name, got, goldenLCCBits)
+	if want.tri >= 0 && got.tri != want.tri {
+		t.Errorf("%s: Triangles = %d, want %d", name, got.tri, want.tri)
 	}
-}
-
-func TestGoldenPull(t *testing.T) {
-	g := gen.MustLoad("fb-sim")
-	res, err := lcc.Run(g, goldenBase())
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "pull", res, 0x419e343dbb9986d8)
-}
-
-func TestGoldenCached(t *testing.T) {
-	g := gen.MustLoad("fb-sim")
-	opt := goldenBase()
-	opt.Caching = true
-	opt.OffsetsCacheBytes = 1 << 14
-	opt.AdjCacheBytes = 1 << 16
-	opt.AdjScorePolicy = lcc.ScoreDegree
-	res, err := lcc.Run(g, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "cached", res, 0x41a09b0455ccbf5c)
-	if h, m := res.PerRank[0].AdjCache.Hits, res.PerRank[0].AdjCache.Misses; h != 3592 || m != 27335 {
-		t.Errorf("rank-0 C_adj hits/misses = %d/%d, want 3592/27335", h, m)
+	if want.sumT >= 0 && got.sumT != want.sumT {
+		t.Errorf("%s: SumT = %d, want %d", name, got.sumT, want.sumT)
 	}
 }
 
-func TestGoldenNoise(t *testing.T) {
+// runGoldenConfig executes one named table entry at the default worker
+// count and asserts its pins.
+func runGoldenConfig(t *testing.T, name string) {
+	t.Helper()
 	g := gen.MustLoad("fb-sim")
-	opt := goldenBase()
-	opt.Model = rma.DefaultCostModel()
-	opt.Model.Noise = rma.NoiseSpec{Amp: 0.3, SpikePeriodNS: 1e6, SpikeNS: 2e4, Seed: 42}
-	res, err := lcc.Run(g, opt)
-	if err != nil {
-		t.Fatal(err)
+	for _, cfg := range goldenConfigs {
+		if cfg.name == name {
+			checkGoldenRun(t, cfg.name, cfg.run(t, g, 0), cfg.want)
+			return
+		}
 	}
-	if got := math.Float64bits(res.SimTime); got != 0x41a1b9b48a01a470 {
-		t.Errorf("noise: SimTime bits = %#x, want 0x41a1b9b48a01a470", got)
-	}
-	if res.Triangles != goldenTriangles {
-		t.Errorf("noise: Triangles = %d, want %d", res.Triangles, goldenTriangles)
-	}
+	t.Fatalf("unknown golden configuration %q", name)
 }
 
-func TestGoldenPush(t *testing.T) {
-	g := gen.MustLoad("fb-sim")
-	res, err := lcc.RunPush(g, lcc.PushOptions{Options: goldenBase(), Aggregation: lcc.PushBatched})
-	if err != nil {
-		t.Fatal(err)
-	}
-	checkGolden(t, "push", res, 0x418f03fb880008fd)
-}
+func TestGoldenPull(t *testing.T)       { runGoldenConfig(t, "pull") }
+func TestGoldenCached(t *testing.T)     { runGoldenConfig(t, "cached") }
+func TestGoldenNoise(t *testing.T)      { runGoldenConfig(t, "noise") }
+func TestGoldenPush(t *testing.T)       { runGoldenConfig(t, "push") }
+func TestGoldenReplicated(t *testing.T) { runGoldenConfig(t, "replicated") }
+func TestGoldenJaccard(t *testing.T)    { runGoldenConfig(t, "jaccard") }
+func TestGoldenGrid(t *testing.T)       { runGoldenConfig(t, "grid") }
 
-func TestGoldenReplicated(t *testing.T) {
+// TestGoldenWorkerSweep re-runs the full golden table at Workers ∈
+// {1, 2, 4, 8} and asserts that every pinned quantity matches the
+// sequential seed values exactly. This is the determinism contract of
+// the parallel scheduler (DESIGN.md §4): worker count trades host
+// wall-clock for cores and changes nothing else.
+func TestGoldenWorkerSweep(t *testing.T) {
 	g := gen.MustLoad("fb-sim")
-	res, err := lcc.RunReplicated(g, lcc.ReplicatedOptions{Options: goldenBase(), Replication: 2})
-	if err != nil {
-		t.Fatal(err)
+	workerCounts := []int{1, 2, 4, 8}
+	if testing.Short() {
+		workerCounts = []int{1, 4}
 	}
-	checkGolden(t, "replicated", res, 0x4194d5d82066633a)
-}
-
-func TestGoldenJaccard(t *testing.T) {
-	g := gen.MustLoad("fb-sim")
-	res, err := lcc.RunJaccard(g, goldenBase())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := math.Float64bits(res.SimTime); got != 0x419e4086ab9986ca {
-		t.Errorf("jaccard: SimTime bits = %#x, want 0x419e4086ab9986ca", got)
-	}
-	if got := lccBits(res.Scores); got != 0x40d8e68d91b9c64c {
-		t.Errorf("jaccard: score checksum = %#x, want 0x40d8e68d91b9c64c", got)
-	}
-}
-
-func TestGoldenGrid(t *testing.T) {
-	g := gen.MustLoad("fb-sim")
-	res, err := grid.Run(g, grid.Options{Ranks: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := math.Float64bits(res.SimTime); got != 0x4149df9a00000000 {
-		t.Errorf("grid: SimTime bits = %#x, want 0x4149df9a00000000", got)
-	}
-	if res.Triangles != goldenTriangles {
-		t.Errorf("grid: Triangles = %d, want %d", res.Triangles, goldenTriangles)
-	}
-	if got := lccBits(res.LCC); got != goldenLCCBits {
-		t.Errorf("grid: LCC checksum = %#x, want %#x", got, goldenLCCBits)
+	for _, wk := range workerCounts {
+		wk := wk
+		t.Run(fmt.Sprintf("workers=%d", wk), func(t *testing.T) {
+			for _, cfg := range goldenConfigs {
+				checkGoldenRun(t, cfg.name, cfg.run(t, g, wk), cfg.want)
+			}
+		})
 	}
 }
 

@@ -153,6 +153,14 @@ type Cache struct {
 	reqFree []*Request
 	pmFree  []*pendingMiss
 
+	// busy asserts the single-owner contract now that ranks execute on
+	// concurrent worker goroutines: operational entry points set and clear
+	// it with PLAIN (unsynchronized) writes — deliberately, so the race
+	// detector flags any cross-goroutine use of one cache as a data race
+	// on this field, and reentrant use panics outright. Cost on the hot
+	// path: two unordered byte stores, no locks, no atomics.
+	busy bool
+
 	// adaptive-tuning observation window
 	obsOps       int64
 	obsConflicts int64
@@ -307,12 +315,16 @@ func (c *Cache) newPM() *pendingMiss {
 // panics: complete it first (Wait or FlushWindow).
 func (q *Request) Release() {
 	c := q.cache
+	// Precondition checks precede enter(): these panics are recoverable
+	// contract assertions (tests exercise them) and must not leave the
+	// single-owner flag set.
 	if q.pooled {
 		panic("clampi: Release of an already-released request")
 	}
 	if q.pm != nil && !q.pm.done {
 		panic("clampi: Release of an incomplete miss; Wait or FlushWindow first")
 	}
+	c.enter()
 	if q.under != nil {
 		q.under.Release()
 	}
@@ -325,6 +337,7 @@ func (q *Request) Release() {
 	buf := q.buf
 	*q = Request{cache: c, pooled: true, buf: buf[:0]}
 	c.reqFree = append(c.reqFree, q)
+	c.leave()
 }
 
 // dropFromPending marks pm as removed from the pending list and recycles
@@ -347,8 +360,11 @@ func (q *Request) Wait() {
 	if q.hit || q.pm.done {
 		return
 	}
+	c := q.cache
+	c.enter()
 	q.pm.under.Wait()
-	q.cache.complete(q.pm)
+	c.complete(q.pm)
+	c.leave()
 }
 
 // Data returns the bytes read from a byte window. The slice must be
@@ -391,9 +407,23 @@ func (q *Request) Vertices() []graph.V {
 	return q.pm.under.Vertices()
 }
 
+// enter asserts the single-owner contract on an operational entry point;
+// leave clears it. See Cache.busy.
+func (c *Cache) enter() {
+	if c.busy {
+		panic("clampi: concurrent or reentrant use of a single-owner cache")
+	}
+	c.busy = true
+}
+
+func (c *Cache) leave() { c.busy = false }
+
 // Get issues a cached one-sided read (no application score).
 func (c *Cache) Get(target, offset, size int) *Request {
-	return c.get(target, offset, size, math.NaN())
+	c.enter()
+	q := c.get(target, offset, size, math.NaN())
+	c.leave()
+	return q
 }
 
 // GetScored issues a cached one-sided read carrying an application-defined
@@ -401,7 +431,10 @@ func (c *Cache) Get(target, offset, size int) *Request {
 // adjacency cache the score is the remote vertex's out-degree, which the
 // engine knows from the preceding offsets get.
 func (c *Cache) GetScored(target, offset, size int, score float64) *Request {
-	return c.get(target, offset, size, score)
+	c.enter()
+	q := c.get(target, offset, size, score)
+	c.leave()
+	return q
 }
 
 // serveView fills q's data fields for a resident region: aliased window
@@ -514,6 +547,7 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 // (MPI_Win_flush_all) and stores the retrieved data in the cache (Fig. 3,
 // step 6).
 func (c *Cache) FlushWindow() {
+	c.enter()
 	c.rank.FlushAll(c.win)
 	for i, pm := range c.pending {
 		c.complete(pm)
@@ -521,6 +555,7 @@ func (c *Cache) FlushWindow() {
 		c.pending[i] = nil
 	}
 	c.pending = c.pending[:0]
+	c.leave()
 }
 
 func (c *Cache) complete(pm *pendingMiss) {
@@ -650,17 +685,19 @@ func (c *Cache) evict(e *entry) {
 // cached entry, as the modified CLaMPI accepts from the user (§III-B-2).
 // It is a no-op if the entry is not cached.
 func (c *Cache) SetScore(target, offset, size int, score float64) {
-	if !c.coder.fits(target, offset, size) {
-		return // nothing outside the window geometry is ever cached
+	c.enter()
+	if c.coder.fits(target, offset, size) {
+		// (Nothing outside the window geometry is ever cached.)
+		pk := c.coder.pack(target, offset, size)
+		h := c.coder.hash(target, offset, size)
+		if slot := c.tab.lookup(pk, h); slot >= 0 {
+			e := c.tab.entryAt(slot)
+			e.appScore = score
+			c.tab.bumpStamp(slot)
+			c.victims.update(e)
+		}
 	}
-	pk := c.coder.pack(target, offset, size)
-	h := c.coder.hash(target, offset, size)
-	if slot := c.tab.lookup(pk, h); slot >= 0 {
-		e := c.tab.entryAt(slot)
-		e.appScore = score
-		c.tab.bumpStamp(slot)
-		c.victims.update(e)
-	}
+	c.leave()
 }
 
 // Contains reports whether the exact region is currently cached.

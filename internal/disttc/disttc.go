@@ -29,6 +29,9 @@ import (
 type Options struct {
 	Ranks int
 	Model rma.CostModel
+	// Workers bounds concurrent superstep execution on the host; 0
+	// selects GOMAXPROCS. Results are bit-identical at any worker count.
+	Workers int
 	// Scheme is the 1D vertex distribution (Block by default, matching
 	// the repository's other engines; DistTC itself uses an edge-cut
 	// minimizing policy, but the comparison holds the partitioning fixed
@@ -98,7 +101,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	world := p2p.NewWorld(opt.Ranks, opt.Model)
+	world := p2p.NewWorldWorkers(opt.Ranks, opt.Model, opt.Workers)
 
 	res := &Result{LCC: make([]float64, n)}
 	perVertexT := make([]int64, n)
@@ -170,16 +173,20 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 	// --- phase 2c: install shadows, then count locally ------------------
 	shadow := make([]map[graph.V][]graph.V, opt.Ranks)
+	shadowArcs := make([]int64, opt.Ranks) // per rank: bodies run concurrently
 	world.Superstep(func(r *p2p.Rank) {
 		shadow[r.ID()] = make(map[graph.V][]graph.V)
 		for _, m := range r.Inbox() {
 			for _, sl := range m.Payload.(shadowBatch) {
 				shadow[r.ID()][sl.v] = sl.out
-				res.ShadowArcs += int64(len(sl.out))
+				shadowArcs[r.ID()] += int64(len(sl.out))
 				r.Compute(len(sl.out) + 2) // install copy
 			}
 		}
 	})
+	for _, a := range shadowArcs {
+		res.ShadowArcs += a
+	}
 	res.PrecomputeTime = world.MaxClock()
 
 	// --- phase 3: communication-free local counting ---------------------

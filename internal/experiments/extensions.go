@@ -313,11 +313,8 @@ func AblationPushPull() *Table {
 						name, r.Triangles, pull.Triangles))
 				}
 			}
-			var pullGets, pushGets int64
-			for i := 0; i < ranks; i++ {
-				pullGets += pull.PerRank[i].RMA.Gets
-				pushGets += batched.PerRank[i].RMA.Gets
-			}
+			pullGets := pull.AggregateRMA().Gets
+			pushGets := batched.AggregateRMA().Gets
 			times := map[string]float64{
 				"pull": pull.SimTime, "pull+cache": cached.SimTime,
 				"push direct": direct.SimTime, "push batched": batched.SimTime,

@@ -13,6 +13,9 @@ type Options struct {
 	// Ranks is p; it must be a perfect square (the grid is √p×√p).
 	Ranks int
 	Model rma.CostModel
+	// Workers bounds concurrent rank execution on the host; 0 selects
+	// GOMAXPROCS. Results are bit-identical at any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,7 +69,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	// Serialized blocks are immutable for the whole run, so the window is
 	// read-only: every block get is served as an aliased view.
-	comm := rma.NewComm(opt.Ranks, opt.Model)
+	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
 	win := comm.CreateReadOnlyWindow("blocks", bufs)
 
 	// Per-row triangle partials: rank (i,j) writes only rows of chunk i;
@@ -171,12 +174,14 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		res.LCC[u] = lcc.Score(graph.Undirected, rowSums[u]/2, g.OutDegree(graph.V(u)))
 	}
 	res.Triangles = total / 6
+	var agg rma.Counters
 	for _, s := range stats {
 		if s.RemoteBytes > res.RemoteBytesMax {
 			res.RemoteBytesMax = s.RemoteBytes
 		}
-		res.BlockFetches += s.Gets
+		agg.Merge(s)
 	}
+	res.BlockFetches = agg.Gets
 	return res, nil
 }
 

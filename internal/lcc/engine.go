@@ -16,6 +16,12 @@ import (
 type Options struct {
 	// Ranks is the number of computing nodes p.
 	Ranks int
+	// Workers bounds how many simulated ranks execute concurrently on
+	// host goroutines (internal/sched). 0 selects GOMAXPROCS. Every
+	// result — SimTime float bits, triangle counts, LCC scores, cache
+	// hit counts — is bit-identical at any worker count; Workers only
+	// trades host wall-clock for cores (DESIGN.md §4).
+	Workers int
 	// Scheme is the 1D vertex distribution; Block is the paper's default.
 	Scheme part.Scheme
 	// Model is the machine calibration; zero value selects the default
@@ -254,7 +260,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	// windows are typed and read-only: setup involves no byte encoding,
 	// the adjacency window aliases the partition's own storage, and every
 	// Get returns a view instead of a copy.
-	comm := rma.NewComm(opt.Ranks, opt.Model)
+	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
 	wOff, wAdj := makeGraphWindows(comm, locals)
 
 	lccOut := make([]float64, n)
@@ -645,15 +651,26 @@ func (res *Result) CacheMissRates() (offRate, adjRate float64) {
 	return
 }
 
+// AggregateRMA rolls the per-rank RMA counters into one global record via
+// Counters.Merge — the single aggregation path end-of-run reporting uses,
+// so no counter field is dropped by an ad-hoc sum.
+func (res *Result) AggregateRMA() rma.Counters {
+	var agg rma.Counters
+	for _, s := range res.PerRank {
+		agg.Merge(s.RMA)
+	}
+	return agg
+}
+
 // AvgRemoteReadTime returns the mean simulated cost of one remote
 // adjacency fetch (both gets plus cache service time), the metric of
 // Fig. 8. NaN-free: returns 0 when no remote reads occurred.
 func (res *Result) AvgRemoteReadTime() float64 {
 	var reads int64
-	var cost float64
+	cost := res.AggregateRMA().GetCost
 	for _, s := range res.PerRank {
 		reads += s.RemoteReads
-		cost += s.RMA.GetCost + s.OffsetsCache.HitTime + s.AdjCache.HitTime +
+		cost += s.OffsetsCache.HitTime + s.AdjCache.HitTime +
 			s.OffsetsCache.OverheadTime + s.AdjCache.OverheadTime
 	}
 	if reads == 0 {

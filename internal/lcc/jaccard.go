@@ -40,7 +40,7 @@ func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
 	}
 	locals := part.ExtractAll(g, pt)
 
-	comm := rma.NewComm(opt.Ranks, opt.Model)
+	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
 	wOff, wAdj := makeGraphWindows(comm, locals)
 
 	scores := make([]float64, g.NumArcs())

@@ -136,7 +136,7 @@ func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
 		triBufs[r] = make([]byte, 8*lc.NumLocal())
 	}
 
-	comm := rma.NewComm(opt.Ranks, opt.Model)
+	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
 	wOff, wAdj := makeGraphWindows(comm, locals)
 	wTri := comm.CreateWindow("triangles", triBufs)
 	bar := comm.NewBarrier()

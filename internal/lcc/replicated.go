@@ -66,7 +66,7 @@ func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
 	// — and hence the memory accounting of the 2.5D trade — are identical
 	// across replicas of a slot; the host-side storage is now shared,
 	// which is exactly the zero-copy point.
-	comm := rma.NewComm(opt.Ranks, opt.Model)
+	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
 	wOff, wAdj := makeGraphWindows(comm, slots)
 	deleg := BuildDelegation(g, opt.DelegateBytes)
 

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"repro/internal/rma"
+	"repro/internal/sched"
 )
 
 // Message is a delivered two-sided message. Payload travels by reference —
@@ -114,16 +115,29 @@ func (r *Rank) Inbox() []Message { return r.inbox }
 type World struct {
 	p     int
 	model rma.CostModel
+	pool  *sched.Pool
 	ranks []*Rank
 	steps int
 }
 
-// NewWorld creates a BSP world of p ranks sharing the given cost model.
+// NewWorld creates a BSP world of p ranks sharing the given cost model,
+// with superstep bodies running on up to GOMAXPROCS concurrent workers
+// (see NewWorldWorkers).
 func NewWorld(p int, model rma.CostModel) *World {
+	return NewWorldWorkers(p, model, 0)
+}
+
+// NewWorldWorkers creates a BSP world whose superstep bodies execute on at
+// most workers concurrent goroutines; workers <= 0 selects GOMAXPROCS.
+// Supersteps are barrier-phased — ranks interact only through the
+// host-serial Exchange between steps — so results are bit-identical at
+// every worker count provided bodies keep their writes rank-disjoint (the
+// contract Superstep documents).
+func NewWorldWorkers(p int, model rma.CostModel, workers int) *World {
 	if p < 1 {
 		panic(fmt.Sprintf("p2p: need at least one rank, got %d", p))
 	}
-	w := &World{p: p, model: model}
+	w := &World{p: p, model: model, pool: sched.New(workers)}
 	w.ranks = make([]*Rank, p)
 	for i := range w.ranks {
 		w.ranks[i] = &Rank{id: i, world: w, outbox: make([][]Message, p)}
@@ -141,13 +155,18 @@ func (w *World) Ranks() []*Rank { return w.ranks }
 // Steps returns the number of supersteps executed so far.
 func (w *World) Steps() int { return w.steps }
 
-// Superstep runs body on every rank (serially — ranks interact only at
-// exchange boundaries, and serial execution keeps the simulation
-// deterministic), then performs the all-to-all exchange and barrier.
+// Superstep runs body on every rank — concurrently, bounded by the
+// world's worker count — then performs the all-to-all exchange and
+// barrier. Ranks interact only at the exchange boundary, which runs
+// host-serially in deterministic (sender, send-order) order, so the
+// simulation stays bit-identical at any worker count as long as bodies
+// write only rank-disjoint state: a body may touch its own rank's
+// staging (outbox, per-rank slices indexed by r.ID(), vertices its rank
+// owns) and read shared immutable data, nothing else.
 func (w *World) Superstep(body func(r *Rank)) {
-	for _, r := range w.ranks {
-		body(r)
-	}
+	w.pool.Run(w.p, func(i int) {
+		body(w.ranks[i])
+	})
 	w.Exchange()
 }
 

@@ -16,21 +16,25 @@ import (
 // instead of pulling adjacency lists.
 
 // Flush completes every outstanding operation of this rank addressed to
-// one target on w (MPI_Win_flush): the clock advances to the latest
-// completion time among them. Operations to other targets stay pending.
+// one target on w (MPI_Win_flush): staged accumulates for that target
+// land in the region, and the clock advances to the latest completion
+// time among the pending operations. Operations to other targets stay
+// pending (and staged).
 func (r *Rank) Flush(w *Window, target int) {
+	if r.stagedOps > 0 {
+		r.commitStaged(w, target)
+	}
 	r.completePending(func(q *Request) bool { return q.win == w && q.target == target })
 }
 
-// atomicMu guards read-modify-write window updates. Real MPI guarantees
-// element-wise atomicity of accumulates against each other; a single lock
-// is the simplest faithful equivalent (contention is not modeled — the
-// charge is the same α + s·β as any other one-sided op).
-var atomicMu sync.Mutex
-
 // Accumulate atomically adds delta to the uint64 at byte offset in
 // target's region (MPI_Accumulate with MPI_SUM). Like Put, the operation
-// is non-blocking; its completion is observed by a flush.
+// is non-blocking; its completion — and, since the parallel scheduler,
+// its effect on the target region — is observed by a flush or barrier:
+// the update is staged per (origin, target) and committed there
+// (staged.go), so issuing an accumulate is a rank-local append rather
+// than a serializing read-modify-write. Accumulates targeting the rank
+// itself commit immediately, preserving local program order.
 func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request {
 	if !r.epochs[w] {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate on %q outside an access epoch", r.id, w.name))
@@ -38,18 +42,15 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 	if w.kind != WritableBytes {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate on %v window %q", r.id, w.kind, w.name))
 	}
-	region := w.loc[target]
-	if offset < 0 || offset+8 > len(region) {
+	if offset < 0 || offset+8 > len(w.loc[target]) {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate %q target %d [%d:+8) out of range (len %d)",
-			r.id, w.name, target, offset, len(region)))
+			r.id, w.name, target, offset, len(w.loc[target])))
 	}
-	atomicMu.Lock()
-	old := binary.LittleEndian.Uint64(region[offset:])
-	binary.LittleEndian.PutUint64(region[offset:], old+delta)
-	atomicMu.Unlock()
+	r.stage(w, target, offset, delta)
 
 	q := r.newRequest(w, target)
 	if target == r.id {
+		r.commitStaged(w, target)
 		r.clock.Advance(r.comm.model.LocalCost(8))
 		q.completeAt = r.clock.Now()
 		q.done = true
@@ -80,10 +81,14 @@ func (r *Rank) FetchAdd64(w *Window, target, offset int, delta uint64) uint64 {
 		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 %q target %d [%d:+8) out of range (len %d)",
 			r.id, w.name, target, offset, len(region)))
 	}
-	atomicMu.Lock()
+	applyMu.Lock()
+	// Same-origin ordering: this rank's earlier accumulates to the word
+	// must be visible in the fetched value (MPI orders atomics per
+	// origin-target pair).
+	r.commitStagedLocked(w, target)
 	old := binary.LittleEndian.Uint64(region[offset:])
 	binary.LittleEndian.PutUint64(region[offset:], old+delta)
-	atomicMu.Unlock()
+	applyMu.Unlock()
 	if target == r.id {
 		r.clock.Advance(r.comm.model.LocalCost(8))
 		return old
@@ -126,16 +131,12 @@ func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
 				r.id, w.name, target, u.Offset, len(region)))
 		}
 	}
-	atomicMu.Lock()
-	for _, u := range ups {
-		old := binary.LittleEndian.Uint64(region[u.Offset:])
-		binary.LittleEndian.PutUint64(region[u.Offset:], old+u.Delta)
-	}
-	atomicMu.Unlock()
+	r.stageBatch(w, target, ups)
 
 	size := updateWireBytes * len(ups)
 	q := r.newRequest(w, target)
 	if target == r.id {
+		r.commitStaged(w, target)
 		r.clock.Advance(r.comm.model.LocalCost(size))
 		q.completeAt = r.clock.Now()
 		q.done = true
@@ -154,6 +155,13 @@ func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
 // maximum plus BarrierLatency). It is the building block for active-target
 // epochs and for the collective phases of the baselines when they run over
 // raw RMA.
+//
+// A barrier is also the scheduler's commit point: once the last rank has
+// arrived, every rank's staged accumulates are replayed into the window
+// regions in origin-rank order (staged.go), so post-barrier reads observe
+// the same bytes at any worker count. A rank blocked here releases its
+// worker slot (sched.Pool.Yield) — with W < p workers the ranks it waits
+// for could otherwise never run.
 type Barrier struct {
 	comm *Comm
 
@@ -162,6 +170,7 @@ type Barrier struct {
 	arrived int
 	gen     int
 	maxT    float64
+	doneT   float64 // release time of the last closed generation
 }
 
 // NewBarrier creates a reusable barrier over the communicator's p ranks.
@@ -175,24 +184,38 @@ func (c *Comm) NewBarrier() *Barrier {
 // the latest arrival time plus BarrierLatency. The time a rank spends
 // blocked is accounted as FlushWait (it is synchronization, not work).
 func (b *Barrier) Wait(r *Rank) {
-	b.mu.Lock()
-	gen := b.gen
-	if t := r.clock.Now(); t > b.maxT {
-		b.maxT = t
-	}
-	b.arrived++
-	if b.arrived == b.comm.p {
-		b.maxT += b.comm.model.BarrierLatency
-		b.arrived = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
+	var target float64
+	rendezvous := func() {
+		b.mu.Lock()
+		gen := b.gen
+		if t := r.clock.Now(); t > b.maxT {
+			b.maxT = t
 		}
+		b.arrived++
+		if b.arrived == b.comm.p {
+			b.comm.commitAllStaged()
+			b.maxT += b.comm.model.BarrierLatency
+			// Snapshot the release time per generation: early arrivals of
+			// the NEXT round bump maxT before slow waiters of this round
+			// wake, and reading the live maxT then would make a waiter's
+			// clock depend on the host schedule.
+			b.doneT = b.maxT
+			b.arrived = 0
+			b.gen++
+			b.cond.Broadcast()
+		} else {
+			for gen == b.gen {
+				b.cond.Wait()
+			}
+		}
+		target = b.doneT
+		b.mu.Unlock()
 	}
-	target := b.maxT
-	b.mu.Unlock()
+	if r.running {
+		r.comm.pool.Yield(rendezvous)
+	} else {
+		rendezvous()
+	}
 	before := r.clock.Now()
 	r.clock.AdvanceTo(target)
 	r.ctr.FlushWait += r.clock.Now() - before

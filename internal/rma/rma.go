@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/sched"
 )
 
 // Comm is a simulated MPI communicator: a world of p ranks plus the cost
@@ -13,17 +14,30 @@ import (
 type Comm struct {
 	p     int
 	model CostModel
+	pool  *sched.Pool
 
 	mu      sync.Mutex
 	windows []*Window
+	byID    [][]*Rank // every Rank handle created, grouped by id (staged-op commit order)
 }
 
-// NewComm creates a world of p ranks.
+// NewComm creates a world of p ranks whose bodies run on up to GOMAXPROCS
+// concurrent worker goroutines (see NewCommWorkers).
 func NewComm(p int, model CostModel) *Comm {
+	return NewCommWorkers(p, model, 0)
+}
+
+// NewCommWorkers creates a world of p ranks bounded to the given number of
+// concurrently executing rank bodies. workers <= 0 selects GOMAXPROCS.
+// Results are bit-identical at every worker count: rank state is
+// rank-local, and the only cross-rank writes — accumulates into writable
+// windows — are staged per (origin, target) and committed in origin-rank
+// order at barriers (DESIGN.md §4).
+func NewCommWorkers(p int, model CostModel, workers int) *Comm {
 	if p < 1 {
 		panic(fmt.Sprintf("rma: need at least one rank, got %d", p))
 	}
-	return &Comm{p: p, model: model}
+	return &Comm{p: p, model: model, pool: sched.New(workers), byID: make([][]*Rank, p)}
 }
 
 // NumRanks returns the world size p.
@@ -31,6 +45,9 @@ func (c *Comm) NumRanks() int { return c.p }
 
 // Model returns the communicator's cost model.
 func (c *Comm) Model() CostModel { return c.model }
+
+// Workers returns the scheduler's concurrency bound.
+func (c *Comm) Workers() int { return c.pool.Workers() }
 
 // WindowKind identifies the storage and aliasing discipline of a window.
 // The modeled communication cost is identical across kinds — only the
@@ -196,18 +213,41 @@ type Counters struct {
 	ComputeTime float64 // simulated time charged via Compute (ns)
 }
 
+// Merge accumulates o's activity into c. It is the one end-of-run rollup
+// path: engines aggregating per-rank counters call Merge instead of
+// summing fields ad hoc, so a counter added here is never silently
+// dropped from a report (merge_test.go pins the field coverage). Merge is
+// not concurrency-safe; aggregate after the run, from one goroutine.
+func (c *Counters) Merge(o Counters) {
+	c.Gets += o.Gets
+	c.LocalGets += o.LocalGets
+	c.Puts += o.Puts
+	c.RemoteBytes += o.RemoteBytes
+	c.LocalBytes += o.LocalBytes
+	c.GetCost += o.GetCost
+	c.FlushWait += o.FlushWait
+	c.ComputeTime += o.ComputeTime
+}
+
 // Rank is one process of the world. A Rank must be used from a single
 // goroutine; different Ranks may run concurrently. That single-goroutine
 // contract is what makes the request free list safe without locking.
 type Rank struct {
-	id    int
-	comm  *Comm
-	clock Clock
-	ctr   Counters
+	id      int
+	comm    *Comm
+	clock   Clock
+	ctr     Counters
+	running bool // inside a pool-scheduled Run body (holds a worker slot)
 
 	epochs  map[*Window]bool
 	pending []*Request
 	free    []*Request // recycled requests (see Request.Release)
+
+	// Staged accumulates: cross-rank window writes buffered per target
+	// until a flush or barrier commits them (staged.go). stagedOps counts
+	// buffered updates so the no-accumulate hot paths pay one int check.
+	staged    [][]stagedAcc
+	stagedOps int
 }
 
 // Rank constructs the handle for rank id. Each id should be obtained once,
@@ -218,6 +258,9 @@ func (c *Comm) Rank(id int) *Rank {
 	}
 	r := &Rank{id: id, comm: c, epochs: map[*Window]bool{}}
 	r.clock.SetNoise(c.model.Noise, id)
+	c.mu.Lock()
+	c.byID[id] = append(c.byID[id], r)
+	c.mu.Unlock()
 	return r
 }
 
@@ -447,6 +490,11 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 		panic(fmt.Sprintf("rma: rank %d: Get %q target %d [%d:+%d) out of range (len %d)",
 			r.id, w.name, target, offset, size, rl))
 	}
+	if r.stagedOps > 0 && w.kind == WritableBytes {
+		// Same-origin program order: a snapshot taken after this rank's
+		// own accumulates must observe them (staged.go).
+		r.commitStaged(w, target)
+	}
 	q := r.newRequest(w, target)
 	q.resolve(w, target, offset, size)
 	if target == r.id {
@@ -482,6 +530,11 @@ func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
 	if offset < 0 || offset+len(data) > len(region) {
 		panic(fmt.Sprintf("rma: rank %d: Put %q target %d [%d:+%d) out of range (len %d)",
 			r.id, w.name, target, offset, len(data), len(region)))
+	}
+	if r.stagedOps > 0 {
+		// Same-origin program order: accumulates issued before this Put
+		// land first (staged.go).
+		r.commitStaged(w, target)
 	}
 	copy(region[offset:], data)
 	q := r.newRequest(w, target)
@@ -525,28 +578,33 @@ func (r *Rank) completePending(match func(q *Request) bool) {
 }
 
 // FlushAll completes every outstanding operation of this rank on w
-// (MPI_Win_flush_all): the clock advances to the latest completion time.
-// Completed requests that were released while pending return to the free
-// list here.
+// (MPI_Win_flush_all): staged accumulates on w land in the target regions,
+// and the clock advances to the latest completion time. Completed requests
+// that were released while pending return to the free list here.
 func (r *Rank) FlushAll(w *Window) {
+	if r.stagedOps > 0 {
+		r.commitStaged(w, -1)
+	}
 	r.completePending(func(q *Request) bool { return q.win == w })
 }
 
-// Run executes body on every rank concurrently and returns the rank handles
-// (with final clocks and counters) once all have finished. This mirrors an
-// SPMD mpirun: fully asynchronous ranks, no hidden synchronization.
+// Run executes body on every rank concurrently — each rank on its own
+// goroutine, with at most Workers (NewCommWorkers) executing at any
+// moment — and returns the rank handles (with final clocks and counters)
+// once all have finished. This mirrors an SPMD mpirun on a host with
+// Workers cores: fully asynchronous ranks, no hidden synchronization, and
+// results that are bit-identical at every worker count.
 func (c *Comm) Run(body func(r *Rank)) []*Rank {
 	ranks := make([]*Rank, c.p)
-	var wg sync.WaitGroup
 	for i := 0; i < c.p; i++ {
 		ranks[i] = c.Rank(i)
-		wg.Add(1)
-		go func(r *Rank) {
-			defer wg.Done()
-			body(r)
-		}(ranks[i])
 	}
-	wg.Wait()
+	c.pool.Run(c.p, func(i int) {
+		r := ranks[i]
+		r.running = true
+		body(r)
+		r.running = false
+	})
 	return ranks
 }
 

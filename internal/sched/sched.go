@@ -1,0 +1,95 @@
+// Package sched provides the deterministic multicore rank scheduler: it
+// runs the bodies of p simulated ranks on real goroutines while bounding
+// how many execute simultaneously to a fixed worker count.
+//
+// The paper's machine makes P ranks progress concurrently; the simulation
+// must do the same to use the host's cores, but it must also keep the
+// golden-test guarantee that every simulated quantity — SimTime float
+// bits, triangle counts, cache hit counts — is bit-identical at any
+// worker count, including Workers=1. The scheduler therefore never
+// *orders* rank execution: it only bounds concurrency. Determinism is a
+// property of the workloads it runs, enforced by construction elsewhere
+// (rank-local clocks and counters, disjoint output ranges, and the staged
+// commutative window updates of internal/rma — see DESIGN.md §4). Under
+// that discipline any interleaving of rank bodies produces the same
+// results, so the pool is free to let the Go runtime schedule however it
+// likes.
+//
+// The one scheduling subtlety is blocking rendezvous: a rank that waits
+// at a simulated barrier must not pin an execution slot, or W < p worker
+// slots could all be held by blocked ranks while the ranks they wait for
+// are starved — a deadlock. Yield releases the caller's slot around a
+// blocking section and reacquires it afterwards; internal/rma's Barrier
+// and every other cross-rank rendezvous built on the pool route their
+// blocking through it.
+package sched
+
+import "runtime"
+
+// Pool bounds how many rank bodies execute concurrently. The zero value
+// is not usable; call New.
+type Pool struct {
+	workers int
+	slots   chan struct{}
+}
+
+// New creates a pool with the given worker bound. workers <= 0 selects
+// GOMAXPROCS, the default that saturates the host without oversubscribing
+// it.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers, slots: make(chan struct{}, workers)}
+	for i := 0; i < workers; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+// Workers returns the concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// acquire takes an execution slot, blocking until one is free.
+func (p *Pool) acquire() { <-p.slots }
+
+// release returns an execution slot.
+func (p *Pool) release() { p.slots <- struct{}{} }
+
+// Run executes body(i) for every i in [0, n), each on its own goroutine
+// but with at most Workers bodies executing at any moment, and returns
+// when all have finished. Bodies may block in Yield-routed rendezvous
+// without deadlocking the pool. A body that panics (outside a Yield
+// section) has its panic re-thrown from Run once the remaining bodies
+// finish, matching the old serial engine loops where a rank's panic
+// unwound through the caller.
+func (p *Pool) Run(n int, body func(i int)) {
+	done := make(chan interface{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			p.acquire()
+			defer p.release()
+			defer func() { done <- recover() }()
+			body(i)
+		}(i)
+	}
+	var pv interface{}
+	for i := 0; i < n; i++ {
+		if v := <-done; v != nil {
+			pv = v
+		}
+	}
+	if pv != nil {
+		panic(pv)
+	}
+}
+
+// Yield releases the caller's execution slot, runs blocked (which may
+// block on other ranks — a barrier rendezvous, a condition variable), and
+// reacquires a slot before returning. It must only be called from inside
+// a body started by Run; the caller holds a slot by construction.
+func (p *Pool) Yield(blocked func()) {
+	p.release()
+	blocked()
+	p.acquire()
+}

@@ -28,9 +28,12 @@ import (
 
 // Options configure a TriC run.
 type Options struct {
-	Ranks  int
-	Model  rma.CostModel
-	Method intersect.Method
+	Ranks int
+	Model rma.CostModel
+	// Workers bounds concurrent superstep execution on the host; 0
+	// selects GOMAXPROCS. Results are bit-identical at any worker count.
+	Workers int
+	Method  intersect.Method
 	// Buffered caps the bytes of queries a rank may send to one peer per
 	// round (the TriC-Buffered variant). 0 means unbuffered: all queries
 	// go out in a single exchange.
@@ -120,7 +123,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	locals := part.ExtractAll(g, pt)
-	world := p2p.NewWorld(opt.Ranks, opt.Model)
+	world := p2p.NewWorldWorkers(opt.Ranks, opt.Model, opt.Workers)
 
 	perVertexT := make([]int64, n)
 	res := &Result{LCC: make([]float64, n)}
@@ -169,10 +172,15 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 				r.Compute(len(cands)) // staging copy
 			}
 		}
+	})
+	// Queues only grow during the generation superstep, so the per-rank
+	// value now IS the peak; reduce host-side (superstep bodies run
+	// concurrently and must not contend on a shared maximum).
+	for _, st := range states {
 		if st.queuedB > res.MaxQueuedBytes {
 			res.MaxQueuedBytes = st.queuedB
 		}
-	})
+	}
 
 	// Rounds: drain query queues (respecting the buffer cap), process
 	// received queries, return responses, absorb counts. Repeat until no
@@ -181,8 +189,14 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	for i := range pendingResponses {
 		pendingResponses[i] = make([][]response, opt.Ranks)
 	}
+	// Per-rank activity flags, OR-reduced host-side after each round:
+	// superstep bodies run concurrently, so a shared bool would be a
+	// write-write race (benign in value, flagged by the race detector).
+	act := make([]bool, opt.Ranks)
 	for {
-		active := false
+		for i := range act {
+			act[i] = false
+		}
 		// Send a bounded batch of queries plus all pending responses.
 		world.Superstep(func(r *p2p.Rank) {
 			st := states[r.ID()]
@@ -192,7 +206,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 					batch := responseBatch(rs)
 					r.SendPayload(dst, batch, batch.wireSize())
 					pendingResponses[r.ID()][dst] = nil
-					active = true
+					act[r.ID()] = true
 				}
 				if opt.Buffered {
 					// TriC-Buffered: aggregate queries into one
@@ -213,7 +227,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 					}
 					if len(batch) > 0 {
 						r.SendPayload(dst, batch, batch.wireSize())
-						active = true
+						act[r.ID()] = true
 					}
 					continue
 				}
@@ -228,7 +242,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 				for _, q := range st.pendingQ[dst] {
 					r.SendPayload(dst, q, q.wireSize())
 					st.queuedB -= int64(q.wireSize())
-					active = true
+					act[r.ID()] = true
 				}
 				st.pendingQ[dst] = nil
 			}
@@ -268,10 +282,14 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 				default:
 					panic(fmt.Sprintf("tric: unknown payload type %T", pl))
 				}
-				active = true
+				act[r.ID()] = true
 			}
 		})
 
+		active := false
+		for _, a := range act {
+			active = active || a
+		}
 		if !active {
 			break
 		}
