@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt check bench benchdiff
+.PHONY: all build test vet fmt check bench benchdiff pprof fuzz
 
 all: build
 
@@ -27,3 +27,16 @@ bench:
 # fails on per-benchmark regressions past the thresholds (cmd/benchdiff).
 benchdiff:
 	$(GO) run ./cmd/benchdiff
+
+# pprof captures and symbolizes a CPU profile of the end-to-end non-cached
+# engine benchmark, so perf PRs start from evidence instead of guesses.
+# Artifacts: repro.test + cpu.pprof (git-ignored working files); drill
+# further with `go tool pprof repro.test cpu.pprof`.
+pprof:
+	$(GO) test -run '^$$' -bench '^BenchmarkEngineNonCached$$' -benchtime 3x \
+		-cpuprofile cpu.pprof -o repro.test .
+	$(GO) tool pprof -top -nodecount 25 repro.test cpu.pprof
+
+# fuzz runs the intersection-kernel fuzzer briefly — the same smoke CI runs.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzIntersectKernels$$' -fuzztime 30s ./internal/intersect

@@ -18,7 +18,7 @@ if [ -z "$out" ]; then
     out="BENCH_${i}.json"
 fi
 
-pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkEngineNonCached$|BenchmarkEngineCached$|BenchmarkEngineNonCachedParallel$|BenchmarkEngineCachedParallel$)'
+pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkIntersectSweep$|BenchmarkKernelMergeBranchFree$|BenchmarkKernelStampProbe$|BenchmarkKernelFingerBinary$|BenchmarkEngineNonCached$|BenchmarkEngineCached$|BenchmarkEngineNonCachedParallel$|BenchmarkEngineCachedParallel$)'
 
 # Environment provenance: engine wall-clock now scales with cores (the
 # rank scheduler runs simulated ranks in parallel), so records from hosts

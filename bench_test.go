@@ -218,12 +218,90 @@ func BenchmarkIntersectBinary(b *testing.B) {
 	}
 }
 
+// BenchmarkIntersectHybrid measures the hybrid intersection on the path
+// the engines actually execute: the scratch-based host kernels with the
+// decoupled Algorithm 1/2 charge (this pair is Binary-charged under
+// Eq. (3), so it exercises the galloping finger replay). The reference
+// loops it replaced are tracked by BenchmarkIntersectSSI/Binary above.
 func BenchmarkIntersectHybrid(b *testing.B) {
 	x := sortedList(256, 7)
 	y := sortedList(8192, 2)
+	s := intersect.GetScratch()
+	defer intersect.PutScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Count(intersect.MethodHybrid, x, y)
+	}
+}
+
+// BenchmarkIntersectSweep is the size-sweep grid of the hybrid kernel
+// over |A|,|B| ∈ {16, 256, 4k, 64k} (upper triangle; the dispatch orients
+// internally, so the transposed cells are identical). The diagonal cells
+// are SSI-charged and engage the stamp set; the skewed cells are
+// Binary-charged and engage the galloping finger replay.
+func BenchmarkIntersectSweep(b *testing.B) {
+	sizes := []int{16, 256, 4096, 65536}
+	for _, na := range sizes {
+		for _, nb := range sizes {
+			if na > nb {
+				continue
+			}
+			x := sortedList(na, 7)
+			y := sortedList(nb, 2)
+			b.Run(fmt.Sprintf("a%d_b%d", na, nb), func(b *testing.B) {
+				s := intersect.GetScratch()
+				defer intersect.PutScratch(s)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Count(intersect.MethodHybrid, x, y)
+				}
+			})
+		}
+	}
+}
+
+// --- per-kernel benches of the host layer ----------------------------------
+
+// BenchmarkKernelMergeBranchFree is the 4-way unrolled branch-free merge
+// on the same pair as BenchmarkIntersectSSI (its scalar reference).
+func BenchmarkKernelMergeBranchFree(b *testing.B) {
+	x := sortedList(1024, 3)
+	y := sortedList(1024, 5)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		intersect.Count(intersect.MethodHybrid, x, y)
+		intersect.MergeCount(x, y)
+	}
+}
+
+// BenchmarkKernelStampProbe is the amortized stamp-set kernel: the pivot
+// is stamped once and every call pays only the probe side plus the
+// analytic Algorithm 2 charge — the engines' repeat-pivot pattern.
+func BenchmarkKernelStampProbe(b *testing.B) {
+	x := sortedList(1024, 3)
+	y := sortedList(1024, 5)
+	s := intersect.GetScratch()
+	defer intersect.PutScratch(s)
+	s.Count(intersect.MethodSSI, x, y) // stamp the pivot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Count(intersect.MethodSSI, x, y)
+	}
+}
+
+// BenchmarkKernelFingerBinary is the galloping finger replay on the same
+// pair as BenchmarkIntersectBinary (its per-key reference).
+func BenchmarkKernelFingerBinary(b *testing.B) {
+	keys := sortedList(64, 37)
+	tree := sortedList(4096, 3)
+	s := intersect.GetScratch()
+	defer intersect.PutScratch(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Count(intersect.MethodBinary, keys, tree)
 	}
 }
 

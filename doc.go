@@ -12,7 +12,11 @@
 //   - internal/clampi — the CLaMPI RMA caching layer, reimplemented, with
 //     the paper's application-defined eviction scores (§II-F, §III-B)
 //   - internal/intersect — binary search, SSI, hybrid and hash kernels
-//     (§II-C, §III-C, §V-A)
+//     (§II-C, §III-C, §V-A), split into a model plane (the reference
+//     Algorithm 1/2 loops whose iteration counts define the simulated
+//     compute charge) and a host plane (per-rank Scratch kernels —
+//     branch-free merge, stamp-set bitmap, galloping finger replay —
+//     that produce identical counts and charges much faster; DESIGN.md §5)
 //   - internal/lcc — the paper's contribution: fully asynchronous
 //     distributed TC/LCC over RMA with caching (§III); shared-memory
 //     kernels, the Schank–Wagner forward algorithm and orientations (§V);
@@ -60,4 +64,11 @@
 // pins that this substrate change left every simulated result — SimTime,
 // counters, LCC scores, triangle counts — bit-identical to the copying
 // implementation.
+//
+// The same decoupling governs host compute: every engine routes its
+// set intersections through a pooled per-rank intersect.Scratch whose
+// fast kernels report the exact Algorithm 1/2 iteration counts the
+// reference loops would have executed, so SimTime stays bit-identical
+// while host wall-clock does not pay for the simulation's bookkeeping
+// (DESIGN.md §5; differential and fuzz tests enforce the equivalence).
 package repro

@@ -19,6 +19,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/intersect"
 	"repro/internal/lcc"
 	"repro/internal/p2p"
 	"repro/internal/part"
@@ -209,6 +210,8 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return shadow[rank][v]
 	}
 	world.Superstep(func(r *p2p.Rank) {
+		its := intersect.GetScratch()
+		defer intersect.PutScratch(its)
 		addCredit := func(v graph.V, t int64) {
 			if owner := pt.Owner(v); owner != r.ID() {
 				pendingCredits[r.ID()][owner][v] += t
@@ -216,28 +219,23 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 				perVertexT[v] += t
 			}
 		}
+		var common []graph.V
 		for li := 0; li < pt.Size(r.ID()); li++ {
 			u := pt.VertexAt(r.ID(), li)
 			outU := o.Out(u)
 			for _, v := range outU {
 				outV := outOf(r.ID(), v)
-				i, j := 0, 0
-				ops := 0
-				for i < len(outU) && j < len(outV) {
-					ops++
-					switch {
-					case outU[i] == outV[j]:
-						w := outU[i]
-						addCredit(u, 1)
-						addCredit(v, 1)
-						addCredit(w, 1)
-						i++
-						j++
-					case outU[i] < outV[j]:
-						i++
-					default:
-						j++
-					}
+				// The scratch kernels count out(u) ∩ out(v) on the
+				// host's fast path while charging the exact iteration
+				// count of the plain Algorithm 2 merge this phase used
+				// to inline; the credits walk the same ascending
+				// common-neighbour order.
+				var ops int
+				common, ops = its.Elements(intersect.MethodSSI, outU, outV, common[:0])
+				for _, w := range common {
+					addCredit(u, 1)
+					addCredit(v, 1)
+					addCredit(w, 1)
 				}
 				r.Compute(ops + 2)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/intersect"
 	"repro/internal/lcc"
 	"repro/internal/rma"
 )
@@ -85,13 +86,16 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		i, j := gr.CoordsOf(r.ID())
 		own := blocks[r.ID()]
 		rowLo, rowHi := gr.Chunk(i)
-		colLo, colHi := gr.Chunk(j)
 		mine := make([]int64, rowHi-rowLo)
 		r.LockAll(win)
 
-		// inMask is the per-row sparse accumulator over the mask
-		// columns (Gustavson's SPA restricted to A[i,j]'s row pattern).
-		inMask := make([]bool, colHi-colLo)
+		// The rank's pooled intersection scratch doubles as the per-row
+		// sparse accumulator over the mask columns (Gustavson's SPA
+		// restricted to A[i,j]'s row pattern): Stamp publishes the mask
+		// row, Has tests membership, at one bit per column.
+		its := intersect.GetScratch()
+		its.EnsureUniverse(n)
+		defer intersect.PutScratch(its)
 
 		fetch := func(br, bc int) (*Block, error) {
 			owner := gr.RankOf(br, bc)
@@ -129,24 +133,23 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 				if len(aRow) == 0 {
 					continue
 				}
+				// The modeled charge is unchanged: one pass to set the
+				// mask, one per probed row, one pass to clear — only
+				// the host data structure moved into the stamp set.
 				ops := 0
-				for _, c := range maskRow {
-					inMask[c-graph.V(colLo)] = true
-				}
+				its.Stamp(maskRow)
 				ops += len(maskRow)
 				var t int64
 				for _, w := range aRow {
 					bRow := akj.RowOf(w)
 					ops += len(bRow) + 1
 					for _, c := range bRow {
-						if inMask[c-graph.V(colLo)] {
+						if its.Has(c) {
 							t++
 						}
 					}
 				}
-				for _, c := range maskRow {
-					inMask[c-graph.V(colLo)] = false
-				}
+				its.Unstamp()
 				ops += len(maskRow)
 				r.Compute(ops)
 				mine[lr] += t

@@ -35,6 +35,7 @@ func SSIElements(a, b []graph.V, dst []graph.V) ([]graph.V, int) {
 // with Binary, keys should be the shorter list; because keys is sorted the
 // appended elements are in ascending order.
 func BinaryElements(keys, tree []graph.V, dst []graph.V) ([]graph.V, int) {
+	assertOriented(keys, tree)
 	ops := 0
 	for _, x := range keys {
 		lo, hi := 0, len(tree)

@@ -1,0 +1,274 @@
+package intersect
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Differential tests of the cost-decoupled layer: the host kernels and the
+// analytic cost model must reproduce the reference kernels' (count, ops)
+// bit for bit on randomized inputs. These are the "replay" tests the
+// model/host contract (DESIGN.md §5) rests on.
+
+// randSet returns a strictly increasing list of n values drawn from
+// [0, span).
+func randSet(rng *rand.Rand, n, span int) []graph.V {
+	if n > span {
+		n = span
+	}
+	seen := make(map[graph.V]bool, n)
+	out := make([]graph.V, 0, n)
+	for len(out) < n {
+		v := graph.V(rng.Intn(span))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sortV(out)
+	return out
+}
+
+func sortV(s []graph.V) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// oracleCount is the map-based ground truth for |a ∩ b|.
+func oracleCount(a, b []graph.V) int {
+	in := make(map[graph.V]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	c := 0
+	for _, v := range b {
+		if in[v] {
+			c++
+		}
+	}
+	return c
+}
+
+// randPair draws a pair with a randomized size/skew/overlap profile.
+func randPair(rng *rand.Rand) (a, b []graph.V) {
+	na := rng.Intn(200)
+	nb := rng.Intn(200)
+	if rng.Intn(3) == 0 { // skewed: |A| ≪ |B|
+		na = rng.Intn(20)
+		nb = 200 + rng.Intn(2000)
+	}
+	span := 1 + rng.Intn(4000)
+	return randSet(rng, na, span), randSet(rng, nb, span)
+}
+
+// TestSSIOpsAnalytic replays the reference Algorithm 2 loop against the
+// analytic charge on randomized inputs.
+func TestSSIOpsAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randPair(rng)
+		count, ops := SSI(a, b)
+		if got := ssiOps(a, b, count); got != ops {
+			t.Fatalf("trial %d: ssiOps(|a|=%d,|b|=%d,count=%d) = %d, reference SSI ops = %d",
+				trial, len(a), len(b), count, got, ops)
+		}
+		// The charge is symmetric, like the reference loop's.
+		if got := ssiOps(b, a, count); got != ops {
+			t.Fatalf("trial %d: ssiOps not symmetric: %d vs %d", trial, got, ops)
+		}
+	}
+}
+
+// TestMergeCountMatchesSSI pins the branch-free merge to the reference
+// loop: same count, and exit positions that reproduce the exact charge.
+func TestMergeCountMatchesSSI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randPair(rng)
+		wantCount, wantOps := SSI(a, b)
+		count, iEnd, jEnd := MergeCount(a, b)
+		if count != wantCount {
+			t.Fatalf("trial %d: MergeCount = %d, want %d (oracle %d)", trial, count, wantCount, oracleCount(a, b))
+		}
+		if got := iEnd + jEnd - count; got != wantOps {
+			t.Fatalf("trial %d: merge exit ops = %d, want %d", trial, got, wantOps)
+		}
+	}
+}
+
+// TestFingerBinaryMatchesReference replays the reference Algorithm 1 loop
+// against the finger-stack descent: identical count and identical
+// full-depth probe charge for every key.
+func TestFingerBinaryMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	stack := make([]fingerFrame, 1, fingerStackCap)
+	for trial := 0; trial < 5000; trial++ {
+		a, b := randPair(rng)
+		keys, tree := a, b
+		if len(keys) > len(tree) {
+			keys, tree = tree, keys
+		}
+		wantCount, wantOps := Binary(keys, tree)
+		count, ops, _ := fingerBinary(stack, keys, tree, false, nil)
+		if count != wantCount || ops != wantOps {
+			t.Fatalf("trial %d: fingerBinary(|keys|=%d,|tree|=%d) = (%d,%d), want (%d,%d)",
+				trial, len(keys), len(tree), count, ops, wantCount, wantOps)
+		}
+	}
+}
+
+// TestScratchCountMatchesReference drives Scratch.Count against the
+// reference Count for every method, including the repeat-pivot calls that
+// engage the stamp-set kernel (call 1 merges, call 2 stamps, call 3
+// probes — each must charge identically).
+func TestScratchCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewScratch()
+	methods := []Method{MethodSSI, MethodBinary, MethodHybrid, MethodHash}
+	for trial := 0; trial < 3000; trial++ {
+		a, b := randPair(rng)
+		m := methods[trial%len(methods)]
+		wantCount, wantOps := Count(m, a, b)
+		for call := 0; call < 3; call++ {
+			count, ops := s.Count(m, a, b)
+			if count != wantCount || ops != wantOps {
+				t.Fatalf("trial %d call %d method %v (|a|=%d,|b|=%d): scratch = (%d,%d), want (%d,%d)",
+					trial, call, m, len(a), len(b), count, ops, wantCount, wantOps)
+			}
+		}
+		if c := oracleCount(a, b); wantCount != c {
+			t.Fatalf("trial %d: reference count %d disagrees with oracle %d", trial, wantCount, c)
+		}
+	}
+}
+
+// TestScratchElementsMatchesReference is the listing-variant differential:
+// same elements (ascending), same charge, across fresh and stamped calls.
+func TestScratchElementsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewScratch()
+	methods := []Method{MethodSSI, MethodBinary, MethodHybrid, MethodHash}
+	var got []graph.V
+	for trial := 0; trial < 3000; trial++ {
+		a, b := randPair(rng)
+		m := methods[trial%len(methods)]
+		want, wantOps := Elements(m, a, b, nil)
+		for call := 0; call < 3; call++ {
+			var ops int
+			got, ops = s.Elements(m, a, b, got[:0])
+			if ops != wantOps || !equalV(got, want) {
+				t.Fatalf("trial %d call %d method %v: scratch elements/ops = %v/%d, want %v/%d",
+					trial, call, m, got, ops, want, wantOps)
+			}
+		}
+	}
+}
+
+func equalV(a, b []graph.V) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestScratchStampedAcrossSizes exercises bitmap growth: stamping lists
+// with increasing maxima must keep probes exact, and Unstamp must leave
+// the bitmap empty for the next pivot.
+func TestScratchStampedAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := NewScratch()
+	for trial := 0; trial < 200; trial++ {
+		span := 64 << uint(rng.Intn(10))
+		a := randSet(rng, stampMinLen+rng.Intn(100), span)
+		b := randSet(rng, rng.Intn(300), 2*span)
+		wantCount, wantOps := Count(MethodSSI, a, b)
+		// Two identical calls trigger the stamp; a third probes it.
+		for call := 0; call < 3; call++ {
+			count, ops := s.Count(MethodSSI, a, b)
+			if count != wantCount || ops != wantOps {
+				t.Fatalf("trial %d call %d: (%d,%d), want (%d,%d)", trial, call, count, ops, wantCount, wantOps)
+			}
+		}
+		if trial%2 == 0 {
+			s.Reset() // alternate: with and without carrying the stamp over
+		}
+	}
+	s.Reset()
+	for i, w := range s.words {
+		if w != 0 {
+			t.Fatalf("word %d nonzero after Reset: %#x", i, w)
+		}
+	}
+}
+
+// TestScratchTopOfIDSpace stamps ids at the very top of the uint32 space:
+// the bitmap then spans exactly 2³² bits, and the probe limit must not
+// wrap to zero (it is computed in 64 bits).
+func TestScratchTopOfIDSpace(t *testing.T) {
+	s := NewScratch()
+	a := make([]graph.V, stampMinLen)
+	for i := range a {
+		a[i] = graph.V(1<<32 - 2*(stampMinLen-i)) // ..., 0xFFFFFFFC, 0xFFFFFFFE
+	}
+	b := []graph.V{0, a[0], a[1] + 1, 1<<32 - 2, 1<<32 - 1}
+	wantCount, wantOps := Count(MethodSSI, a, b)
+	if wantCount != oracleCount(a, b) {
+		t.Fatalf("reference disagrees with oracle")
+	}
+	for call := 0; call < 3; call++ { // merge, stamp, stamped probe
+		count, ops := s.Count(MethodSSI, a, b)
+		if count != wantCount || ops != wantOps {
+			t.Fatalf("call %d: (%d,%d), want (%d,%d)", call, count, ops, wantCount, wantOps)
+		}
+	}
+}
+
+// TestScratchGridAccumulator pins the Stamp/Has pair the 2D engine uses as
+// its sparse accumulator.
+func TestScratchGridAccumulator(t *testing.T) {
+	s := NewScratch()
+	s.EnsureUniverse(1 << 12)
+	mask := []graph.V{3, 64, 65, 700, 4000}
+	s.Stamp(mask)
+	in := map[graph.V]bool{}
+	for _, v := range mask {
+		in[v] = true
+	}
+	for v := graph.V(0); v < 1<<12; v += 7 {
+		if s.Has(v) != in[v] {
+			t.Fatalf("Has(%d) = %v, want %v", v, s.Has(v), in[v])
+		}
+	}
+	s.Unstamp()
+	for _, v := range mask {
+		if s.Has(v) {
+			t.Fatalf("Has(%d) still true after Unstamp", v)
+		}
+	}
+}
+
+// TestBinaryOrientationAssert arms the debug checks and verifies the
+// mis-oriented call panics while the correct orientation passes.
+func TestBinaryOrientationAssert(t *testing.T) {
+	SetDebugChecks(true)
+	defer SetDebugChecks(false)
+	keys := []graph.V{1, 2, 3}
+	tree := []graph.V{1, 2, 3, 4, 5}
+	Binary(keys, tree) // correct orientation: must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binary(longer, shorter) did not panic with debug checks armed")
+		}
+	}()
+	Binary(tree, keys)
+}

@@ -4,6 +4,16 @@
 // OpenMP-style parallel variants of §III-C. The intersection size
 // |adj(v_i) ∩ adj(v_j)| is the number of triangles closed by edge e_ij, the
 // primitive on which both TC and LCC are built.
+//
+// The package is split into two planes (DESIGN.md §5). The reference
+// kernels in this file and elements.go define the *modeled* compute
+// charge: their loop-iteration counts are what the simulation bills to
+// SimTime, pinned bit-for-bit by the golden tests. The *host* execution
+// plane — Scratch with its branch-free merge, stamp-set bitmap and
+// finger-stack binary search (scratch.go, kernels.go, cost.go) — computes
+// the same counts and the same charges much faster, and is what every
+// engine actually runs. Differential and fuzz tests hold the two planes
+// bit-identical.
 package intersect
 
 import (
@@ -67,11 +77,33 @@ func SSI(a, b []graph.V) (count, ops int) {
 	return count, ops
 }
 
+// debugChecks arms the orientation assertions of the Algorithm 1 kernels.
+// Binary does not swap its arguments (callers choose the orientation), so
+// a caller that passes the longer list as keys silently degrades
+// O(|A|·log|B|) to O(|B|·log|A|) — and, worse, changes the modeled ops
+// charge. Tests enable the checks and drive every engine through them to
+// prove mis-orientation is impossible from engine code. Toggling is not
+// synchronized: call SetDebugChecks only while no engine is running.
+var debugChecks bool
+
+// SetDebugChecks enables or disables the kernel debug assertions
+// (orientation today). Intended for tests.
+func SetDebugChecks(on bool) { debugChecks = on }
+
+// assertOriented panics when the Algorithm 1 kernels are called with the
+// keys list longer than the tree list and debug checks are armed.
+func assertOriented(keys, tree []graph.V) {
+	if debugChecks && len(keys) > len(tree) {
+		panic("intersect: binary-search kernel mis-oriented: keys longer than tree (callers must pass the shorter list as keys)")
+	}
+}
+
 // Binary returns |keys ∩ tree| by looking each key up in tree with binary
 // search (Algorithm 1), along with the number of probe iterations. For the
 // complexity bound to hold, keys should be the shorter list; Binary does
 // not swap on its own — callers (and the paper) choose the orientation.
 func Binary(keys, tree []graph.V) (count, ops int) {
+	assertOriented(keys, tree)
 	for _, x := range keys {
 		lo, hi := 0, len(tree)
 		for lo < hi {

@@ -1,0 +1,297 @@
+package intersect
+
+import "repro/internal/graph"
+
+// This file holds the fast *host* kernels of the cost-decoupled layer
+// (DESIGN.md §5). They compute |a ∩ b| for the engines' wall-clock, while
+// the modeled compute charge — the exact Algorithm 1/2 ops counts the
+// golden tests pin — comes from cost.go or, for the merge, from the
+// kernel's own exit positions. All kernels require strictly increasing
+// inputs (adjacency lists are sorted and deduplicated sets).
+//
+// Three kernels cover the host dispatch:
+//
+//   - MergeCount: a 4-way unrolled branch-free merge. The scalar SSI loop
+//     takes one unpredictable branch per element; on power-law adjacency
+//     data roughly half of them mispredict. The unrolled form turns the
+//     three outcomes (advance i, advance j, match) into flag arithmetic
+//     with no data-dependent branches at all.
+//   - the stamp-set probe (scratch.go): a per-rank reusable uint64 bitmap
+//     in the spirit of H-INDEX's hashed bins (Pandey et al., HPEC'19) but
+//     exact — the pivot list is stamped once and every neighbour list is
+//     counted with one bit test per element, amortizing the build over
+//     deg(pivot) intersections exactly like the reusable HashIndex.
+//   - the finger-stack binary search (below): Algorithm 1's bisection with
+//     the path cached across the (ascending) keys, so consecutive keys
+//     replay only the divergent suffix of the search path while the ops
+//     charge still counts the full root-to-leaf depth the reference loop
+//     would execute.
+
+// The merge kernels turn comparison flags into 0/1 with pure integer
+// arithmetic on 64-bit zero-extended operands, so the compiler emits flag
+// materialization instead of jumps. For x, y ∈ [0, 2³²):
+//
+//	eq(x,y) = ((x^y) - 1) >> 63        (1 iff x == y)
+//	le(x,y) = ((y - x) >> 63) ^ 1      (1 iff x <= y)
+//
+// both relying on the subtraction borrowing into bit 63 exactly when the
+// 32-bit operands would underflow.
+
+// mergeStep executes one iteration of Algorithm 2 branch-free. It must
+// advance i, j and count exactly like the reference SSI loop so the exit
+// positions remain a valid basis for the modeled charge (ops = i+j-count).
+func mergeStep(a, b []graph.V, i, j, count int) (int, int, int) {
+	x, y := uint64(a[i]), uint64(b[j])
+	count += int(((x ^ y) - 1) >> 63)
+	i += int(((y - x) >> 63) ^ 1)
+	j += int(((x - y) >> 63) ^ 1)
+	return i, j, count
+}
+
+// MergeCount returns |a ∩ b| by branch-free merge along with the exact
+// exit positions of the equivalent Algorithm 2 traversal. Because the
+// advancement rule is identical to SSI's, iEnd + jEnd - count equals the
+// reference loop's ops count bit for bit — the merge kernel carries its
+// own modeled charge. Inputs must be strictly increasing.
+func MergeCount(a, b []graph.V) (count, iEnd, jEnd int) {
+	i, j := 0, 0
+	na, nb := len(a), len(b)
+	// 4-way unrolled core: four merge steps advance i and j by at most
+	// four each, so one pair of bounds tests covers all four iterations.
+	for i+4 <= na && j+4 <= nb {
+		i, j, count = mergeStep(a, b, i, j, count)
+		i, j, count = mergeStep(a, b, i, j, count)
+		i, j, count = mergeStep(a, b, i, j, count)
+		i, j, count = mergeStep(a, b, i, j, count)
+	}
+	for i < na && j < nb {
+		i, j, count = mergeStep(a, b, i, j, count)
+	}
+	return count, i, j
+}
+
+// mergeElements is MergeCount's listing variant: it appends a ∩ b to dst
+// (ascending) and returns the extended slice plus the exit positions. The
+// match append is a rare, well-predicted branch; the advancement stays
+// branch-free.
+func mergeElements(a, b []graph.V, dst []graph.V) ([]graph.V, int, int) {
+	i, j := 0, 0
+	na, nb := len(a), len(b)
+	for i < na && j < nb {
+		x, y := uint64(a[i]), uint64(b[j])
+		if x == y {
+			dst = append(dst, a[i])
+		}
+		i += int(((y - x) >> 63) ^ 1)
+		j += int(((x - y) >> 63) ^ 1)
+	}
+	return dst, i, j
+}
+
+// fingerFrame is one interval [lo, hi) of Algorithm 1's bisection; the
+// frame's index on the stack is its depth, i.e. the number of probe
+// iterations the reference loop executes to reach it from (0, len(tree)).
+type fingerFrame struct {
+	lo, hi int32
+}
+
+// fingerStackCap bounds the bisection depth: ceil(log2(n))+1 frames for
+// n < 2³¹, plus the root.
+const fingerStackCap = 40
+
+// fingerTailLen is the interval size at or below which the replay stops
+// framing and finishes with one table lookup (see fingerBinary).
+const fingerTailLen = 32
+
+// The tail lookup tables close the bisection arithmetically. Because
+// mid = lo + floor((hi-lo)/2), the whole trajectory of Algorithm 1 inside
+// an interval depends only on the interval's size s and the insertion
+// point's offset r = p - lo, never on the absolute position — so the
+// iteration count is a pure function of (s, r), tabulated once at init:
+//
+//	tailMissLUT[s][r]: iterations for the interval to converge to (p, p)
+//	tailHitLUT[s][r]:  iterations until mid == p, including the match
+//
+// Each table is (fingerTailLen+1)² bytes — a few L1 lines.
+var tailMissLUT, tailHitLUT [(fingerTailLen + 1) * (fingerTailLen + 1)]uint8
+
+func init() {
+	for s := 0; s <= fingerTailLen; s++ {
+		for r := 0; r <= s; r++ {
+			lo, hi, it := 0, s, 0
+			for lo < hi {
+				it++
+				if mid := (lo + hi) / 2; mid < r {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			tailMissLUT[s*(fingerTailLen+1)+r] = uint8(it)
+			if r < s {
+				lo, hi, it = 0, s, 0
+				for {
+					it++
+					mid := (lo + hi) / 2
+					if mid == r {
+						break
+					}
+					if mid < r {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				tailHitLUT[s*(fingerTailLen+1)+r] = uint8(it)
+			}
+		}
+	}
+}
+
+// fingerBinary returns |keys ∩ tree| and the exact probe-iteration count
+// of the reference Binary loop (Algorithm 1), in one pass over the
+// ascending keys that splits the work into a memory half and an
+// arithmetic half:
+//
+//   - a monotone galloping cursor locates each key's insertion point p
+//     (linear steps for dense gaps, doubling probes plus a bracketed
+//     bisection for sparse ones) — the only part that touches the tree;
+//   - the reference bisection is then *replayed on indices alone*: every
+//     tree[mid] comparison the reference makes is equivalent to comparing
+//     mid against p (with a hit exactly at mid == p), so the per-key
+//     full-depth charge is reproduced bit for bit without loading a
+//     single tree element.
+//
+// The replay shares the path across keys with a finger stack: the frames
+// of the previous key's path that still contain p resume the charge at
+// their stored depth (a frame at stack index d costs the reference d
+// iterations to reach), and only the divergent suffix is walked —
+// amortized O(log(|tree|/|keys|)) per key. Below fingerTailLen the suffix
+// is finished without frame traffic: consecutive keys usually land in the
+// same small frame, and re-walking a few index-only steps is cheaper than
+// pushing and popping the stack's bottom levels.
+//
+// When wantDst is set, matched keys are appended to dst (the
+// BinaryElements variant); the returned slice is dst extended, ascending.
+func fingerBinary(stack []fingerFrame, keys, tree []graph.V, wantDst bool, dst []graph.V) (count, ops int, out []graph.V) {
+	assertOriented(keys, tree)
+	n := int32(len(tree))
+	if n == 0 || len(keys) == 0 {
+		return 0, 0, dst
+	}
+	st := stack[:fingerStackCap]
+	st[0] = fingerFrame{0, n}
+	sp := 1
+	q := 0 // cursor: lowerBound(tree, previous key), monotone over the call
+	nn := len(tree)
+	for _, x := range keys {
+		// Memory half: advance the cursor to p = lowerBound(tree, x).
+		// Short gaps walk linearly (sequential, predictor-friendly);
+		// longer ones gallop and bisect the final bracket.
+		if q < nn && tree[q] < x {
+			q++
+			for steps := 0; q < nn && tree[q] < x; steps++ {
+				q++
+				if steps == 8 {
+					d := 8
+					for q+d < nn && tree[q+d] < x {
+						q += d
+						d <<= 1
+					}
+					hi2 := q + d
+					if hi2 > nn {
+						hi2 = nn
+					}
+					for q < hi2 {
+						m := int(uint(q+hi2) >> 1)
+						if tree[m] < x {
+							q = m + 1
+						} else {
+							hi2 = m
+						}
+					}
+					break
+				}
+			}
+		}
+		p := int32(q)
+		hit := q < nn && tree[q] == x
+		if hit {
+			count++
+			if wantDst {
+				dst = append(dst, x)
+			}
+		}
+		// Arithmetic half: replay the reference bisection on indices.
+		// Pop frames that are not on x's path (each frame is popped at
+		// most once, so pops are amortized O(1) per key): tree[hi] < x
+		// ⟺ hi < p means the interval cannot contain p, and tree[hi] ==
+		// x ⟺ hi == p on a hit means the reference terminates at the
+		// ancestor that probes hi and never enters this frame. Both
+		// collapse into one integer threshold.
+		popT := p
+		if hit {
+			popT++
+		}
+		for sp > 1 && st[sp-1].hi < popT {
+			sp--
+		}
+		// Resume from the deepest shared frame. Iteration accounting is
+		// free on the framed part: the frame's stack index is its depth
+		// and every non-match iteration pushes exactly one frame, so the
+		// framed charge is sp-1 after the descent (plus the match
+		// iteration itself on a hit).
+		f := st[sp-1]
+		lo, hi := f.lo, f.hi
+		if hit {
+			matched := false
+			for hi-lo > fingerTailLen {
+				mid := int32(uint32(lo+hi) >> 1)
+				if mid == p {
+					matched = true
+					break
+				}
+				if mid < p {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+				st[sp] = fingerFrame{lo, hi}
+				sp++
+			}
+			if matched {
+				ops += sp // sp-1 framed iterations + the match
+			} else {
+				ops += sp - 1 + int(tailHitLUT[(hi-lo)*(fingerTailLen+1)+(p-lo)])
+			}
+			continue
+		}
+		for hi-lo > fingerTailLen {
+			mid := int32(uint32(lo+hi) >> 1)
+			if mid < p {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+			st[sp] = fingerFrame{lo, hi}
+			sp++
+		}
+		ops += sp - 1 + int(tailMissLUT[(hi-lo)*(fingerTailLen+1)+(p-lo)])
+	}
+	return count, ops, dst
+}
+
+// upperBound returns the number of elements of s that are ≤ x (s strictly
+// increasing).
+func upperBound(s []graph.V, x graph.V) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,91 @@
+package intersect
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Allocation guards for the scratch-based kernels, in the style of
+// clampi/zeroalloc_test.go: after warm-up (bitmap sized, stack in place)
+// the steady-state paths — branch-free merge, stamp + probe, galloping
+// finger replay, and the Elements variants into a pre-grown destination —
+// must not touch the heap at all.
+
+func stride(n, step int) []graph.V {
+	out := make([]graph.V, n)
+	for i := range out {
+		out[i] = graph.V(i * step)
+	}
+	return out
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if avg := testing.AllocsPerRun(100, f); avg != 0 {
+		t.Errorf("%s: %.1f allocs per call, want 0", name, avg)
+	}
+}
+
+func TestScratchZeroAlloc(t *testing.T) {
+	s := NewScratch()
+	s.EnsureUniverse(1 << 15)
+
+	small := stride(16, 3)   // below stampMinLen: merge path
+	pivot := stride(1024, 3) // stamped pivot
+	other := stride(1024, 5) // SSI-charged partner
+	keys := stride(64, 37)   // Binary-charged pair
+	tree := stride(4096, 3)  //
+	dst := make([]graph.V, 0, 2048)
+
+	s.Count(MethodSSI, pivot, other) // warm: stamps the pivot
+	assertZeroAllocs(t, "merge", func() { s.Count(MethodSSI, small, other) })
+	assertZeroAllocs(t, "stamped probe", func() { s.Count(MethodSSI, pivot, other) })
+	alt := stride(512, 7)
+	assertZeroAllocs(t, "restamp", func() {
+		s.Count(MethodSSI, pivot, other) // stamps pivot (unstamping alt)
+		s.Count(MethodSSI, alt, small)   // stamps alt (unstamping pivot)
+	})
+	assertZeroAllocs(t, "finger binary", func() { s.Count(MethodBinary, keys, tree) })
+	assertZeroAllocs(t, "hybrid dispatch", func() { s.Count(MethodHybrid, keys, tree) })
+	assertZeroAllocs(t, "elements merge", func() { dst, _ = s.Elements(MethodSSI, small, other, dst[:0]) })
+	assertZeroAllocs(t, "elements stamped", func() { dst, _ = s.Elements(MethodSSI, pivot, other, dst[:0]) })
+	assertZeroAllocs(t, "elements finger", func() { dst, _ = s.Elements(MethodBinary, keys, tree, dst[:0]) })
+	assertZeroAllocs(t, "grid accumulator", func() {
+		s.Stamp(pivot)
+		n := 0
+		for _, v := range other {
+			if s.Has(v) {
+				n++
+			}
+		}
+		s.Unstamp()
+		_ = n
+	})
+}
+
+// TestScratchPoolRecycles pins the pool contract the engines rely on: a
+// released scratch comes back with its capacity (no regrowth allocations)
+// and without stale stamp state.
+func TestScratchPoolRecycles(t *testing.T) {
+	s := GetScratch()
+	s.EnsureUniverse(1 << 12)
+	pivot := stride(256, 3)
+	s.Count(MethodSSI, pivot, stride(256, 5)) // leaves pivot stamped
+	PutScratch(s)
+
+	s2 := GetScratch()
+	defer PutScratch(s2)
+	if len(s2.stamped) != 0 {
+		t.Fatal("pooled scratch still stamped after PutScratch")
+	}
+	for i, w := range s2.words {
+		if w != 0 {
+			t.Fatalf("pooled scratch bitmap word %d nonzero: %#x", i, w)
+		}
+	}
+	assertZeroAllocs(t, "pool round trip", func() {
+		x := GetScratch()
+		PutScratch(x)
+	})
+}

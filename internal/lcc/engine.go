@@ -344,6 +344,12 @@ type worker struct {
 	// empty when delegation is off.
 	deleg *Delegation
 
+	// its is the rank's pooled intersection scratch: the fast host
+	// kernels (branch-free merge, stamp-set bitmap, galloping replay)
+	// that report the exact Algorithm 1/2 modeled charge (DESIGN.md §5).
+	// Acquired by newWorker, released by close.
+	its *intersect.Scratch
+
 	// ownerOf maps a vertex to the rank its adjacency is fetched from.
 	// The default is the partition owner; the replicated-groups engine
 	// (replicated.go) redirects fetches into the rank's own group.
@@ -364,6 +370,7 @@ func newWorker(r *rma.Rank, kind graph.Kind, pt *part.Partition, lc *part.LocalC
 	wOff, wAdj *rma.Window, opt Options) *worker {
 	w := &worker{r: r, kind: kind, pt: pt, lc: lc, wOff: wOff, wAdj: wAdj, opt: opt}
 	w.ownerOf = pt.Owner
+	w.its = intersect.GetScratch()
 	r.LockAll(wOff)
 	r.LockAll(wAdj)
 	if opt.Caching {
@@ -574,10 +581,13 @@ func (w *worker) forEachEdge(visit func(li int, vj graph.V, adjJ []graph.V)) {
 	}
 }
 
-// close ends the access epochs (a local operation in passive mode).
+// close ends the access epochs (a local operation in passive mode) and
+// returns the intersection scratch to its pool.
 func (w *worker) close() {
 	w.r.UnlockAll(w.wOff)
 	w.r.UnlockAll(w.wAdj)
+	intersect.PutScratch(w.its)
+	w.its = nil
 }
 
 // run executes Algorithm 3 for the rank's owned vertices, writing LCC
@@ -594,7 +604,7 @@ func (w *worker) run(lccOut []float64) int64 {
 		if w.kind == graph.Undirected {
 			adjJ = intersect.UpperSlice(adjJ, vj)
 		}
-		c, ops := intersect.Count(method, adjI, adjJ)
+		c, ops := w.its.Count(method, adjI, adjJ)
 		// A small per-edge constant covers loop and bookkeeping costs.
 		w.r.Compute(ops + 4)
 		perVertexT[li] += int64(c)

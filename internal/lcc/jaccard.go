@@ -3,7 +3,6 @@ package lcc
 import (
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/intersect"
 	"repro/internal/part"
 	"repro/internal/rma"
 )
@@ -64,7 +63,7 @@ func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
 		// advances in lockstep.
 		w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
 			adjI := lc.AdjOf(li)
-			inter, ops := intersect.Count(opt.Method, adjI, adjJ)
+			inter, ops := w.its.Count(opt.Method, adjI, adjJ)
 			union := len(adjI) + len(adjJ) - inter
 			if union > 0 {
 				scores[arc] = float64(inter) / float64(union)

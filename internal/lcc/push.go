@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/graph"
-	"repro/internal/intersect"
 	"repro/internal/part"
 	"repro/internal/rma"
 )
@@ -209,7 +208,7 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 	w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
 		adjI := w.lc.AdjOf(li)
 		var ops int
-		common, ops = intersect.Elements(w.opt.Method, adjI, adjJ, common[:0])
+		common, ops = w.its.Elements(w.opt.Method, adjI, adjJ, common[:0])
 		w.r.Compute(ops + 4)
 		for _, vk := range common {
 			// Keep only v_j <h v_k: with the walk filter this makes the

@@ -107,7 +107,7 @@ func (w *worker) runSlice(lccOut []float64, slot, phase, c int) int64 {
 		if w.kind == graph.Undirected {
 			adjJ = intersect.UpperSlice(adjJ, vj)
 		}
-		cnt, ops := intersect.Count(w.opt.Method, adjI, adjJ)
+		cnt, ops := w.its.Count(w.opt.Method, adjI, adjJ)
 		w.r.Compute(ops + 4)
 		perVertexT[li] += int64(cnt)
 	})

@@ -44,13 +44,21 @@ func TriangleCount(kind graph.Kind, sumT int64) int64 {
 // the upper triangle for undirected graphs (§II-C). ops returns the total
 // intersection iterations, the modeled-compute charge.
 func VertexTriangles(g *graph.Graph, vi graph.V, method intersect.Method) (t int64, ops int) {
+	its := intersect.GetScratch()
+	defer intersect.PutScratch(its)
+	return vertexTriangles(g, vi, method, its)
+}
+
+// vertexTriangles is VertexTriangles with a caller-held scratch, so loops
+// over many vertices amortize the stamp set across pivots.
+func vertexTriangles(g *graph.Graph, vi graph.V, method intersect.Method, its *intersect.Scratch) (t int64, ops int) {
 	adjI := g.Adj(vi)
 	for _, vj := range adjI {
 		adjJ := g.Adj(vj)
 		if g.Kind() == graph.Undirected {
 			adjJ = intersect.UpperSlice(adjJ, vj)
 		}
-		c, o := intersect.Count(method, adjI, adjJ)
+		c, o := its.Count(method, adjI, adjJ)
 		t += int64(c)
 		ops += o
 	}
@@ -74,9 +82,11 @@ func SharedLCC(g *graph.Graph, method intersect.Method) *SharedResult {
 		LCC:       make([]float64, n),
 		PerVertex: make([]int64, n),
 	}
+	its := intersect.GetScratch()
+	defer intersect.PutScratch(its)
 	var sum int64
 	for v := 0; v < n; v++ {
-		t, ops := VertexTriangles(g, graph.V(v), method)
+		t, ops := vertexTriangles(g, graph.V(v), method, its)
 		res.PerVertex[v] = t
 		res.LCC[v] = Score(g.Kind(), t, g.OutDegree(graph.V(v)))
 		res.Ops += int64(ops)

@@ -143,6 +143,8 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	world.Superstep(func(r *p2p.Rank) {
 		lc := locals[r.ID()]
 		st := states[r.ID()]
+		its := intersect.GetScratch()
+		defer intersect.PutScratch(its)
 		for li := 0; li < lc.NumLocal(); li++ {
 			vi := pt.VertexAt(r.ID(), li)
 			adjI := lc.AdjOf(li)
@@ -154,7 +156,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 					if g.Kind() == graph.Undirected {
 						adjJ = intersect.UpperSlice(adjJ, vj)
 					}
-					c, ops := intersect.Count(opt.Method, adjI, adjJ)
+					c, ops := its.Count(opt.Method, adjI, adjJ)
 					r.Compute(ops + 4)
 					perVertexT[vi] += int64(c)
 					continue
@@ -252,12 +254,14 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		// round); responses fold into per-vertex counts.
 		world.Superstep(func(r *p2p.Rank) {
 			lc := locals[r.ID()]
+			its := intersect.GetScratch()
+			defer intersect.PutScratch(its)
 			answer := func(q query, from int) {
 				adjJ := lc.AdjOf(pt.LocalIndex(q.vj))
 				if g.Kind() == graph.Undirected {
 					adjJ = intersect.UpperSlice(adjJ, q.vj)
 				}
-				c, ops := intersect.Count(opt.Method, q.cands, adjJ)
+				c, ops := its.Count(opt.Method, q.cands, adjJ)
 				// Unpacking the candidate list costs a pass over it,
 				// plus the fixed per-query handling charge.
 				r.Compute(ops + len(q.cands) + 4)
