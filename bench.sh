@@ -4,6 +4,11 @@
 # perf trajectory (BENCH_1.json, BENCH_2.json, ... — one file per PR that
 # moves a hot-path number).
 #
+# Each benchmark's ns/op is the MINIMUM over BENCH_RUNS passes (default 3):
+# on shared/noisy machines the min is the standard robust estimator of the
+# code's actual speed — noise only ever adds time — while alloc counts are
+# deterministic and identical across passes.
+#
 # Selection: the substrate micro-benchmarks (RMA get/accumulate, CLaMPI
 # hit/miss) plus the two end-to-end engine runs whose allocation profile
 # the zero-copy substrate is accountable for. Macro experiment benchmarks
@@ -18,7 +23,7 @@ if [ -z "$out" ]; then
     out="BENCH_${i}.json"
 fi
 
-pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkIntersectSweep$|BenchmarkKernelMergeBranchFree$|BenchmarkKernelStampProbe$|BenchmarkKernelFingerBinary$|BenchmarkEngineNonCached$|BenchmarkEngineCached$|BenchmarkEngineNonCachedParallel$|BenchmarkEngineCachedParallel$)'
+pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkIntersectSweep$|BenchmarkKernelMergeBranchFree$|BenchmarkKernelStampProbe$|BenchmarkKernelFingerBinary$|BenchmarkFetchLocal$|BenchmarkFetchRemoteMiss$|BenchmarkFetchCachedHit$|BenchmarkEngineNonCached$|BenchmarkEngineCached$|BenchmarkEngineNonCachedParallel$|BenchmarkEngineCachedParallel$)'
 
 # Environment provenance: engine wall-clock now scales with cores (the
 # rank scheduler runs simulated ranks in parallel), so records from hosts
@@ -28,22 +33,38 @@ gmp="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 cpu=$(awk -F': *' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null)
 [ -n "$cpu" ] || cpu="unknown"
 
+runs="${BENCH_RUNS:-3}"
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test -run '^$' -bench "$pattern" -benchmem -benchtime=1s . | tee "$raw" >&2
+i=1
+while [ "$i" -le "$runs" ]; do
+    echo "# bench pass $i/$runs" >&2
+    # The fetch-flavor benches live next to the engine internals
+    # (internal/lcc); everything else is in the root package.
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime=1s . ./internal/lcc | tee -a "$raw" >&2
+    i=$((i + 1))
+done
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$gmp" -v cpu="$cpu" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    bench[n] = sprintf("    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                       name, $2, $3, $5, $7)
-    n++
+    if (!(name in best) || $3 + 0 < best[name] + 0) {
+        if (!(name in best)) order[n++] = name
+        best[name] = $3
+        iters[name] = $2
+        bytes[name] = $5
+        allocs[name] = $7
+    }
 }
 END {
     printf "{\n  \"date\": \"%s\",\n  \"go_max_procs\": %d,\n  \"cpu_model\": \"%s\",\n  \"benchmarks\": [\n", date, gmp, cpu
-    for (i = 0; i < n; i++) printf "%s%s\n", bench[i], (i < n - 1 ? "," : "")
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",
+               name, iters[name], best[name], bytes[name], allocs[name], (i < n - 1 ? "," : "")
+    }
     printf "  ]\n}\n"
 }' "$raw" > "$out"
 

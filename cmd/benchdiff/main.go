@@ -6,12 +6,17 @@
 //
 // Usage:
 //
-//	benchdiff [-dir .] [-max-regress 0.15] [old.json new.json]
+//	benchdiff [-dir .] [-max-regress 0.15] [-summary] [old.json new.json]
 //
 // With explicit file arguments the directory scan is skipped. ns/op noise
 // on shared machines is real, so the default threshold is deliberately
 // loose for time and strict for allocations (alloc counts are exact and
 // deterministic; any increase above the slack is a structural regression).
+//
+// -summary switches the output to a GitHub-flavoured markdown delta table
+// (CI appends it to $GITHUB_STEP_SUMMARY, so per-PR perf movement is
+// visible on the run page without opening artifacts). Exit semantics are
+// unchanged: regressions past the thresholds still fail.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 type record struct {
@@ -44,6 +50,7 @@ func main() {
 	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json records")
 	maxRegress := flag.Float64("max-regress", 0.15, "fail when ns/op grows more than this fraction")
 	allocSlack := flag.Float64("alloc-slack", 0.10, "fail when allocs/op grows more than this fraction (plus 16 absolute)")
+	summary := flag.Bool("summary", false, "print a markdown delta table (for $GITHUB_STEP_SUMMARY) instead of the plain report")
 	flag.Parse()
 
 	var oldPath, newPath string
@@ -92,20 +99,34 @@ func main() {
 	// parallelism-independent and always compared.
 	timesComparable := oldRec.GoMaxProcs == newRec.GoMaxProcs
 
-	fmt.Printf("benchdiff %s -> %s\n", filepath.Base(oldPath), filepath.Base(newPath))
-	if !timesComparable {
-		fmt.Printf("go_max_procs differ (%d -> %d): comparing allocs only, ns/op is informational\n",
-			oldRec.GoMaxProcs, newRec.GoMaxProcs)
+	if *summary {
+		fmt.Printf("### benchdiff `%s` → `%s`\n\n", filepath.Base(oldPath), filepath.Base(newPath))
+		if !timesComparable {
+			fmt.Printf("_go\\_max\\_procs differ (%d → %d): allocs enforced, ns/op informational._\n\n",
+				oldRec.GoMaxProcs, newRec.GoMaxProcs)
+		}
+		fmt.Println("| benchmark | ns/op (old) | ns/op (new) | Δ ns/op | allocs (old) | allocs (new) | Δ allocs | |")
+		fmt.Println("|---|---:|---:|---:|---:|---:|---:|---|")
+	} else {
+		fmt.Printf("benchdiff %s -> %s\n", filepath.Base(oldPath), filepath.Base(newPath))
+		if !timesComparable {
+			fmt.Printf("go_max_procs differ (%d -> %d): comparing allocs only, ns/op is informational\n",
+				oldRec.GoMaxProcs, newRec.GoMaxProcs)
+		}
+		fmt.Printf("%-28s %14s %14s %8s   %12s %12s %8s\n",
+			"benchmark", "ns/op(old)", "ns/op(new)", "Δ%", "allocs(old)", "allocs(new)", "Δ")
 	}
-	fmt.Printf("%-28s %14s %14s %8s   %12s %12s %8s\n",
-		"benchmark", "ns/op(old)", "ns/op(new)", "Δ%", "allocs(old)", "allocs(new)", "Δ")
 	failed := false
 	for _, name := range names {
 		nb := newBy[name]
 		ob, ok := oldBy[name]
 		if !ok {
-			fmt.Printf("%-28s %14s %14.1f %8s   %12s %12.0f %8s   (new)\n",
-				name, "-", nb.NsPerOp, "-", "-", nb.AllocsOp, "-")
+			if *summary {
+				fmt.Printf("| %s | – | %.1f | – | – | %.0f | – | new |\n", name, nb.NsPerOp, nb.AllocsOp)
+			} else {
+				fmt.Printf("%-28s %14s %14.1f %8s   %12s %12.0f %8s   (new)\n",
+					name, "-", nb.NsPerOp, "-", "-", nb.AllocsOp, "-")
+			}
 			continue
 		}
 		nsDelta := 0.0
@@ -120,12 +141,28 @@ func main() {
 		if allocDelta > ob.AllocsOp**allocSlack+16 {
 			mark, failed = mark+"  ALLOC-REGRESSION", true
 		}
-		fmt.Printf("%-28s %14.1f %14.1f %+7.1f%%   %12.0f %12.0f %+8.0f%s\n",
-			name, ob.NsPerOp, nb.NsPerOp, 100*nsDelta, ob.AllocsOp, nb.AllocsOp, allocDelta, mark)
+		if *summary {
+			flag := ""
+			switch {
+			case mark != "":
+				flag = "🔴 " + strings.TrimSpace(mark)
+			case timesComparable && nsDelta < -0.05:
+				flag = "🟢"
+			}
+			fmt.Printf("| %s | %.1f | %.1f | %+.1f%% | %.0f | %.0f | %+.0f | %s |\n",
+				name, ob.NsPerOp, nb.NsPerOp, 100*nsDelta, ob.AllocsOp, nb.AllocsOp, allocDelta, flag)
+		} else {
+			fmt.Printf("%-28s %14.1f %14.1f %+7.1f%%   %12.0f %12.0f %+8.0f%s\n",
+				name, ob.NsPerOp, nb.NsPerOp, 100*nsDelta, ob.AllocsOp, nb.AllocsOp, allocDelta, mark)
+		}
 	}
 	for name := range oldBy {
 		if _, ok := newBy[name]; !ok {
-			fmt.Printf("%-28s   dropped from the new record\n", name)
+			if *summary {
+				fmt.Printf("| %s | | | | | | | dropped |\n", name)
+			} else {
+				fmt.Printf("%-28s   dropped from the new record\n", name)
+			}
 		}
 	}
 	if failed {

@@ -71,4 +71,13 @@
 // reference loops would have executed, so SimTime stays bit-identical
 // while host wall-clock does not pay for the simulation's bookkeeping
 // (DESIGN.md §5; differential and fuzz tests enforce the equivalence).
+//
+// The fetch pipeline completes the decoupling with a charge tape: every
+// simulated cost is a (kind, bytes) descriptor in one canonical per-rank
+// sequence, folded into the float clock at pinned points, which frees the
+// host side of a fetch — lookahead-k edge staging, precomputed resolve
+// tables, inline cache hits served as window views without materializing
+// a request, caller-owned value requests — to be flat straight-line code.
+// An op-for-op equivalence test replays every golden configuration under
+// deferred folding and diffs the full charge sequences (DESIGN.md §6).
 package repro

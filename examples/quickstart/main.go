@@ -37,6 +37,10 @@ func main() {
 	for v, c := range res.LCC {
 		fmt.Printf("LCC(%d) = %.3f  (degree %d)\n", v, c, g.OutDegree(repro.V(v)))
 	}
+	// SimTime is modeled machine time, decoupled from how fast the host
+	// simulates it: every charge folds into the rank clocks in one
+	// canonical order (DESIGN.md §6), so this number is bit-reproducible
+	// on any machine, at any worker count.
 	fmt.Printf("\nsimulated job time: %.2f µs (slowest of 2 ranks)\n", res.SimTime/1e3)
 	fmt.Printf("remote adjacency reads: %.0f%% of fetches crossed nodes\n",
 		100*res.RemoteReadFraction())

@@ -437,6 +437,37 @@ func (c *Cache) GetScored(target, offset, size int, score float64) *Request {
 	return q
 }
 
+// TryGet is the inline hit fast path over a read-only window: if the exact
+// region is resident it performs the full hit bookkeeping — LRU touch,
+// stamp bump, statistics, and the HitCost charge on the rank's tape — and
+// returns true; the caller then reads the data directly as an aliased
+// window view (ViewUint64s/ViewVertices/ViewBytes), with no Request
+// materialized at all. On a miss (or a local target, a writable window, or
+// coordinates outside the window geometry) it changes nothing and returns
+// false; the caller falls back to Get/GetScored, which then performs the
+// one further bucket probe and the whole miss protocol. The split keeps
+// exact parity with Get: hits and misses each count once, in the same
+// order, with the same charges — TryGet+Get is Get, minus the hit-path
+// request pooling.
+func (c *Cache) TryGet(target, offset, size int) bool {
+	if !c.win.ReadOnly() || target == c.rank.ID() || !c.coder.fits(target, offset, size) {
+		return false
+	}
+	c.enter()
+	slot := c.tab.lookupTouch(c.coder.pack(target, offset, size), c.coder.hash(target, offset, size), c.tick+1)
+	if slot < 0 {
+		c.leave()
+		return false
+	}
+	c.obsOps++
+	c.tick++
+	c.stats.Hits++
+	c.stats.HitBytes += int64(size)
+	c.stats.HitTime += c.rank.ChargeCacheHit(size)
+	c.leave()
+	return true
+}
+
 // serveView fills q's data fields for a resident region: aliased window
 // views for read-only windows (the entry itself is never touched), a
 // pooled request-owned copy of the entry's bytes otherwise (entry storage
@@ -494,9 +525,7 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 		c.tick++
 		c.stats.Hits++
 		c.stats.HitBytes += int64(size)
-		cost := c.model.HitCost(size)
-		c.rank.Clock().Advance(cost)
-		c.stats.HitTime += cost
+		c.stats.HitTime += c.rank.ChargeCacheHit(size)
 		q := c.newReq()
 		q.hit = true
 		c.serveView(q, target, offset, size, slot)
@@ -509,9 +538,7 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 	}
 	c.stats.Misses++
 	c.stats.MissBytes += int64(size)
-	over := c.model.CacheMissOverhead
-	c.rank.Clock().Advance(over)
-	c.stats.OverheadTime += over
+	c.stats.OverheadTime += c.rank.ChargeCacheMissOverhead()
 	pm := c.newPM()
 	pm.target, pm.offset, pm.size = target, offset, size
 	pm.pk, pm.h = pk, h
@@ -586,9 +613,7 @@ func (c *Cache) complete(pm *pendingMiss) {
 	// with CacheMissOverhead this is the cache-management overhead that
 	// makes caching a net loss when compulsory misses dominate (§IV-D-2
 	// scenario 2, the LiveJournal case).
-	cost := c.model.LocalCost(pm.size)
-	c.rank.Clock().Advance(cost)
-	c.stats.OverheadTime += cost
+	c.stats.OverheadTime += c.rank.ChargeCacheManage(pm.size)
 	c.insert(pm.pk, pm.h, pm.size, own, pm.score)
 }
 
@@ -760,9 +785,7 @@ func (c *Cache) maybeResize() {
 		return
 	}
 	if capacityRate > 0.10 && c.cfg.MaxCapacity > 0 && 2*c.cfg.Capacity <= c.cfg.MaxCapacity {
-		cost := c.model.LocalCost(c.alloc.used)
-		c.rank.Clock().Advance(cost)
-		c.stats.OverheadTime += cost
+		c.stats.OverheadTime += c.rank.ChargeCacheManage(c.alloc.used)
 		c.alloc.grow(c.cfg.Capacity)
 		c.cfg.Capacity *= 2
 		c.stats.BufferResizes++

@@ -47,6 +47,73 @@ func TestHitAllocFree(t *testing.T) {
 	}
 }
 
+// TestTryGetAllocFree guards the inline hit fast path: a TryGet hit does
+// the full hit bookkeeping (touch, stats, charge) with zero allocations
+// and no request, and a TryGet miss touches nothing — so probing before
+// the pooled Get is free.
+func TestTryGetAllocFree(t *testing.T) {
+	comm := rma.NewComm(2, rma.DefaultCostModel())
+	w := comm.CreateReadOnlyWindow("ro", [][]byte{nil, make([]byte, 1<<16)})
+	r := comm.Rank(0)
+	r.LockAll(w)
+	defer r.UnlockAll(w)
+	c := New(r, w, Config{Capacity: 1 << 16, Mode: AlwaysCache})
+	q := c.Get(1, 0, 256)
+	q.Wait()
+	q.Release()
+	if !c.TryGet(1, 0, 256) {
+		t.Fatal("TryGet missed a resident region")
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		if !c.TryGet(1, 0, 256) {
+			t.Fatal("TryGet missed mid-run")
+		}
+		_ = w.ViewBytes(1, 0, 256)
+	}); got != 0 {
+		t.Errorf("TryGet hit allocates %.1f/op, want 0", got)
+	}
+	missesBefore := c.Stats().Misses
+	if got := testing.AllocsPerRun(200, func() {
+		if c.TryGet(1, 4096, 256) {
+			t.Fatal("TryGet hit a region that was never fetched")
+		}
+	}); got != 0 {
+		t.Errorf("TryGet miss allocates %.1f/op, want 0", got)
+	}
+	if s := c.Stats(); s.Misses != missesBefore {
+		t.Errorf("TryGet miss changed the miss count (%d -> %d); the fallback Get owns miss accounting", missesBefore, s.Misses)
+	}
+}
+
+// TestTryGetMatchesGet pins TryGet+Get parity: interleaving TryGet probes
+// with pooled Gets yields the same statistics as the pooled path alone.
+func TestTryGetMatchesGet(t *testing.T) {
+	run := func(useTry bool) Stats {
+		comm := rma.NewComm(2, rma.DefaultCostModel())
+		w := comm.CreateReadOnlyWindow("ro", [][]byte{nil, make([]byte, 1<<16)})
+		r := comm.Rank(0)
+		r.LockAll(w)
+		defer r.UnlockAll(w)
+		c := New(r, w, Config{Capacity: 1 << 12, Mode: AlwaysCache})
+		access := func(off, size int) {
+			if useTry && c.TryGet(1, off, size) {
+				return
+			}
+			q := c.Get(1, off, size)
+			q.Wait()
+			q.Release()
+		}
+		for i := 0; i < 400; i++ {
+			access((i%24)*512, 256)
+		}
+		return c.Stats()
+	}
+	a, b := run(false), run(true)
+	if a != b {
+		t.Errorf("TryGet-fronted stats differ from pooled-only stats:\n  pooled: %+v\n  trygot: %+v", a, b)
+	}
+}
+
 // TestTypedWindowCacheServesViews verifies that a cache over the typed
 // windows serves hits and completed misses as aliased views of the window.
 func TestTypedWindowCacheServesViews(t *testing.T) {

@@ -17,6 +17,13 @@ type Options struct {
 	// Workers bounds concurrent rank execution on the host; 0 selects
 	// GOMAXPROCS. Results are bit-identical at any worker count.
 	Workers int
+
+	// ChargeObserver / DeferredCharges expose the rma charge-tape
+	// diagnostics (see lcc.Options): observe every folded charge in
+	// canonical order, or defer folds to the observation points as the
+	// verification schedule.
+	ChargeObserver  rma.ChargeObserver
+	DeferredCharges bool
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +78,12 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	// Serialized blocks are immutable for the whole run, so the window is
 	// read-only: every block get is served as an aliased view.
 	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
+	if opt.ChargeObserver != nil {
+		comm.SetChargeObserver(opt.ChargeObserver)
+	}
+	if opt.DeferredCharges {
+		comm.SetDeferredCharges(true)
+	}
 	win := comm.CreateReadOnlyWindow("blocks", bufs)
 
 	// Per-row triangle partials: rank (i,j) writes only rows of chunk i;
@@ -102,8 +115,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 			if owner == r.ID() {
 				// Own block: already in memory; charge one local
 				// streaming read, as the 1D engine does for local
-				// partitions.
-				r.AdvanceBy(opt.Model.LocalCost(own.WireSize()))
+				// partitions — recorded on the charge tape, like the
+				// 1D engines' local fetches.
+				r.ChargeLocalRead(own.WireSize())
 				return own, nil
 			}
 			rLo2, rHi2 := gr.Chunk(br)

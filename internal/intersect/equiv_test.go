@@ -106,7 +106,6 @@ func TestMergeCountMatchesSSI(t *testing.T) {
 // full-depth probe charge for every key.
 func TestFingerBinaryMatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	stack := make([]fingerFrame, 1, fingerStackCap)
 	for trial := 0; trial < 5000; trial++ {
 		a, b := randPair(rng)
 		keys, tree := a, b
@@ -114,7 +113,7 @@ func TestFingerBinaryMatchesReference(t *testing.T) {
 			keys, tree = tree, keys
 		}
 		wantCount, wantOps := Binary(keys, tree)
-		count, ops, _ := fingerBinary(stack, keys, tree, false, nil)
+		count, ops, _ := fingerBinary(make([]fingerFrame, 1, fingerStackCap), keys, tree, false, nil)
 		if count != wantCount || ops != wantOps {
 			t.Fatalf("trial %d: fingerBinary(|keys|=%d,|tree|=%d) = (%d,%d), want (%d,%d)",
 				trial, len(keys), len(tree), count, ops, wantCount, wantOps)

@@ -119,7 +119,19 @@ func (s *Scratch) probeCount(b []graph.V) int {
 	// ids touch the top of the uint32 space, which would wrap graph.V.
 	limit := uint64(len(words)) * 64
 	count := 0
-	for _, v := range b {
+	// 4-way unroll: b is ascending, so one limit test on the last element
+	// covers the quad, and the four bit probes are independent loads the
+	// core can overlap.
+	i := 0
+	for ; i+4 <= len(b) && uint64(b[i+3]) < limit; i += 4 {
+		v0, v1, v2, v3 := b[i], b[i+1], b[i+2], b[i+3]
+		count += int(words[v0>>6]>>(v0&63)&1) +
+			int(words[v1>>6]>>(v1&63)&1) +
+			int(words[v2>>6]>>(v2&63)&1) +
+			int(words[v3>>6]>>(v3&63)&1)
+	}
+	for ; i < len(b); i++ {
+		v := b[i]
 		if uint64(v) >= limit {
 			break
 		}

@@ -76,6 +76,29 @@ type Options struct {
 	// (before caching) as (rank, target vertex). Rank r only ever
 	// reports with its own id, so per-rank storage needs no locking.
 	OnRemoteRead func(rank int, target graph.V)
+
+	// ChargeObserver, when set, observes every modeled charge of the run
+	// at its fold point, in canonical per-rank order (rma.ChargeObserver).
+	// Diagnostic surface: the charge-tape equivalence tests record and
+	// diff whole runs with it. Observers run on rank goroutines.
+	ChargeObserver rma.ChargeObserver
+	// DeferredCharges queues every charge on the rank's tape and folds it
+	// at the next observation of simulated time instead of at its
+	// canonical point. Results are bit-identical either way (the
+	// charge-tape contract, DESIGN.md §6); the deferred mode is the
+	// verification schedule the equivalence tests diff against the
+	// default.
+	DeferredCharges bool
+}
+
+// configureCharges applies the diagnostic charge-plane options to a world.
+func (o Options) configureCharges(comm *rma.Comm) {
+	if o.ChargeObserver != nil {
+		comm.SetChargeObserver(o.ChargeObserver)
+	}
+	if o.DeferredCharges {
+		comm.SetDeferredCharges(true)
+	}
 }
 
 // ScorePolicy selects how C_adj entries are scored for eviction.
@@ -156,8 +179,10 @@ func adjBuckets(n, capacity int) int {
 	}
 	// Approximate the graph's adjacency bytes by 4 bytes per arc; the
 	// caller knows the real value, but the rule only needs the order of
-	// magnitude. We conservatively use n*32 (edge factor 8).
-	f := float64(capacity) / float64(n*32)
+	// magnitude. We conservatively use n·32 (edge factor 8), computed in
+	// float throughout: the integer product n*32 would overflow for very
+	// large n, and the rule only ever needs the ratio.
+	f := float64(capacity) / (float64(n) * 32)
 	if f > 1 {
 		f = 1
 	}
@@ -261,7 +286,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	// the adjacency window aliases the partition's own storage, and every
 	// Get returns a view instead of a copy.
 	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
+	opt.configureCharges(comm)
 	wOff, wAdj := makeGraphWindows(comm, locals)
+	resolve := buildResolve(pt)
 
 	lccOut := make([]float64, n)
 	triOut := make([]int64, opt.Ranks)
@@ -270,7 +297,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	deleg := BuildDelegation(g, opt.DelegateBytes)
 
 	ranks := comm.Run(func(r *rma.Rank) {
-		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, opt)
+		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, resolve, opt)
 		w.deleg = deleg
 		sumT := w.run(lccOut)
 		triOut[r.ID()] = sumT
@@ -327,6 +354,26 @@ func offsetPairs(lc *part.LocalCSR) []uint64 {
 	return pairs
 }
 
+// resolveLiBits is the local-index width of a packed resolve word:
+// owner slot in the high bits, local index in the low 40 (far beyond any
+// vertex count a partition here can hold).
+const resolveLiBits = 40
+
+// buildResolve precomputes the per-vertex fetch coordinates every engine
+// resolves on every edge: the owning slot (pt.Owner) fused with the local
+// index (pt.LocalIndex) in one packed word, so the per-edge cost is a
+// single flat array load instead of two function calls and a division.
+// The table is immutable and shared read-only by all ranks of a run; the
+// replicated-groups engine reuses the slot field unchanged and redirects
+// only the target rank (worker.ownerBase).
+func buildResolve(pt *part.Partition) []uint64 {
+	tbl := make([]uint64, pt.NumVertices())
+	for v := range tbl {
+		tbl[v] = uint64(pt.Owner(graph.V(v)))<<resolveLiBits | uint64(pt.LocalIndex(graph.V(v)))
+	}
+	return tbl
+}
+
 // worker is the per-rank execution state.
 type worker struct {
 	r    *rma.Rank
@@ -350,10 +397,14 @@ type worker struct {
 	// Acquired by newWorker, released by close.
 	its *intersect.Scratch
 
-	// ownerOf maps a vertex to the rank its adjacency is fetched from.
-	// The default is the partition owner; the replicated-groups engine
-	// (replicated.go) redirects fetches into the rank's own group.
-	ownerOf func(v graph.V) int
+	// resolve is the shared per-run table mapping a vertex to its packed
+	// (owner slot, local index) fetch coordinate; slot is the rank's own
+	// slot in that table (fetches to it are local), and ownerBase maps a
+	// slot to the target rank id (0 for the 1D engines; group·q for the
+	// replicated-groups engine, whose fetches stay inside its group).
+	resolve   []uint64
+	slot      int
+	ownerBase int
 
 	remoteReads    int64
 	localReads     int64
@@ -364,12 +415,67 @@ type worker struct {
 	// it accepts. The push engine uses it to walk only the upper wedge
 	// vj > vi so each triangle is discovered exactly once.
 	edgeFilter func(li int, vj graph.V) bool
+
+	// Lookahead pipeline state (forEachEdge): the edge ring and the two
+	// fetch slots live on the worker so the steady-state loop allocates
+	// nothing and captures nothing.
+	ring              [fetchLookahead]pipeEdge
+	ringHead, ringLen int
+	scanLi, scanJ     int
+	fetchA, fetchB    fetch
+}
+
+// pipeEdge is one staged (owned vertex, neighbour) pair of the lookahead
+// ring.
+type pipeEdge struct {
+	li int32
+	vj graph.V
+}
+
+// refillRing stages upcoming edges of the CSR walk until the ring is full
+// or the walk is exhausted. Pure host work: the filter is evaluated at
+// staging time, ahead of the model (see fetchLookahead).
+func (w *worker) refillRing() {
+	nLocal := w.lc.NumLocal()
+	for w.scanLi < nLocal {
+		adj := w.lc.AdjOf(w.scanLi)
+		for w.scanJ < len(adj) {
+			vj := adj[w.scanJ]
+			w.scanJ++
+			if w.edgeFilter != nil && !w.edgeFilter(w.scanLi, vj) {
+				continue
+			}
+			w.ring[(w.ringHead+w.ringLen)%fetchLookahead] = pipeEdge{int32(w.scanLi), vj}
+			w.ringLen++
+			if w.ringLen == fetchLookahead {
+				return
+			}
+		}
+		w.scanLi++
+		w.scanJ = 0
+	}
+}
+
+// popEdge takes the next staged edge, refilling the ring in a batch when
+// it runs dry.
+func (w *worker) popEdge() (pipeEdge, bool) {
+	if w.ringLen == 0 {
+		w.refillRing()
+		if w.ringLen == 0 {
+			return pipeEdge{}, false
+		}
+	}
+	e := w.ring[w.ringHead]
+	w.ringHead = (w.ringHead + 1) % fetchLookahead
+	w.ringLen--
+	return e, true
 }
 
 func newWorker(r *rma.Rank, kind graph.Kind, pt *part.Partition, lc *part.LocalCSR,
-	wOff, wAdj *rma.Window, opt Options) *worker {
+	wOff, wAdj *rma.Window, resolve []uint64, opt Options) *worker {
 	w := &worker{r: r, kind: kind, pt: pt, lc: lc, wOff: wOff, wAdj: wAdj, opt: opt}
-	w.ownerOf = pt.Owner
+	w.resolve = resolve
+	w.slot = r.ID()
 	w.its = intersect.GetScratch()
 	r.LockAll(wOff)
 	r.LockAll(wAdj)
@@ -392,7 +498,14 @@ func newWorker(r *rma.Rank, kind graph.Kind, pt *part.Partition, lc *part.LocalC
 }
 
 // fetch is the two-get remote read of one adjacency list, pipelined in up
-// to three stages (issue offsets get → issue adjacency get → decode).
+// to three stages (issue offsets get → issue adjacency get → resolve).
+//
+// The handles are a union of concrete types — at most one of each
+// (rma, clampi) pair is live, selected by branches the worker resolves
+// statically (caching on or off) — so every Wait/Uint64s/Vertices/Release
+// on the per-edge path is a direct call: no itab dispatch, no interface
+// resets. An inline cache hit (clampi.TryGet) materializes no handle at
+// all: the list/offView fields carry the aliased window view directly.
 type fetch struct {
 	target graph.V
 	owner  int
@@ -403,35 +516,34 @@ type fetch struct {
 	// by the score policies to address the cached entry
 	adjOff, adjSize int
 
-	offReq reqHandle
-	adjReq reqHandle
-}
+	offView []uint64 // inline offsets-cache hit: the (start,end) view
 
-// reqHandle abstracts rma.Request and clampi.Request for the pipeline.
-// Both are pooled: Release returns them to their free lists, and the typed
-// views they hand out alias the (immutable) windows, so the views outlive
-// the handle.
-type reqHandle interface {
-	Wait()
-	Uint64s() []uint64
-	Vertices() []graph.V
-	Release()
+	// offQ/adjQ are caller-owned value requests (rma.GetInto) for the
+	// non-cached path: no pool traffic, no pending-list traffic. offR/adjR
+	// flag them live. The cache misses of the cached path go through
+	// pooled clampi requests (offC/adjC), whose lifecycle the cache owns.
+	offQ, adjQ rma.Request
+	offR, adjR bool
+	offC       *clampi.Request
+	adjC       *clampi.Request
 }
 
 // start issues the first get (or resolves a local list immediately).
 func (w *worker) start(f *fetch, vj graph.V) {
 	f.target = vj
-	f.owner = w.ownerOf(vj)
-	f.adjReq = nil
-	f.offReq = nil
+	f.offR, f.adjR = false, false
+	f.offC, f.adjC = nil, nil
+	f.offView = nil
 	f.list = nil
-	if f.owner == w.r.ID() {
+	rv := w.resolve[vj]
+	slot := int(rv >> resolveLiBits)
+	li := int(rv & (1<<resolveLiBits - 1))
+	if slot == w.slot {
 		f.local = true
 		w.localReads++
-		li := w.pt.LocalIndex(vj)
 		f.list = w.lc.AdjOf(li)
 		// Local DRAM read of the list.
-		w.r.AdvanceBy(w.opt.Model.LocalCost(4 * len(f.list)))
+		w.r.ChargeLocalRead(4 * len(f.list))
 		return
 	}
 	if list, ok := w.deleg.Lookup(vj); ok {
@@ -439,20 +551,27 @@ func (w *worker) start(f *fetch, vj graph.V) {
 		f.local = true
 		w.delegatedReads++
 		f.list = list
-		w.r.AdvanceBy(w.opt.Model.LocalCost(4 * len(list)))
+		w.r.ChargeLocalRead(4 * len(list))
 		return
 	}
 	f.local = false
+	f.owner = w.ownerBase + slot
 	w.remoteReads++
 	if w.opt.OnRemoteRead != nil {
 		w.opt.OnRemoteRead(w.r.ID(), vj)
 	}
-	li := w.pt.LocalIndex(vj)
-	if w.cOff != nil {
-		f.offReq = w.cOff.Get(f.owner, 16*li, 16)
-	} else {
-		f.offReq = w.r.Get(w.wOff, f.owner, 16*li, 16)
+	off := 16 * li
+	if w.cOff == nil {
+		w.r.GetInto(&f.offQ, w.wOff, f.owner, off, 16)
+		f.offR = true
+		return
 	}
+	if w.cOff.TryGet(f.owner, off, 16) {
+		// Inline hit: the pair is read straight off the window.
+		f.offView = w.wOff.ViewUint64s(f.owner, off, 16)
+		return
+	}
+	f.offC = w.cOff.Get(f.owner, off, 16)
 }
 
 // mid completes the offsets get and issues the adjacency get.
@@ -460,52 +579,89 @@ func (w *worker) mid(f *fetch) {
 	if f.local {
 		return
 	}
-	f.offReq.Wait()
-	pair := f.offReq.Uint64s()
+	var pair []uint64
+	switch {
+	case f.offR:
+		f.offQ.Wait()
+		pair = f.offQ.Uint64s()
+		f.offR = false
+	case f.offView != nil:
+		pair = f.offView
+		f.offView = nil
+	default:
+		f.offC.Wait()
+		pair = f.offC.Uint64s()
+		f.offC.Release()
+		f.offC = nil
+	}
 	start, end := pair[0], pair[1]
-	f.offReq.Release()
-	f.offReq = nil
 	deg := int(end - start)
 	f.adjOff, f.adjSize = int(start)*4, deg*4
 	if w.cAdj == nil {
-		f.adjReq = w.r.Get(w.wAdj, f.owner, f.adjOff, f.adjSize)
+		w.r.GetInto(&f.adjQ, w.wAdj, f.owner, f.adjOff, f.adjSize)
+		f.adjR = true
 		return
 	}
-	// After the offsets get we know the remote vertex's degree; the
-	// non-default policies pass an application-defined score derived
-	// from it (§III-B-2 and future work iii).
+	// Hits are the steady state of the Fig. 7/8 regime: probe the inline
+	// fast path first. A hit performs the full bookkeeping and charge
+	// inside TryGet and resolves the list as a window view with no
+	// request at all; scores only matter on insertion, so the policies
+	// below join in only on the miss path (plus the recency refresh).
+	if w.cAdj.TryGet(f.owner, f.adjOff, f.adjSize) {
+		f.list = w.wAdj.ViewVertices(f.owner, f.adjOff, f.adjSize)
+		if w.opt.AdjScorePolicy == ScoreDegreeRecency {
+			w.seq++
+			w.cAdj.SetScore(f.owner, f.adjOff, f.adjSize, float64(deg)*(1+float64(w.seq)*1e-7))
+		}
+		return
+	}
+	// Miss: issue through the cache. After the offsets get we know the
+	// remote vertex's degree; the non-default policies pass an
+	// application-defined score derived from it (§III-B-2 and future
+	// work iii).
 	switch w.opt.AdjScorePolicy {
 	case ScoreDegree:
-		f.adjReq = w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, float64(deg))
+		f.adjC = w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, float64(deg))
 	case ScoreCostBenefit:
 		score := w.opt.Model.RemoteCost(f.adjSize) / float64(f.adjSize+1)
-		f.adjReq = w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, score)
+		f.adjC = w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, score)
 	case ScoreDegreeRecency:
 		w.seq++
 		score := float64(deg) * (1 + float64(w.seq)*1e-7)
-		req := w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, score)
-		if req.Hit() {
-			// Refresh the resident entry's recency component.
-			w.cAdj.SetScore(f.owner, f.adjOff, f.adjSize, score)
-		}
-		f.adjReq = req
+		f.adjC = w.cAdj.GetScored(f.owner, f.adjOff, f.adjSize, score)
 	default:
-		f.adjReq = w.cAdj.Get(f.owner, f.adjOff, f.adjSize)
+		f.adjC = w.cAdj.Get(f.owner, f.adjOff, f.adjSize)
 	}
 }
 
 // finish completes the adjacency get and resolves the list as an aliased
-// view of the adjacency window — no decode, no copy.
+// view of the adjacency window — no decode, no copy. Local fetches and
+// inline cache hits arrive already resolved.
 func (w *worker) finish(f *fetch) []graph.V {
-	if f.local {
+	if f.local || f.list != nil {
 		return f.list
 	}
-	f.adjReq.Wait()
-	f.list = f.adjReq.Vertices()
-	f.adjReq.Release()
-	f.adjReq = nil
+	if f.adjR {
+		f.adjQ.Wait()
+		f.list = f.adjQ.Vertices()
+		f.adjR = false
+		return f.list
+	}
+	f.adjC.Wait()
+	f.list = f.adjC.Vertices()
+	f.adjC.Release()
+	f.adjC = nil
 	return f.list
 }
+
+// fetchLookahead is the depth k of the host-side software pipeline in
+// forEachEdge: edge enumeration (CSR scan, filter evaluation, ring
+// staging) runs up to k edges ahead of the model in tight refill batches.
+// Only host work moves — every model-visible operation (charge appends,
+// get issues, cache transitions) still fires at its canonical
+// lookahead-one position, which is what the charge-tape contract
+// (DESIGN.md §6) requires for bit-identical SimTime.
+const fetchLookahead = 8
 
 // forEachEdge streams the rank's (owned vertex, neighbour, neighbour's
 // adjacency list) triples through visit, running the paper's fetch
@@ -514,68 +670,54 @@ func (w *worker) finish(f *fetch) []graph.V {
 // double buffering is on (§III-A). The adjacency slice passed to visit is
 // only valid for the duration of the call. Both TC/LCC (Algorithm 3) and
 // the Jaccard extension run on top of this visitor.
+//
+// Host schedule: edges are enumerated through a fetchLookahead-deep ring
+// refilled in batches, so the per-edge steady state touches no enumeration
+// state beyond a ring pop. The charge tape keeps this host pipelining
+// invisible to the model (see fetchLookahead).
 func (w *worker) forEachEdge(visit func(li int, vj graph.V, adjJ []graph.V)) {
-	nLocal := w.lc.NumLocal()
+	w.ringHead, w.ringLen = 0, 0
+	w.scanLi, w.scanJ = 0, 0
 
-	type edge struct {
-		li int
-		vj graph.V
-	}
-	// Iterate without materializing all edges: the pipeline has a
-	// lookahead of one, so only the "next" edge is needed.
-	next := func(li int, j int) (edge, int, int, bool) {
-		for li < nLocal {
-			adj := w.lc.AdjOf(li)
-			if j < len(adj) {
-				vj := adj[j]
-				if w.edgeFilter != nil && !w.edgeFilter(li, vj) {
-					j++
-					continue
-				}
-				return edge{li, vj}, li, j + 1, true
-			}
-			li++
-			j = 0
-		}
-		return edge{}, li, j, false
-	}
+	// Two fetch slots flipped by pointer: the devirtualized handles are
+	// reset by start, so no per-edge struct zeroing is needed.
+	cur, nxt := &w.fetchA, &w.fetchB
 
-	var cur, nxt fetch
-
-	e, li, j, ok := next(0, 0)
+	e, ok := w.popEdge()
 	if ok {
-		w.start(&cur, e.vj)
+		w.start(cur, e.vj)
 	}
 	for ok {
 		// Complete the offsets get and fire the dependent adjacency
 		// get for the current edge, then wait for the data. Both remote
 		// latencies are exposed here, as in the paper: §IV-D observes
 		// that communication dominates and overlap cannot hide it.
-		w.mid(&cur)
-		list := w.finish(&cur)
+		w.mid(cur)
+		list := w.finish(cur)
 
 		// Double buffering (§III-A): issue the next edge's first get
 		// now, so its transfer overlaps the visit below — the
 		// communication of edge i+1 overlaps the computation of edge
-		// i, exactly one edge of lookahead.
-		var en edge
+		// i, exactly one edge of lookahead in the model regardless of
+		// the host pipeline depth.
+		var en pipeEdge
 		var okn bool
 		if w.opt.DoubleBuffer {
-			en, li, j, okn = next(li, j)
+			en, okn = w.popEdge()
 			if okn {
-				w.start(&nxt, en.vj)
+				w.start(nxt, en.vj)
 			}
 		}
 
-		visit(e.li, e.vj, list)
+		visit(int(e.li), e.vj, list)
 
 		if w.opt.DoubleBuffer {
 			e, ok = en, okn
-			cur, nxt = nxt, fetch{}
+			cur, nxt = nxt, cur
 		} else {
-			e, li, j, ok = next(li, j)
+			e, ok = w.popEdge()
 			if ok {
-				w.start(&cur, e.vj)
+				w.start(cur, e.vj)
 			}
 		}
 	}

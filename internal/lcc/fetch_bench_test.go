@@ -1,0 +1,163 @@
+package lcc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/rma"
+)
+
+// Fetch-plane micro-benchmarks: the three flavors of one adjacency fetch —
+// a local partition read, a remote two-get pipeline, and an inline CLaMPI
+// hit — isolated from the intersection kernels, so the perf trajectory
+// (BENCH_*.json) tracks the flat fetch plane on its own. The companion
+// alloc guards pin the steady state of all three flavors, plus the
+// lookahead pipeline itself, at zero heap allocations.
+
+// fetchHarness is a two-rank world with rank 0's worker ready to fetch:
+// vertex `local` is owned by rank 0, `remote` by rank 1.
+type fetchHarness struct {
+	w             *worker
+	local, remote graph.V
+}
+
+// newFetchHarness builds the harness over a small random graph. caching
+// selects the CLaMPI-wrapped worker (C_offsets + C_adj, ScoreDegree — the
+// golden cached configuration's policy).
+func newFetchHarness(tb testing.TB, caching bool) *fetchHarness {
+	tb.Helper()
+	rng := rand.New(rand.NewPCG(11, 13))
+	const n = 256
+	edges := make([]graph.Edge, 4*n)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.V(rng.IntN(n)), Dst: graph.V(rng.IntN(n))}
+	}
+	g := graph.MustBuild(graph.Undirected, n, edges)
+	opt := Options{Ranks: 2, DoubleBuffer: true}
+	if caching {
+		opt.Caching = true
+		opt.OffsetsCacheBytes = 1 << 14
+		opt.AdjCacheBytes = 1 << 16
+		opt.AdjScorePolicy = ScoreDegree
+	}
+	opt = opt.withDefaults(n)
+	pt, err := part.Build(opt.Scheme, g, opt.Ranks)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	locals := part.ExtractAll(g, pt)
+	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
+	wOff, wAdj := makeGraphWindows(comm, locals)
+	w := newWorker(comm.Rank(0), g.Kind(), pt, locals[0], wOff, wAdj, buildResolve(pt), opt)
+	h := &fetchHarness{w: w}
+	// Pick a rank-0 and a rank-1 vertex with non-empty adjacency.
+	for v := graph.V(0); int(v) < n; v++ {
+		if len(g.Adj(v)) == 0 {
+			continue
+		}
+		if pt.Owner(v) == 0 && h.local == 0 {
+			h.local = v
+		}
+		if pt.Owner(v) == 1 && h.remote == 0 {
+			h.remote = v
+		}
+	}
+	if h.local == 0 || h.remote == 0 {
+		tb.Fatal("harness graph has no usable local/remote vertex")
+	}
+	return h
+}
+
+// fetchOnce drives one full start→mid→finish fetch of vj on the harness
+// worker and returns the resolved list length.
+func (h *fetchHarness) fetchOnce(vj graph.V) int {
+	f := &h.w.fetchA
+	h.w.start(f, vj)
+	h.w.mid(f)
+	return len(h.w.finish(f))
+}
+
+// BenchmarkFetchLocal is the local flavor: resolve-table hit, partition
+// read, one LocalCost charge. No requests, no cache.
+func BenchmarkFetchLocal(b *testing.B) {
+	h := newFetchHarness(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.fetchOnce(h.local)
+	}
+}
+
+// BenchmarkFetchRemoteMiss is the non-cached remote flavor: the full
+// two-get pipeline (offsets get, wait, adjacency get, wait) through
+// caller-owned value requests.
+func BenchmarkFetchRemoteMiss(b *testing.B) {
+	h := newFetchHarness(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.fetchOnce(h.remote)
+	}
+}
+
+// BenchmarkFetchCachedHit is the steady-state cached flavor: both the
+// offsets and the adjacency access are inline CLaMPI hits (TryGet), served
+// as window views with no request materialized at all.
+func BenchmarkFetchCachedHit(b *testing.B) {
+	h := newFetchHarness(b, true)
+	h.fetchOnce(h.remote) // compulsory misses: populate both caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.fetchOnce(h.remote)
+	}
+}
+
+// TestFetchFlavorsAllocFree pins all three fetch flavors at zero
+// steady-state heap allocations.
+func TestFetchFlavorsAllocFree(t *testing.T) {
+	cases := []struct {
+		name    string
+		caching bool
+		target  func(h *fetchHarness) graph.V
+	}{
+		{"local", false, func(h *fetchHarness) graph.V { return h.local }},
+		{"remote-miss", false, func(h *fetchHarness) graph.V { return h.remote }},
+		{"cached-hit", true, func(h *fetchHarness) graph.V { return h.remote }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := newFetchHarness(t, tc.caching)
+			vj := tc.target(h)
+			h.fetchOnce(vj) // warm pools / populate caches
+			if allocs := testing.AllocsPerRun(100, func() { h.fetchOnce(vj) }); allocs > 0 {
+				t.Errorf("%s fetch allocates %.1f objects per op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}
+
+// TestLookaheadPipelineAllocFree pins the full forEachEdge lookahead
+// pipeline — ring refills, fetch slot flips, visits — at zero steady-state
+// allocations for both the plain and the cached worker.
+func TestLookaheadPipelineAllocFree(t *testing.T) {
+	for _, caching := range []bool{false, true} {
+		name := "plain"
+		if caching {
+			name = "cached"
+		}
+		t.Run(name, func(t *testing.T) {
+			h := newFetchHarness(t, caching)
+			walk := func() {
+				h.w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {})
+			}
+			walk() // warm pools, populate caches
+			if allocs := testing.AllocsPerRun(5, walk); allocs > 0 {
+				t.Errorf("lookahead pipeline (%s) allocates %.1f objects per walk, want 0", name, allocs)
+			}
+		})
+	}
+}

@@ -40,7 +40,9 @@ func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
 	locals := part.ExtractAll(g, pt)
 
 	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
+	opt.configureCharges(comm)
 	wOff, wAdj := makeGraphWindows(comm, locals)
+	resolve := buildResolve(pt)
 
 	scores := make([]float64, g.NumArcs())
 	stats := make([]RankStats, opt.Ranks)
@@ -55,7 +57,7 @@ func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
 	deleg := BuildDelegation(g, opt.DelegateBytes)
 
 	ranks := comm.Run(func(r *rma.Rank) {
-		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, opt)
+		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, resolve, opt)
 		w.deleg = deleg
 		lc := locals[r.ID()]
 		arc := base[r.ID()]

@@ -136,9 +136,11 @@ func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
 	}
 
 	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
+	opt.configureCharges(comm)
 	wOff, wAdj := makeGraphWindows(comm, locals)
 	wTri := comm.CreateWindow("triangles", triBufs)
 	bar := comm.NewBarrier()
+	resolve := buildResolve(pt)
 	deleg := BuildDelegation(g, opt.DelegateBytes)
 
 	lccOut := make([]float64, n)
@@ -146,7 +148,7 @@ func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
 	stats := make([]RankStats, opt.Ranks)
 
 	ranks := comm.Run(func(r *rma.Rank) {
-		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, opt.Options)
+		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, resolve, opt.Options)
 		w.deleg = deleg
 		sumT := w.runPush(lccOut, wTri, bar, opt.Aggregation)
 		triOut[r.ID()] = sumT
@@ -183,8 +185,9 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 			w.r.Compute(1)
 			return
 		}
-		owner := w.pt.Owner(u)
-		li := w.pt.LocalIndex(u)
+		rv := w.resolve[u]
+		owner := int(rv >> resolveLiBits)
+		li := int(rv & (1<<resolveLiBits - 1))
 		// Fire-and-forget: release immediately so the pooled request is
 		// recycled at the next flush instead of becoming garbage.
 		w.r.Accumulate(wTri, owner, 8*li, 1).Release()
@@ -257,8 +260,9 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 func (w *worker) flushCombined(wTri *rma.Window, combined map[graph.V]uint64) {
 	byOwner := make(map[int][]rma.Update)
 	for u, cnt := range combined {
-		owner := w.pt.Owner(u)
-		byOwner[owner] = append(byOwner[owner], rma.Update{Offset: 8 * w.pt.LocalIndex(u), Delta: cnt})
+		rv := w.resolve[u]
+		owner := int(rv >> resolveLiBits)
+		byOwner[owner] = append(byOwner[owner], rma.Update{Offset: 8 * int(rv&(1<<resolveLiBits-1)), Delta: cnt})
 	}
 	owners := make([]int, 0, len(byOwner))
 	for o := range byOwner {

@@ -67,7 +67,9 @@ func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
 	// across replicas of a slot; the host-side storage is now shared,
 	// which is exactly the zero-copy point.
 	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
+	opt.configureCharges(comm)
 	wOff, wAdj := makeGraphWindows(comm, slots)
+	resolve := buildResolve(pt)
 	deleg := BuildDelegation(g, opt.DelegateBytes)
 
 	lccOut := make([]float64, n)
@@ -76,10 +78,12 @@ func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
 
 	ranks := comm.Run(func(r *rma.Rank) {
 		group, slot := r.ID()/q, r.ID()%q
-		w := newWorker(r, g.Kind(), pt, slots[slot], wOff, wAdj, opt.Options)
+		w := newWorker(r, g.Kind(), pt, slots[slot], wOff, wAdj, resolve, opt.Options)
 		w.deleg = deleg
-		// All fetches stay inside the rank's own group.
-		w.ownerOf = func(v graph.V) int { return group*q + pt.Owner(v) }
+		// All fetches stay inside the rank's own group: the shared
+		// resolve table yields slot coordinates, and ownerBase maps a
+		// slot to the replica this rank reads from.
+		w.slot, w.ownerBase = slot, group*q
 		sumT := w.runSlice(lccOut, slot, group, c)
 		triOut[r.ID()] = sumT
 		stats[r.ID()] = w.stats()

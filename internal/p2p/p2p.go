@@ -51,31 +51,76 @@ type Rank struct {
 	clock rma.Clock
 	ctr   Counters
 
+	// tape defers the superstep body's charges (compute, protocol
+	// handling, send costs) until the clock is observed — the same
+	// model/host decoupling as the rma charge tape, specialized to the
+	// two counter destinations a BSP rank has. Charges fold in append
+	// (= program) order at Clock/Counters reads and at the exchange
+	// boundary, so noise draws and float accumulation keep the exact
+	// canonical sequence.
+	tape []p2pCharge
+
 	outbox [][]Message // staged sends, indexed by destination
 	inbox  []Message   // messages delivered by the previous exchange
+}
+
+// p2pCharge is one deferred charge: a modeled duration and whether it is
+// send cost (vs. compute time).
+type p2pCharge struct {
+	ns   float64
+	send bool
+}
+
+// push appends a charge, folding a full tape in place first (folding
+// early is always legal — fold order equals append order either way — so
+// the tape stays one fixed slab however long a superstep body runs).
+func (r *Rank) push(c p2pCharge) {
+	if len(r.tape) == cap(r.tape) {
+		r.fold()
+	}
+	r.tape = append(r.tape, c)
+}
+
+// fold drains the deferred charges in program order.
+func (r *Rank) fold() {
+	if len(r.tape) == 0 {
+		return
+	}
+	for _, c := range r.tape {
+		r.clock.Advance(c.ns)
+		if c.send {
+			r.ctr.SendCost += c.ns
+		} else {
+			r.ctr.ComputeTime += c.ns
+		}
+	}
+	r.tape = r.tape[:0]
 }
 
 // ID returns the rank id.
 func (r *Rank) ID() int { return r.id }
 
-// Clock returns the rank's simulated clock.
-func (r *Rank) Clock() *rma.Clock { return &r.clock }
+// Clock returns the rank's simulated clock, folding deferred charges first.
+func (r *Rank) Clock() *rma.Clock {
+	r.fold()
+	return &r.clock
+}
 
-// Counters returns a snapshot of the rank's counters.
-func (r *Rank) Counters() Counters { return r.ctr }
+// Counters returns a snapshot of the rank's counters, folding first.
+func (r *Rank) Counters() Counters {
+	r.fold()
+	return r.ctr
+}
 
 // Compute charges ops × κ of modeled computation.
 func (r *Rank) Compute(ops int) {
-	d := float64(ops) * r.world.model.ComputePerOp
-	r.clock.Advance(d)
-	r.ctr.ComputeTime += d
+	r.push(p2pCharge{ns: float64(ops) * r.world.model.ComputePerOp})
 }
 
 // AdvanceBy charges an arbitrary modeled duration in ns (e.g. per-query
 // protocol processing that is not proportional to intersection ops).
 func (r *Rank) AdvanceBy(ns float64) {
-	r.clock.Advance(ns)
-	r.ctr.ComputeTime += ns
+	r.push(p2pCharge{ns: ns})
 }
 
 // Send stages a []byte message for dst; it is delivered by the next
@@ -100,10 +145,9 @@ func (r *Rank) SendPayload(dst int, payload interface{}, size int) {
 	if dst == r.id {
 		cost = m.LocalCost(size)
 	}
-	r.clock.Advance(cost)
+	r.push(p2pCharge{ns: cost, send: true})
 	r.ctr.MsgsSent++
 	r.ctr.BytesSent += int64(size)
-	r.ctr.SendCost += cost
 	r.outbox[dst] = append(r.outbox[dst], Message{From: r.id, Size: size, Payload: payload})
 }
 
@@ -140,7 +184,7 @@ func NewWorldWorkers(p int, model rma.CostModel, workers int) *World {
 	w := &World{p: p, model: model, pool: sched.New(workers)}
 	w.ranks = make([]*Rank, p)
 	for i := range w.ranks {
-		w.ranks[i] = &Rank{id: i, world: w, outbox: make([][]Message, p)}
+		w.ranks[i] = &Rank{id: i, world: w, outbox: make([][]Message, p), tape: make([]p2pCharge, 0, 512)}
 		w.ranks[i].clock.SetNoise(model.Noise, i)
 	}
 	return w
@@ -176,9 +220,12 @@ func (w *World) Superstep(body func(r *Rank)) {
 // the blocking all-to-all step whose cost TriC pays every round.
 func (w *World) Exchange() {
 	w.steps++
-	// Barrier: all ranks wait for the slowest.
+	// Barrier: all ranks wait for the slowest. Superstep bodies have
+	// finished, so folding their deferred charges here is safe and makes
+	// every clock read true simulated time.
 	max := 0.0
 	for _, r := range w.ranks {
+		r.fold()
 		if t := r.clock.Now(); t > max {
 			max = t
 		}
@@ -229,6 +276,7 @@ func (w *World) AllreduceSum(vals []int64) int64 {
 	cost := float64(depth) * (w.model.SendRecvOverhead + w.model.RemoteCost(8))
 	max := 0.0
 	for _, r := range w.ranks {
+		r.fold()
 		if t := r.clock.Now(); t > max {
 			max = t
 		}
@@ -246,6 +294,7 @@ func (w *World) AllreduceSum(vals []int64) int64 {
 func (w *World) MaxClock() float64 {
 	max := 0.0
 	for _, r := range w.ranks {
+		r.fold()
 		if t := r.clock.Now(); t > max {
 			max = t
 		}

@@ -36,12 +36,13 @@ func (r *Rank) Flush(w *Window, target int) {
 // than a serializing read-modify-write. Accumulates targeting the rank
 // itself commit immediately, preserving local program order.
 func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request {
-	if !r.epochs[w] {
+	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate on %q outside an access epoch", r.id, w.name))
 	}
 	if w.kind != WritableBytes {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate on %v window %q", r.id, w.kind, w.name))
 	}
+	r.fold() // the completion time below reads the clock eagerly
 	if offset < 0 || offset+8 > len(w.loc[target]) {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate %q target %d [%d:+8) out of range (len %d)",
 			r.id, w.name, target, offset, len(w.loc[target])))
@@ -60,6 +61,7 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 	q.completeAt = r.clock.Now() + cost
 	r.ctr.Puts++
 	r.ctr.RemoteBytes += 8
+	q.tracked = true
 	r.pending = append(r.pending, q)
 	return q
 }
@@ -70,12 +72,13 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 // fetch-and-op is a synchronizing read-modify-write, so the issuing rank
 // cannot proceed without the old value.
 func (r *Rank) FetchAdd64(w *Window, target, offset int, delta uint64) uint64 {
-	if !r.epochs[w] {
+	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 on %q outside an access epoch", r.id, w.name))
 	}
 	if w.kind != WritableBytes {
 		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 on %v window %q", r.id, w.kind, w.name))
 	}
+	r.fold() // blocking round trip: charges fold before the clock advances
 	region := w.loc[target]
 	if offset < 0 || offset+8 > len(region) {
 		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 %q target %d [%d:+8) out of range (len %d)",
@@ -118,12 +121,13 @@ const updateWireBytes = 12
 // k scattered Accumulates cost k·(α + 8β), the combined batch α + 12k·β.
 // Like Accumulate it is non-blocking; completion is observed by a flush.
 func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
-	if !r.epochs[w] {
+	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: AccumulateBatch on %q outside an access epoch", r.id, w.name))
 	}
 	if w.kind != WritableBytes {
 		panic(fmt.Sprintf("rma: rank %d: AccumulateBatch on %v window %q", r.id, w.kind, w.name))
 	}
+	r.fold() // the completion time below reads the clock eagerly
 	region := w.loc[target]
 	for _, u := range ups {
 		if u.Offset < 0 || u.Offset+8 > len(region) {
@@ -146,6 +150,7 @@ func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
 	q.completeAt = r.clock.Now() + cost
 	r.ctr.Puts++
 	r.ctr.RemoteBytes += int64(size)
+	q.tracked = true
 	r.pending = append(r.pending, q)
 	return q
 }
@@ -184,6 +189,7 @@ func (c *Comm) NewBarrier() *Barrier {
 // the latest arrival time plus BarrierLatency. The time a rank spends
 // blocked is accounted as FlushWait (it is synchronization, not work).
 func (b *Barrier) Wait(r *Rank) {
+	r.fold() // the rendezvous publishes this rank's clock to the world
 	var target float64
 	rendezvous := func() {
 		b.mu.Lock()

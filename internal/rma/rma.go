@@ -16,6 +16,11 @@ type Comm struct {
 	model CostModel
 	pool  *sched.Pool
 
+	// deferred / observer configure the charge plane of every rank created
+	// from this world (tape.go); both must be set before Run.
+	deferred bool
+	observer ChargeObserver
+
 	mu      sync.Mutex
 	windows []*Window
 	byID    [][]*Rank // every Rank handle created, grouped by id (staged-op commit order)
@@ -231,7 +236,8 @@ func (c *Counters) Merge(o Counters) {
 
 // Rank is one process of the world. A Rank must be used from a single
 // goroutine; different Ranks may run concurrently. That single-goroutine
-// contract is what makes the request free list safe without locking.
+// contract is what makes the request free list (and the charge tape) safe
+// without locking.
 type Rank struct {
 	id      int
 	comm    *Comm
@@ -239,7 +245,20 @@ type Rank struct {
 	ctr     Counters
 	running bool // inside a pool-scheduled Run body (holds a worker slot)
 
-	epochs  map[*Window]bool
+	// tape is the rank's deferred-charge tape (tape.go): descriptors in
+	// canonical program order, folded into the clock at observation
+	// points when deferred mode is on. The default folds each charge at
+	// its canonical point and never touches the tape; observer sees every
+	// fold in either mode.
+	tape     []tapeOp
+	deferred bool
+	observer ChargeObserver
+
+	// epochs is the set of windows with an open access epoch. A flat
+	// slice: every engine here holds at most three epochs at once, so a
+	// linear scan beats a map lookup on every Get/Put — and allocates
+	// nothing at rank construction.
+	epochs  []*Window
 	pending []*Request
 	free    []*Request // recycled requests (see Request.Release)
 
@@ -256,7 +275,15 @@ func (c *Comm) Rank(id int) *Rank {
 	if id < 0 || id >= c.p {
 		panic(fmt.Sprintf("rma: rank %d out of range [0,%d)", id, c.p))
 	}
-	r := &Rank{id: id, comm: c, epochs: map[*Window]bool{}}
+	r := &Rank{id: id, comm: c, deferred: c.deferred, observer: c.observer}
+	// Every engine here opens at most three epochs (offsets, adjacency,
+	// and possibly a counter window); one slab keeps LockAll append-free.
+	r.epochs = make([]*Window, 0, 4)
+	if r.deferred {
+		// One slab covers any realistic inter-fold charge burst; folds
+		// keep the backing array, so the tape never allocates again.
+		r.tape = make([]tapeOp, 0, 64)
+	}
 	r.clock.SetNoise(c.model.Noise, id)
 	c.mu.Lock()
 	c.byID[id] = append(c.byID[id], r)
@@ -273,45 +300,78 @@ func (r *Rank) NumRanks() int { return r.comm.p }
 // Model returns the cost model of the rank's communicator.
 func (r *Rank) Model() CostModel { return r.comm.model }
 
-// Clock returns the rank's simulated clock.
-func (r *Rank) Clock() *Clock { return &r.clock }
+// Clock returns the rank's simulated clock, folding any deferred charges
+// first so the returned clock reads true simulated time.
+func (r *Rank) Clock() *Clock {
+	r.fold()
+	return &r.clock
+}
 
-// Counters returns a snapshot of the rank's counters.
-func (r *Rank) Counters() Counters { return r.ctr }
+// Counters returns a snapshot of the rank's counters, folding any deferred
+// charges first.
+func (r *Rank) Counters() Counters {
+	r.fold()
+	return r.ctr
+}
 
 // Compute charges modeled computation time (ops × κ) to the rank's clock.
 func (r *Rank) Compute(ops int) {
 	d := float64(ops) * r.comm.model.ComputePerOp
-	r.clock.Advance(d)
-	r.ctr.ComputeTime += d
+	if r.plain() {
+		r.clock.Advance(d)
+		r.ctr.ComputeTime += d
+		return
+	}
+	r.charge(ChargeOps, ops, d, nil)
 }
 
 // AdvanceBy charges an arbitrary simulated duration (used for modeled
 // costs that are not per-op, e.g. OpenMP region entry in the shared-memory
-// experiments).
+// experiments). Raw durations do not fit the (kind, bytes) tape, so
+// AdvanceBy is itself a fold point: deferred charges land first, then the
+// duration applies eagerly — the same canonical order either way.
 func (r *Rank) AdvanceBy(ns float64) {
+	r.fold()
 	r.clock.Advance(ns)
 	r.ctr.ComputeTime += ns
+	if r.observer != nil {
+		r.observer(r.id, ChargeNS, 0, ns, r.clock.Now())
+	}
+}
+
+// inEpoch reports whether the rank has an open access epoch on w.
+func (r *Rank) inEpoch(w *Window) bool {
+	for _, e := range r.epochs {
+		if e == w {
+			return true
+		}
+	}
+	return false
 }
 
 // LockAll opens a passive-target access epoch on w, after which the rank
 // may issue RMA operations to any peer. As §III-A stresses, this is not a
 // lock and involves no synchronization; here it only flips epoch state.
 func (r *Rank) LockAll(w *Window) {
-	if r.epochs[w] {
+	if r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: LockAll on %q with epoch already open", r.id, w.name))
 	}
-	r.epochs[w] = true
+	r.epochs = append(r.epochs, w)
 }
 
 // UnlockAll closes the access epoch on w, implying a flush. Like the real
 // operation in passive mode, it is local: no peer involvement.
 func (r *Rank) UnlockAll(w *Window) {
-	if !r.epochs[w] {
+	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: UnlockAll on %q without open epoch", r.id, w.name))
 	}
 	r.FlushAll(w)
-	delete(r.epochs, w)
+	for i, e := range r.epochs {
+		if e == w {
+			r.epochs = append(r.epochs[:i], r.epochs[i+1:]...)
+			break
+		}
+	}
 }
 
 // Request is an outstanding non-blocking RMA operation. The data accessors
@@ -332,6 +392,8 @@ type Request struct {
 	done       bool
 	autoFree   bool // released while pending; recycle at completion
 	pooled     bool // currently on the free list (double-release guard)
+	tracked    bool // on the rank's pending list (flushes complete it)
+	owned      bool // caller-owned storage (GetInto); must never be pooled
 }
 
 // newRequest pops a recycled request or allocates one.
@@ -363,6 +425,9 @@ func (r *Rank) newRequest(w *Window, target int) *Request {
 func (q *Request) Release() {
 	if q.pooled {
 		panic("rma: Release of an already-released request")
+	}
+	if q.owned {
+		panic("rma: Release of a caller-owned request (GetInto); the caller owns its storage")
 	}
 	if !q.done {
 		q.autoFree = true
@@ -419,7 +484,12 @@ func (q *Request) Vertices() []graph.V {
 }
 
 // CompleteAt returns the simulated time at which the transfer finishes.
-func (q *Request) CompleteAt() float64 { return q.completeAt }
+// Completion times are established when the issue charge folds, so the
+// rank's tape is folded first.
+func (q *Request) CompleteAt() float64 {
+	q.rank.fold()
+	return q.completeAt
+}
 
 // Wait completes this single request, advancing the rank's clock to the
 // request's completion time if needed (MPI_Win_flush_local on one op).
@@ -428,11 +498,15 @@ func (q *Request) Wait() {
 		return
 	}
 	r := q.rank
+	r.fold()
 	before := r.clock.Now()
 	r.clock.AdvanceTo(q.completeAt)
 	r.ctr.FlushWait += r.clock.Now() - before
 	q.done = true
-	r.removePending(q)
+	if q.tracked {
+		q.tracked = false
+		r.removePending(q)
+	}
 	if q.autoFree {
 		q.recycle()
 	}
@@ -483,7 +557,7 @@ func (q *Request) resolve(w *Window, target, offset, size int) {
 // §III-A). Reads targeting the rank itself are served at local-memory cost
 // and complete immediately.
 func (r *Rank) Get(w *Window, target, offset, size int) *Request {
-	if !r.epochs[w] {
+	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: Get on %q outside an access epoch", r.id, w.name))
 	}
 	if rl := w.SizeAt(target); offset < 0 || size < 0 || offset+size > rl {
@@ -498,21 +572,83 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 	q := r.newRequest(w, target)
 	q.resolve(w, target, offset, size)
 	if target == r.id {
-		cost := r.comm.model.LocalCost(size)
-		r.clock.Advance(cost)
-		r.ctr.LocalGets++
-		r.ctr.LocalBytes += int64(size)
-		q.completeAt = r.clock.Now()
 		q.done = true
+		if r.plain() {
+			r.clock.Advance(r.comm.model.LocalCost(size))
+			r.ctr.LocalGets++
+			r.ctr.LocalBytes += int64(size)
+			q.completeAt = r.clock.Now()
+		} else {
+			r.charge(ChargeGetLocal, size, r.comm.model.LocalCost(size), q)
+		}
 		return q
 	}
-	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(size))
-	q.completeAt = r.clock.Now() + cost
-	r.ctr.Gets++
-	r.ctr.RemoteBytes += int64(size)
-	r.ctr.GetCost += cost
+	// The issue charges nothing to the clock; the in-flight duration and
+	// the completion time are established here, at the canonical issue
+	// point (or at the fold of this position's descriptor in deferred
+	// mode).
+	if r.plain() {
+		cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(size))
+		q.completeAt = r.clock.Now() + cost
+		r.ctr.Gets++
+		r.ctr.RemoteBytes += int64(size)
+		r.ctr.GetCost += cost
+	} else {
+		r.charge(ChargeGetRemote, size, r.comm.model.RemoteCost(size), q)
+	}
+	q.tracked = true
 	r.pending = append(r.pending, q)
 	return q
+}
+
+// GetInto is Get into a caller-owned request: q is typically embedded by
+// value in the caller's own pipeline state, so the per-rank request pool
+// and the pending list are bypassed entirely — no pool pop/push, no
+// pending append, no swap-remove on completion. The trade is a narrower
+// contract, which the engines' fetch pipeline satisfies by construction:
+// the caller must complete the request with q.Wait() (window-level flushes
+// do not see it) and must not Release it (it owns the storage). Everything
+// else — charges, completion time, counters, data views — is identical to
+// Get, including the canonical charge-tape position.
+func (r *Rank) GetInto(q *Request, w *Window, target, offset, size int) {
+	if !r.inEpoch(w) {
+		panic(fmt.Sprintf("rma: rank %d: GetInto on %q outside an access epoch", r.id, w.name))
+	}
+	if rl := w.SizeAt(target); offset < 0 || size < 0 || offset+size > rl {
+		panic(fmt.Sprintf("rma: rank %d: GetInto %q target %d [%d:+%d) out of range (len %d)",
+			r.id, w.name, target, offset, size, rl))
+	}
+	if r.stagedOps > 0 && w.kind == WritableBytes {
+		r.commitStaged(w, target)
+	}
+	q.rank = r
+	q.win = w
+	q.target = target
+	q.done = false
+	q.owned = true
+	q.data, q.u64, q.verts = nil, nil, nil
+	q.resolve(w, target, offset, size)
+	if target == r.id {
+		q.done = true
+		if r.plain() {
+			r.clock.Advance(r.comm.model.LocalCost(size))
+			r.ctr.LocalGets++
+			r.ctr.LocalBytes += int64(size)
+			q.completeAt = r.clock.Now()
+		} else {
+			r.charge(ChargeGetLocal, size, r.comm.model.LocalCost(size), q)
+		}
+		return
+	}
+	if r.plain() {
+		cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(size))
+		q.completeAt = r.clock.Now() + cost
+		r.ctr.Gets++
+		r.ctr.RemoteBytes += int64(size)
+		r.ctr.GetCost += cost
+	} else {
+		r.charge(ChargeGetRemote, size, r.comm.model.RemoteCost(size), q)
+	}
 }
 
 // Put issues a one-sided write of data into target's region at offset. The
@@ -520,9 +656,10 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 // the same epoch, which MPI forbids) but completion time follows the same
 // α+s·β model. Put requires a writable window.
 func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
-	if !r.epochs[w] {
+	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: Put on %q outside an access epoch", r.id, w.name))
 	}
+	r.fold() // Put reads the clock (and noise stream) eagerly below
 	if w.kind != WritableBytes {
 		panic(fmt.Sprintf("rma: rank %d: Put on %v window %q", r.id, w.kind, w.name))
 	}
@@ -548,6 +685,7 @@ func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
 	q.completeAt = r.clock.Now() + cost
 	r.ctr.Puts++
 	r.ctr.RemoteBytes += int64(len(data))
+	q.tracked = true
 	r.pending = append(r.pending, q)
 	return q
 }
@@ -557,6 +695,7 @@ func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
 // requests return to the pool, and the pending list is compacted. Shared
 // by FlushAll and the per-target Flush.
 func (r *Rank) completePending(match func(q *Request) bool) {
+	r.fold()
 	before := r.clock.Now()
 	rest := r.pending[:0]
 	for _, q := range r.pending {
@@ -566,6 +705,7 @@ func (r *Rank) completePending(match func(q *Request) bool) {
 		}
 		r.clock.AdvanceTo(q.completeAt)
 		q.done = true
+		q.tracked = false
 		if q.autoFree {
 			q.recycle()
 		}

@@ -1,0 +1,260 @@
+package rma
+
+// The charge tape — model/host clock decoupling for the fetch plane.
+//
+// Every simulated cost a rank incurs used to be an ad-hoc float fold
+// scattered through the call sites: Get computed a completion time inline,
+// Compute and AdvanceBy advanced the clock in place, and the CLaMPI caches
+// reached through Clock() on every hit. That coupling pins the host's
+// execution schedule to the model's charge order: nothing may be batched,
+// hoisted or pipelined without moving float accumulation (and, under
+// noise, the stateful RNG draws) out of the canonical order the golden
+// tests pin — and nothing can PROVE that a host-side restructuring left
+// that order intact.
+//
+// The tape names every charge as a (kind, bytes) descriptor recorded in
+// canonical program order. Two modes fold descriptors into the float
+// clock:
+//
+//   - Default: a descriptor folds at its canonical point — the exact
+//     positions the pre-tape AdvanceBy/Get/Wait folded, for free (the
+//     fold IS the op's own charge arithmetic).
+//   - Deferred (SetDeferredCharges): descriptors queue on a small
+//     per-rank append-only tape and fold — in exactly that order, with
+//     exactly the same float operations and RNG draws — at the points
+//     where simulated time is actually observed: waits, flushes,
+//     barriers, clock/counter reads. Between two observation points the
+//     host's own schedule is provably irrelevant to the model.
+//
+// Both modes are bit-identical; the tape-equivalence test drives every
+// golden configuration through both and diffs the full per-rank charge
+// sequence (kind, bytes, folded clock value) op-for-op via the observer.
+// That equivalence is what licenses the fetch plane's host-side freedoms
+// — the lookahead-k pipeline, inline cache hits that never materialize a
+// request, caller-owned requests — and pins down what may NOT move: a
+// charge's canonical position. DESIGN.md §6 states the contract.
+
+// ChargeKind identifies the cost expression a tape entry folds. The kinds
+// mirror the charge sites of the simulated machine, not Go call sites: one
+// kind per distinct (cost formula, counter set) pair.
+type ChargeKind uint8
+
+const (
+	// ChargeOps is modeled computation: ops × κ, counted as ComputeTime.
+	ChargeOps ChargeKind = iota
+	// ChargeLocalRead is a local memory read charged via LocalCost(bytes)
+	// and counted as ComputeTime (the engines' local adjacency reads).
+	ChargeLocalRead
+	// ChargeNS is a raw modeled duration in ns, counted as ComputeTime
+	// (AdvanceBy's generic form). Raw durations cannot ride the
+	// (kind, bytes) tape; AdvanceBy is therefore itself a fold point and
+	// applies eagerly — the kind exists so observers still see the charge
+	// in sequence (ns carries the value, bytes is 0).
+	ChargeNS
+	// ChargeGetLocal is a one-sided read served from the rank's own
+	// region: LocalCost(bytes), LocalGets/LocalBytes counters, and the
+	// request's completion stamp.
+	ChargeGetLocal
+	// ChargeGetRemote is a one-sided remote read: no clock advance at
+	// issue, but the in-flight duration α+s·β is perturbed and the
+	// request's completion time and the Gets/RemoteBytes/GetCost counters
+	// are established at the issue point of the canonical order.
+	ChargeGetRemote
+	// ChargeCacheHit is a CLaMPI hit served from the cache: HitCost(bytes).
+	ChargeCacheHit
+	// ChargeCacheMiss is CLaMPI's per-miss bookkeeping overhead:
+	// CacheMissOverhead, independent of size.
+	ChargeCacheMiss
+	// ChargeCacheManage is CLaMPI management work proportional to a byte
+	// count at local-memory speed — storing a fetched entry, growing the
+	// buffer — charged as LocalCost(bytes) with no counter side effects.
+	ChargeCacheManage
+
+	numChargeKinds
+)
+
+func (k ChargeKind) String() string {
+	switch k {
+	case ChargeOps:
+		return "ops"
+	case ChargeLocalRead:
+		return "local-read"
+	case ChargeNS:
+		return "ns"
+	case ChargeGetLocal:
+		return "get-local"
+	case ChargeGetRemote:
+		return "get-remote"
+	case ChargeCacheHit:
+		return "cache-hit"
+	case ChargeCacheMiss:
+		return "cache-miss"
+	case ChargeCacheManage:
+		return "cache-manage"
+	default:
+		return "unknown"
+	}
+}
+
+// ChargeObserver observes every charge of a run at its fold point, in
+// canonical order per rank: kind and bytes identify the descriptor, ns is
+// the raw duration for ChargeNS entries (0 otherwise), and now is the
+// rank's clock immediately after the fold. Observers are a diagnostic
+// surface (the tape-equivalence test records tapes with one); they run on
+// the rank's goroutine, so an observer may keep per-rank state without
+// locking but must not touch shared state.
+type ChargeObserver func(rank int, kind ChargeKind, bytes int, ns, now float64)
+
+// SetChargeObserver installs an observer for all ranks of the world. It
+// must be called before Run; installing one mid-run is a race.
+func (c *Comm) SetChargeObserver(o ChargeObserver) { c.observer = o }
+
+// SetDeferredCharges switches every rank of the world to deferred
+// charging: each charge queues on the rank's tape and folds at the next
+// observation of simulated time instead of at its canonical point.
+// Results are bit-identical either way — that equivalence is the tape's
+// whole contract, and the tape-equivalence test proves it by diffing both
+// modes op-for-op. Deferred mode is the diagnostic/verification mode; the
+// default folds each charge at its canonical point at zero cost. It must
+// be set before Run.
+func (c *Comm) SetDeferredCharges(deferred bool) { c.deferred = deferred }
+
+// tapeOp is one deferred charge: the kind in the low byte of word, the
+// byte count in the high bits, and the charge's *unperturbed* cost in ns.
+// The cost is a pure function of (kind, bytes) under the world's model —
+// no clock or noise state — so computing it at the append point is free of
+// ordering concerns and keeps the fold to an Advance plus a counter
+// update, exactly the arithmetic the eager code ran. req is set only for
+// the get kinds, whose fold establishes the request's completion time
+// (remote gets perturb cost under noise at the fold, where the RNG draw
+// belongs). Raw-ns charges — AdvanceBy — are fold points themselves and
+// never appear on the tape.
+type tapeOp struct {
+	cost float64
+	word uint64 // uint64(bytes)<<8 | uint64(kind)
+	req  *Request
+}
+
+// charge routes one descriptor: deferred mode appends it to the tape
+// (folding a full tape in place first — folding early is always legal,
+// fold order equals append order either way, so a fixed one-slab tape
+// suffices and a caller that never observes its clock cannot grow it
+// without bound); the default applies it at this, its canonical, point.
+func (r *Rank) charge(kind ChargeKind, bytes int, cost float64, req *Request) {
+	op := tapeOp{cost: cost, word: uint64(bytes)<<8 | uint64(kind), req: req}
+	if !r.deferred {
+		r.applyCharge(op)
+		return
+	}
+	if len(r.tape) == cap(r.tape) {
+		r.foldTape()
+	}
+	r.tape = append(r.tape, op)
+}
+
+// fold drains the tape in append (= canonical) order. Every operation that
+// observes simulated time — Wait, the flushes, barriers, Clock, Counters,
+// CompleteAt, and the write-side RMA ops that read the clock eagerly —
+// folds first. The empty-tape check inlines at every fold point; the
+// drain itself is the out-of-line slow path.
+func (r *Rank) fold() {
+	if len(r.tape) != 0 {
+		r.foldTape()
+	}
+}
+
+// foldTape replays the deferred descriptors in append (= canonical) order.
+func (r *Rank) foldTape() {
+	for i := range r.tape {
+		r.applyCharge(r.tape[i])
+		r.tape[i].req = nil
+	}
+	r.tape = r.tape[:0]
+}
+
+// applyCharge folds one descriptor: the same float expressions, counter
+// updates and noise draws the eager code performed, in the same order.
+// The pure cost was computed at the append point; only clock folds and
+// RNG draws happen here.
+func (r *Rank) applyCharge(op tapeOp) {
+	kind := ChargeKind(op.word & 0xff)
+	bytes := int(op.word >> 8)
+	switch kind {
+	case ChargeOps, ChargeLocalRead:
+		r.clock.Advance(op.cost)
+		r.ctr.ComputeTime += op.cost
+	case ChargeGetLocal:
+		r.clock.Advance(op.cost)
+		r.ctr.LocalGets++
+		r.ctr.LocalBytes += int64(bytes)
+		op.req.completeAt = r.clock.Now()
+	case ChargeGetRemote:
+		cost := r.clock.PerturbDuration(op.cost)
+		op.req.completeAt = r.clock.Now() + cost
+		r.ctr.Gets++
+		r.ctr.RemoteBytes += int64(bytes)
+		r.ctr.GetCost += cost
+	default: // the cache kinds: clock only, stats live in the cache
+		r.clock.Advance(op.cost)
+	}
+	if r.observer != nil {
+		r.observer(r.id, kind, bytes, 0, r.clock.Now())
+	}
+}
+
+// plain reports whether charges take the zero-overhead canonical path:
+// no deferral, no observer. The hot charge helpers below fold their
+// arithmetic inline in that case and only build descriptors otherwise.
+func (r *Rank) plain() bool { return !r.deferred && r.observer == nil }
+
+// ChargeLocalRead charges a local memory read of the given byte count at
+// LocalCost, accounted as compute time — the engines' charge for reading
+// an adjacency list out of their own partition (or a delegation replica)
+// without inventing the duration at the call site.
+func (r *Rank) ChargeLocalRead(bytes int) {
+	cost := r.comm.model.LocalCost(bytes)
+	if r.plain() {
+		r.clock.Advance(cost)
+		r.ctr.ComputeTime += cost
+		return
+	}
+	r.charge(ChargeLocalRead, bytes, cost, nil)
+}
+
+// ChargeCacheHit charges serving bytes from an RMA cache (HitCost) and
+// returns the unperturbed cost for the cache's own statistics. Part of the
+// cache charge surface the CLaMPI layer records as descriptors instead of
+// reaching through Clock().
+func (r *Rank) ChargeCacheHit(bytes int) float64 {
+	cost := r.comm.model.HitCost(bytes)
+	if r.plain() {
+		r.clock.Advance(cost)
+		return cost
+	}
+	r.charge(ChargeCacheHit, bytes, cost, nil)
+	return cost
+}
+
+// ChargeCacheMissOverhead charges CLaMPI's fixed per-miss bookkeeping cost
+// and returns it.
+func (r *Rank) ChargeCacheMissOverhead() float64 {
+	cost := r.comm.model.CacheMissOverhead
+	if r.plain() {
+		r.clock.Advance(cost)
+		return cost
+	}
+	r.charge(ChargeCacheMiss, 0, cost, nil)
+	return cost
+}
+
+// ChargeCacheManage charges cache-management work proportional to bytes at
+// local-memory cost (entry installation, buffer growth) and returns it.
+func (r *Rank) ChargeCacheManage(bytes int) float64 {
+	cost := r.comm.model.LocalCost(bytes)
+	if r.plain() {
+		r.clock.Advance(cost)
+		return cost
+	}
+	r.charge(ChargeCacheManage, bytes, cost, nil)
+	return cost
+}

@@ -1,0 +1,215 @@
+// Charge-tape equivalence: the contract of DESIGN.md §6 is that a rank's
+// charges form one canonical per-rank sequence, and that deferring their
+// folds to the observation points (rma.Comm.SetDeferredCharges) replays
+// exactly the sequence the default mode applies at the canonical points —
+// same kinds, same byte counts, same raw durations, and bit-identical
+// folded clock values, op for op. These tests record both schedules with a
+// ChargeObserver for every golden engine configuration and diff them
+// entry by entry, so any host-side reordering that leaks into the model —
+// a hoisted issue, a dropped fold point, a noise draw out of sequence —
+// fails with the first divergent opcode rather than as an opaque SimTime
+// mismatch.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/lcc"
+	"repro/internal/rma"
+)
+
+// chargeRec is one observed charge of one rank, in canonical order.
+type chargeRec struct {
+	kind  rma.ChargeKind
+	bytes int
+	ns    float64
+	now   float64 // rank clock immediately after the fold
+}
+
+// chargeLog collects per-rank charge sequences. Rank r's goroutine is the
+// only writer of seq[r], so no locking is needed.
+type chargeLog struct {
+	seq [][]chargeRec
+}
+
+func newChargeLog(ranks int) *chargeLog {
+	return &chargeLog{seq: make([][]chargeRec, ranks)}
+}
+
+func (l *chargeLog) observer() rma.ChargeObserver {
+	return func(rank int, kind rma.ChargeKind, bytes int, ns, now float64) {
+		l.seq[rank] = append(l.seq[rank], chargeRec{kind: kind, bytes: bytes, ns: ns, now: now})
+	}
+}
+
+// diffChargeLogs asserts the two logs are identical op for op; the clock
+// values are compared as float bits.
+func diffChargeLogs(t *testing.T, name string, ref, tape *chargeLog) {
+	t.Helper()
+	if len(ref.seq) != len(tape.seq) {
+		t.Fatalf("%s: rank count differs: %d vs %d", name, len(ref.seq), len(tape.seq))
+	}
+	for r := range ref.seq {
+		a, b := ref.seq[r], tape.seq[r]
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for i := 0; i < n; i++ {
+			if a[i].kind != b[i].kind || a[i].bytes != b[i].bytes || a[i].ns != b[i].ns ||
+				math.Float64bits(a[i].now) != math.Float64bits(b[i].now) {
+				t.Fatalf("%s: rank %d op %d diverges:\n  canonical: %v %d bytes ns=%v now=%x\n  deferred:  %v %d bytes ns=%v now=%x",
+					name, r, i,
+					a[i].kind, a[i].bytes, a[i].ns, math.Float64bits(a[i].now),
+					b[i].kind, b[i].bytes, b[i].ns, math.Float64bits(b[i].now))
+			}
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: rank %d charge count differs: canonical %d vs deferred %d (first %d identical)",
+				name, r, len(a), len(b), n)
+		}
+	}
+}
+
+// tapeEquivConfigs mirrors the golden configurations (golden_test.go) with
+// the charge-plane hooks threaded through: run executes the engine with
+// the given observer and fold schedule and returns the run's SimTime.
+var tapeEquivConfigs = []struct {
+	name string
+	run  func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64
+}{
+	{"pull", func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64 {
+		opt := goldenBase()
+		opt.ChargeObserver, opt.DeferredCharges = obs, deferred
+		res, err := lcc.Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}},
+	{"cached", func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64 {
+		opt := goldenBase()
+		opt.Caching = true
+		opt.OffsetsCacheBytes = 1 << 14
+		opt.AdjCacheBytes = 1 << 16
+		opt.AdjScorePolicy = lcc.ScoreDegree
+		opt.ChargeObserver, opt.DeferredCharges = obs, deferred
+		res, err := lcc.Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}},
+	{"noise", func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64 {
+		opt := goldenBase()
+		opt.Model = rma.DefaultCostModel()
+		opt.Model.Noise = rma.NoiseSpec{Amp: 0.3, SpikePeriodNS: 1e6, SpikeNS: 2e4, Seed: 42}
+		opt.ChargeObserver, opt.DeferredCharges = obs, deferred
+		res, err := lcc.Run(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}},
+	{"push", func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64 {
+		opt := goldenBase()
+		opt.ChargeObserver, opt.DeferredCharges = obs, deferred
+		res, err := lcc.RunPush(g, lcc.PushOptions{Options: opt, Aggregation: lcc.PushBatched})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}},
+	{"replicated", func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64 {
+		opt := goldenBase()
+		opt.ChargeObserver, opt.DeferredCharges = obs, deferred
+		res, err := lcc.RunReplicated(g, lcc.ReplicatedOptions{Options: opt, Replication: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}},
+	{"jaccard", func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64 {
+		opt := goldenBase()
+		opt.ChargeObserver, opt.DeferredCharges = obs, deferred
+		res, err := lcc.RunJaccard(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}},
+	{"grid", func(t *testing.T, g *graph.Graph, obs rma.ChargeObserver, deferred bool) float64 {
+		res, err := grid.Run(g, grid.Options{Ranks: 4, ChargeObserver: obs, DeferredCharges: deferred})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.SimTime
+	}},
+}
+
+// TestChargeTapeEquivalence runs every golden configuration twice — once
+// folding each charge at its canonical point (the direct-AdvanceBy
+// reference) and once on the deferred tape — and diffs the recorded charge
+// sequences op for op: kind, bytes, raw duration, and the folded clock's
+// float bits. Proves the tape preserves the canonical fold order exactly.
+func TestChargeTapeEquivalence(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	const ranks = 4
+	for _, cfg := range tapeEquivConfigs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			ref := newChargeLog(ranks)
+			simRef := cfg.run(t, g, ref.observer(), false)
+			tape := newChargeLog(ranks)
+			simTape := cfg.run(t, g, tape.observer(), true)
+			if math.Float64bits(simRef) != math.Float64bits(simTape) {
+				t.Errorf("%s: SimTime bits differ: canonical %x vs deferred %x",
+					cfg.name, math.Float64bits(simRef), math.Float64bits(simTape))
+			}
+			total := 0
+			for _, s := range ref.seq {
+				total += len(s)
+			}
+			if total == 0 {
+				t.Fatalf("%s: observer recorded no charges", cfg.name)
+			}
+			diffChargeLogs(t, cfg.name, ref, tape)
+		})
+	}
+}
+
+// TestChargeTapeObserverMatchesGolden anchors the observed sequences to
+// the pinned results: an observed run must still reproduce the golden
+// SimTime bits (observation must not perturb the model).
+func TestChargeTapeObserverMatchesGolden(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	log := newChargeLog(4)
+	opt := goldenBase()
+	opt.ChargeObserver = log.observer()
+	res, err := lcc.Run(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantBits = 0x419e343dbb9986d8 // golden "pull" SimTime pin
+	if got := math.Float64bits(res.SimTime); got != wantBits {
+		t.Errorf("observed run SimTime bits = %#x, want %#x", got, wantBits)
+	}
+	// Sanity: the sequence is non-trivial and its last fold lands at the
+	// slowest rank's finish time.
+	maxNow := 0.0
+	for _, s := range log.seq {
+		if len(s) == 0 {
+			t.Fatal("a rank recorded no charges")
+		}
+		if now := s[len(s)-1].now; now > maxNow {
+			maxNow = now
+		}
+	}
+	if maxNow > res.SimTime {
+		t.Errorf("last observed fold (%v) exceeds SimTime (%v)", maxNow, res.SimTime)
+	}
+}
