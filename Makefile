@@ -37,6 +37,8 @@ pprof:
 		-cpuprofile cpu.pprof -o repro.test .
 	$(GO) tool pprof -top -nodecount 25 repro.test cpu.pprof
 
-# fuzz runs the intersection-kernel fuzzer briefly — the same smoke CI runs.
+# fuzz runs the intersection-kernel and fault-schedule fuzzers briefly —
+# the same smokes CI runs.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzIntersectKernels$$' -fuzztime 30s ./internal/intersect
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultSchedule$$' -fuzztime 30s .

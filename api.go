@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/clampi"
 	"repro/internal/disttc"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/grid"
@@ -157,6 +158,27 @@ func DefaultCostModel() CostModel { return rma.DefaultCostModel() }
 // under identical, reproducible noise; results are unaffected, only
 // simulated times change.
 type NoiseSpec = rma.NoiseSpec
+
+// FaultSpec describes a deterministic, seeded fault schedule for the RMA
+// and exchange substrates: transient Get/Put/Accumulate failures recovered
+// by retry with capped exponential backoff, per-op latency spikes, rank
+// stall windows, dropped exchange messages recovered by retransmission,
+// and CLaMPI cache unavailability degraded to direct RMA. Set any engine's
+// Options.Faults to run under it; computed results are bit-identical to
+// the fault-free run — faults cost simulated time, never correctness — and
+// SimTime is reproducible for a given (spec, config) at any worker count.
+type FaultSpec = fault.Spec
+
+// ParseFaultSpec parses a command-line fault specification of the form
+// "seed=N,get=P,put=P,acc=P,spike=P:NS,stall=N:NS,drop=P,cache=P" (see
+// fault.ParseSpec for the full grammar; "chaos" selects a ready-made
+// mixed-fault preset). An empty string yields (nil, nil): faults off.
+func ParseFaultSpec(s string) (*FaultSpec, error) { return fault.ParseSpec(s) }
+
+// ChaosFaultSpec returns the mixed-fault preset used by the chaos CI lane:
+// low-rate transient failures on every RMA class, latency spikes, periodic
+// stalls, dropped messages and rare cache faults, all keyed on seed.
+func ChaosFaultSpec(seed uint64) FaultSpec { return fault.ChaosSpec(seed) }
 
 // --- LCC / TC engines -------------------------------------------------------
 

@@ -59,7 +59,7 @@ BEGIN { n = 0 }
     }
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"go_max_procs\": %d,\n  \"cpu_model\": \"%s\",\n  \"benchmarks\": [\n", date, gmp, cpu
+    printf "{\n  \"date\": \"%s\",\n  \"go_max_procs\": %d,\n  \"cpu_model\": \"%s\",\n  \"faults\": \"off\",\n  \"benchmarks\": [\n", date, gmp, cpu
     for (i = 0; i < n; i++) {
         name = order[i]
         printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",

@@ -35,7 +35,18 @@ type record struct {
 	Date       string      `json:"date"`
 	GoMaxProcs int         `json:"go_max_procs"` // 0 in records predating the field
 	CPUModel   string      `json:"cpu_model"`
+	Faults     string      `json:"faults"` // "" in records predating the fault plane — meaning off
 	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+// faultMode normalizes the provenance field: records written before the
+// fault plane existed carry no "faults" key, and bench.sh always measures
+// with injection disabled, so the empty string reads as "off".
+func (r *record) faultMode() string {
+	if r.Faults == "" {
+		return "off"
+	}
+	return r.Faults
 }
 
 type benchmark struct {
@@ -76,6 +87,15 @@ func main() {
 	newRec, err := load(newPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	// A record taken under fault injection measures recovery machinery,
+	// not the hot path; diffing it against a fault-free record would read
+	// as a huge phantom regression (or improvement). Refuse outright.
+	if oldRec.faultMode() != newRec.faultMode() {
+		fmt.Fprintf(os.Stderr, "benchdiff: fault modes differ (%s: %q, %s: %q): records are not comparable\n",
+			filepath.Base(oldPath), oldRec.faultMode(), filepath.Base(newPath), newRec.faultMode())
 		os.Exit(2)
 	}
 

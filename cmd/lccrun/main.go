@@ -18,6 +18,7 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/intersect"
@@ -26,31 +27,50 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lccrun:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes one engine run, writing the report to out.
+// All failures — bad flags, unreadable input, engine errors — surface as a
+// returned error so main can exit non-zero in exactly one place.
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("lccrun", flag.ContinueOnError)
 	var (
-		dataset   = flag.String("dataset", "", "registered dataset name (see graphgen -list)")
-		in        = flag.String("in", "", `input graph file, or "-" for stdin`)
-		format    = flag.String("format", "binary", `input format: "binary", "edgelist", or "mtx" (MatrixMarket)`)
-		directed  = flag.Bool("directed", false, "treat edge-list input as directed")
-		ranks     = flag.Int("ranks", 4, "number of simulated computing nodes")
-		workers   = flag.Int("workers", 0, "host worker goroutines executing simulated ranks (0 = GOMAXPROCS); results are identical at any setting")
-		scheme    = flag.String("scheme", "block", `1D distribution: "block" or "cyclic"`)
-		method    = flag.String("method", "hybrid", `intersection method: "hybrid", "ssi", "binary", or "hash"`)
-		caching   = flag.Bool("cache", false, "enable CLaMPI RMA caching (C_offsets + C_adj)")
-		offBytes  = flag.Int("cache-offsets", 0, "C_offsets capacity in bytes (0 = paper sizing)")
-		adjBytes  = flag.Int("cache-adj", 0, "C_adj capacity in bytes (0 = paper sizing)")
-		degScores = flag.Bool("degree-scores", false, "use degree-centrality eviction scores for C_adj (§III-B-2)")
-		noOverlap = flag.Bool("no-overlap", false, "disable double buffering (§III-A)")
-		engine    = flag.String("engine", "pull", `engine: "pull" (Algorithm 3), "push" (§VI ii dichotomy), or "replicated" (§VI i 1.5D)`)
-		pushAgg   = flag.String("push-agg", "batched", `push contribution shipping: "batched" or "direct"`)
-		replicas  = flag.Int("replicas", 2, "graph copies c for -engine replicated (must divide -ranks)")
-		delegate  = flag.Int("delegate", 0, "static vertex-delegation budget in bytes per rank (0 = off)")
-		top       = flag.Int("top", 5, "print the top-K vertices by LCC")
+		dataset   = fs.String("dataset", "", "registered dataset name (see graphgen -list)")
+		in        = fs.String("in", "", `input graph file, or "-" for stdin`)
+		format    = fs.String("format", "binary", `input format: "binary", "edgelist", or "mtx" (MatrixMarket)`)
+		directed  = fs.Bool("directed", false, "treat edge-list input as directed")
+		ranks     = fs.Int("ranks", 4, "number of simulated computing nodes")
+		workers   = fs.Int("workers", 0, "host worker goroutines executing simulated ranks (0 = GOMAXPROCS); results are identical at any setting")
+		scheme    = fs.String("scheme", "block", `1D distribution: "block" or "cyclic"`)
+		method    = fs.String("method", "hybrid", `intersection method: "hybrid", "ssi", "binary", or "hash"`)
+		caching   = fs.Bool("cache", false, "enable CLaMPI RMA caching (C_offsets + C_adj)")
+		offBytes  = fs.Int("cache-offsets", 0, "C_offsets capacity in bytes (0 = paper sizing)")
+		adjBytes  = fs.Int("cache-adj", 0, "C_adj capacity in bytes (0 = paper sizing)")
+		degScores = fs.Bool("degree-scores", false, "use degree-centrality eviction scores for C_adj (§III-B-2)")
+		noOverlap = fs.Bool("no-overlap", false, "disable double buffering (§III-A)")
+		engine    = fs.String("engine", "pull", `engine: "pull" (Algorithm 3), "push" (§VI ii dichotomy), or "replicated" (§VI i 1.5D)`)
+		pushAgg   = fs.String("push-agg", "batched", `push contribution shipping: "batched" or "direct"`)
+		replicas  = fs.Int("replicas", 2, "graph copies c for -engine replicated (must divide -ranks)")
+		delegate  = fs.Int("delegate", 0, "static vertex-delegation budget in bytes per rank (0 = off)")
+		top       = fs.Int("top", 5, "print the top-K vertices by LCC")
+		faults    = fs.String("faults", "", `deterministic fault schedule, e.g. "seed=1,get=0.01,drop=0.02" or "chaos,seed=3" (empty = off); results are unchanged, only simulated time grows`)
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	faultSpec, err := fault.ParseSpec(*faults)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
 
 	g, err := loadGraph(*dataset, *in, *format, *directed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	opt := lcc.Options{
@@ -60,6 +80,7 @@ func main() {
 		DoubleBuffer: !*noOverlap,
 		Caching:      *caching,
 		DegreeScores: *degScores,
+		Faults:       faultSpec,
 	}
 	if *scheme == "cyclic" {
 		opt.Scheme = part.Cyclic
@@ -93,24 +114,24 @@ func main() {
 		err = fmt.Errorf("unknown engine %q", *engine)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("graph: %s, n=%d, m=%d, csr=%d bytes\n",
+	fmt.Fprintf(out, "graph: %s, n=%d, m=%d, csr=%d bytes\n",
 		g.Kind(), g.NumVertices(), g.NumEdges(), g.CSRSizeBytes())
-	fmt.Printf("engine=%s ranks=%d scheme=%s method=%s caching=%v overlap=%v\n",
+	fmt.Fprintf(out, "engine=%s ranks=%d scheme=%s method=%s caching=%v overlap=%v\n",
 		*engine, *ranks, *scheme, *method, *caching, !*noOverlap)
 	if *delegate > 0 {
-		fmt.Printf("delegation: %d vertices, %d bytes per rank\n",
+		fmt.Fprintf(out, "delegation: %d vertices, %d bytes per rank\n",
 			res.DelegatedVertices, res.DelegationBytes)
 	}
-	fmt.Printf("triangles: %d (closed-triplet sum %d)\n", res.Triangles, res.SumT)
-	fmt.Printf("simulated time: %.3f ms (slowest rank)\n", res.SimTime/1e6)
-	fmt.Printf("remote reads: %.1f%% of adjacency fetches; comm share of critical path: %.1f%%\n",
+	fmt.Fprintf(out, "triangles: %d (closed-triplet sum %d)\n", res.Triangles, res.SumT)
+	fmt.Fprintf(out, "simulated time: %.3f ms (slowest rank)\n", res.SimTime/1e6)
+	fmt.Fprintf(out, "remote reads: %.1f%% of adjacency fetches; comm share of critical path: %.1f%%\n",
 		100*res.RemoteReadFraction(), 100*res.CommFraction())
 	if *caching {
 		offRate, adjRate := res.CacheMissRates()
-		fmt.Printf("cache miss rates: C_offsets %.3f, C_adj %.3f; avg remote read %.2f µs\n",
+		fmt.Fprintf(out, "cache miss rates: C_offsets %.3f, C_adj %.3f; avg remote read %.2f µs\n",
 			offRate, adjRate, res.AvgRemoteReadTime()/1e3)
 	}
 
@@ -133,11 +154,12 @@ func main() {
 		if k > len(all) {
 			k = len(all)
 		}
-		fmt.Printf("top %d vertices by LCC:\n", k)
+		fmt.Fprintf(out, "top %d vertices by LCC:\n", k)
 		for _, x := range all[:k] {
-			fmt.Printf("  v%-8d lcc=%.4f deg=%d\n", x.v, x.l, g.OutDegree(x.v))
+			fmt.Fprintf(out, "  v%-8d lcc=%.4f deg=%d\n", x.v, x.l, g.OutDegree(x.v))
 		}
 	}
+	return nil
 }
 
 func loadGraph(dataset, in, format string, directed bool) (*graph.Graph, error) {
@@ -187,9 +209,4 @@ func parseMethod(s string) intersect.Method {
 	default:
 		return intersect.MethodHybrid
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "lccrun:", err)
-	os.Exit(1)
 }

@@ -11,6 +11,8 @@
 //   - internal/p2p — simulated two-sided MPI / BSP substrate (TriC baseline)
 //   - internal/clampi — the CLaMPI RMA caching layer, reimplemented, with
 //     the paper's application-defined eviction scores (§II-F, §III-B)
+//   - internal/fault — deterministic, seeded fault schedules injected
+//     into the substrates (DESIGN.md §7)
 //   - internal/intersect — binary search, SSI, hybrid and hash kernels
 //     (§II-C, §III-C, §V-A), split into a model plane (the reference
 //     Algorithm 1/2 loops whose iteration counts define the simulated
@@ -80,4 +82,13 @@
 // a request, caller-owned value requests — to be flat straight-line code.
 // An op-for-op equivalence test replays every golden configuration under
 // deferred folding and diffs the full charge sequences (DESIGN.md §6).
+//
+// A deterministic fault plane rides the same machinery: Options.Faults (or
+// lccrun -faults) installs a seeded schedule of transient RMA failures,
+// latency spikes, stall windows, dropped exchange messages and cache
+// unavailability, recovered by retry with capped exponential backoff,
+// sender-side retransmission and graceful cache degradation to direct RMA.
+// Faults cost simulated time, never correctness: results stay bit-identical
+// to the fault-free run and the faulted SimTime is itself reproducible at
+// any worker count (DESIGN.md §7; TestFaultEquivalence pins it).
 package repro

@@ -106,6 +106,7 @@ type Stats struct {
 	BytesCached        int64   // current buffer occupancy
 	EntriesCached      int64   // current entry count
 	FragmentationRatio float64 // 1 - largestFree/freeBytes at snapshot time
+	DegradedOps        int64   // accesses served degraded: cache fault, direct-RMA fallback
 }
 
 // MissRate returns Misses/(Hits+Misses), or 0 before any access.
@@ -747,6 +748,27 @@ func (c *Cache) Flush() {
 	c.tab.clearFor(c.cfg.Buckets, c.cfg.Assoc)
 	c.alloc.reset()
 	c.stats.Flushes++
+}
+
+// Available reports whether the cache can serve the next access,
+// consulting the rank's deterministic fault schedule (fault.Spec
+// CacheFailPct). An injected CLaMPI fault makes the cache transiently
+// unavailable: the resident entries are flushed — their state is presumed
+// lost with the failed cache process — the degraded access is counted, and
+// the caller falls back to the direct-RMA fetch flavor for this access
+// (the engine's degradation ladder, DESIGN.md §7). Results are unaffected
+// either way: the cache only ever mirrors immutable window bytes, so
+// serving the access uncached returns the same data at a higher simulated
+// cost. With no fault schedule installed the check is one nil comparison.
+func (c *Cache) Available() bool {
+	if !c.rank.CacheFault() {
+		return true
+	}
+	c.enter()
+	c.stats.DegradedOps++
+	c.Flush()
+	c.leave()
+	return false
 }
 
 // CloseEpoch signals an epoch closure on the window. In transparent mode

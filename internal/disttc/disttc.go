@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/intersect"
 	"repro/internal/lcc"
@@ -38,6 +39,10 @@ type Options struct {
 	// minimizing policy, but the comparison holds the partitioning fixed
 	// so only the communication strategy differs).
 	Scheme part.Scheme
+	// Faults installs a deterministic fault schedule on the exchange
+	// substrate (see lcc.Options); dropped messages are retransmitted by
+	// the sender, results are unchanged.
+	Faults *fault.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +108,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		return nil, err
 	}
 	world := p2p.NewWorldWorkers(opt.Ranks, opt.Model, opt.Workers)
+	world.SetFaults(opt.Faults)
 
 	res := &Result{LCC: make([]float64, n)}
 	perVertexT := make([]int64, n)

@@ -1,0 +1,445 @@
+// Package fault is the deterministic fault plane of the simulated machine:
+// a seeded schedule of transient failures that the RMA substrate, the p2p
+// exchange layer and the CLaMPI cache consult at their issue points, and
+// recover from by charging simulated time — never by changing results.
+//
+// The paper's asynchronous design is pitched at 1024-rank clusters, where
+// transient Get/Put failures, latency spikes, stalled ranks, dropped
+// messages and flaky cache state are the norm. The schedule makes that
+// regime reproducible: every decision is a pure function of
+// (seed, rank, channel, op-index, attempt) hashed through splitmix64, so a
+// run under faults is bit-identical across replays, host schedules and
+// worker counts — the same determinism contract the noise plane
+// (rma.NoiseSpec) already obeys. Faults are charged as raw (unperturbed)
+// clock advances: recovery is blocking, not work, so it neither stretches
+// under noise nor consumes noise-RNG draws — which is what keeps a faulted
+// run's SimTime deterministically ≥ the fault-free run's.
+//
+// The zero Spec (and a nil *Spec) disables the plane entirely: New returns
+// nil and every consumer's per-op check is a single nil comparison.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class identifies the one-sided operation class a fault decision applies
+// to; each class draws from its own decision channel so enabling faults on
+// one class does not reshuffle another's schedule.
+type Class uint8
+
+const (
+	// ClassGet covers one-sided reads (Get/GetInto), including the
+	// fetches CLaMPI issues on a cache miss.
+	ClassGet Class = iota
+	// ClassPut covers one-sided writes.
+	ClassPut
+	// ClassAccumulate covers Accumulate, AccumulateBatch and FetchAdd64.
+	ClassAccumulate
+)
+
+// Decision channels beyond the op classes. Kept in the same keyspace so
+// every draw in a rank's schedule has a distinct (channel, index, sub)
+// coordinate.
+const (
+	chSpike   = 8 + iota // per-op latency spike (probability, magnitude)
+	chStall              // rank stall windows
+	chBackoff            // retry backoff jitter
+	chDrop               // p2p message drops
+	chCache              // CLaMPI unavailability
+)
+
+// RetryPolicy bounds the recovery loop of a failed one-sided operation or
+// dropped message. The zero value selects the defaults.
+type RetryPolicy struct {
+	// MaxAttempts caps the retries of one operation; after MaxAttempts
+	// failed attempts the next attempt is forced to succeed, so faults
+	// cost simulated time but can never leak an error into results.
+	// Default 8, hard cap 16.
+	MaxAttempts int
+	// TimeoutNS is the per-attempt timeout budget: the detection delay
+	// charged before a failed attempt is declared lost and retried.
+	// Default 25000 ns (≈ 12 α of the default model).
+	TimeoutNS float64
+	// BackoffBaseNS and BackoffMaxNS shape the capped exponential
+	// backoff between attempts: attempt a sleeps
+	// min(Base·2^a, Max) × (0.5 + u) with deterministic jitter u.
+	// Defaults 2000 ns and 64000 ns.
+	BackoffBaseNS float64
+	BackoffMaxNS  float64
+}
+
+const maxAttemptsCap = 16
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.MaxAttempts > maxAttemptsCap {
+		p.MaxAttempts = maxAttemptsCap
+	}
+	if p.TimeoutNS <= 0 {
+		p.TimeoutNS = 25000
+	}
+	if p.BackoffBaseNS <= 0 {
+		p.BackoffBaseNS = 2000
+	}
+	if p.BackoffMaxNS < p.BackoffBaseNS {
+		p.BackoffMaxNS = 64000
+		if p.BackoffMaxNS < p.BackoffBaseNS {
+			p.BackoffMaxNS = p.BackoffBaseNS
+		}
+	}
+	return p
+}
+
+// Spec describes a fault schedule. All probabilities are per-decision in
+// [0, 1). The zero value injects nothing and keeps the plane disabled at
+// zero cost.
+type Spec struct {
+	// Seed keys every decision of the schedule; two runs with equal
+	// specs replay the same faults everywhere.
+	Seed uint64
+
+	// GetFailPct, PutFailPct and AccFailPct are the per-attempt transient
+	// failure probabilities of remote one-sided operations by class.
+	GetFailPct float64
+	PutFailPct float64
+	AccFailPct float64
+
+	// SpikePct injects a latency spike on a remote op's successful
+	// attempt with the given probability; the op is delayed by
+	// SpikeNS × (0.5 + u) ns, absorbed within the timeout budget.
+	SpikePct float64
+	SpikeNS  float64
+
+	// StallPeriodOps opens a rank stall window every that many remote
+	// ops (0 disables): the rank blocks for StallNS × (0.5 + u) ns —
+	// modeled OS jitter, GC, or a wedged progress engine.
+	StallPeriodOps int
+	StallNS        float64
+
+	// DropPct is the probability a p2p exchange message is dropped in
+	// flight; the sender detects the missing ack after TimeoutNS and
+	// retransmits (delivery itself is never lost — see internal/p2p).
+	DropPct float64
+
+	// CacheFailPct is the per-access probability the CLaMPI cache is
+	// transiently unavailable: resident entries are flushed and the
+	// access degrades to the direct-RMA fetch flavor.
+	CacheFailPct float64
+
+	// Retry bounds the recovery loops; zero value = defaults.
+	Retry RetryPolicy
+}
+
+// Enabled reports whether the spec can inject any fault at all.
+func (s Spec) Enabled() bool {
+	return s.GetFailPct > 0 || s.PutFailPct > 0 || s.AccFailPct > 0 ||
+		(s.SpikePct > 0 && s.SpikeNS > 0) ||
+		(s.StallPeriodOps > 0 && s.StallNS > 0) ||
+		s.DropPct > 0 || s.CacheFailPct > 0
+}
+
+func (s Spec) withDefaults() Spec {
+	s.Retry = s.Retry.withDefaults()
+	return s
+}
+
+// ChaosSpec returns the moderate everything-on schedule the chaos tests
+// and CI run under: a few percent of transient failures and drops, sparse
+// spikes and stalls, occasional cache unavailability.
+func ChaosSpec(seed uint64) Spec {
+	return Spec{
+		Seed:           seed,
+		GetFailPct:     0.01,
+		PutFailPct:     0.01,
+		AccFailPct:     0.01,
+		SpikePct:       0.005,
+		SpikeNS:        2e4,
+		StallPeriodOps: 8192,
+		StallNS:        1e5,
+		DropPct:        0.02,
+		CacheFailPct:   0.001,
+	}
+}
+
+// Sched is one rank's bound fault schedule: the spec plus the rank's
+// decision counters. A Sched is owned by its rank's goroutine and must not
+// be shared. New returns nil for nil or disabled specs, so consumers guard
+// the whole plane with one nil check.
+type Sched struct {
+	spec     Spec
+	rank     int
+	ops      uint64 // remote one-sided op index (all classes)
+	cacheOps uint64 // CLaMPI access index
+	msgs     uint64 // p2p send sequence
+}
+
+// New binds spec to a rank. nil spec, or one that cannot inject anything,
+// returns nil.
+func New(spec *Spec, rank int) *Sched {
+	if spec == nil || !spec.Enabled() {
+		return nil
+	}
+	return &Sched{spec: spec.withDefaults(), rank: rank}
+}
+
+// Policy returns the schedule's effective (default-filled) retry policy.
+func (s *Sched) Policy() RetryPolicy { return s.spec.Retry }
+
+// splitmix64 is the finalizer of the splitmix64 generator — the same mixer
+// the noise plane seeds its per-rank streams with.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// u returns a uniform draw in [0, 1) that is a pure function of
+// (seed, rank, channel, idx, sub) — no state beyond the counters that
+// produce idx, so decisions replay identically at any worker count and
+// under either charge-fold schedule.
+func (s *Sched) u(ch uint64, idx, sub uint64) float64 {
+	x := s.spec.Seed
+	x = splitmix64(x ^ (uint64(s.rank)+1)*0x9E3779B97F4A7C15)
+	x = splitmix64(x ^ ch*0xBF58476D1CE4E5B9)
+	x = splitmix64(x ^ idx*0x94D049BB133111EB ^ sub*0xD6E8FEB86659FD93)
+	return float64(x>>11) / (1 << 53)
+}
+
+func (s *Sched) failPct(cl Class) float64 {
+	switch cl {
+	case ClassGet:
+		return s.spec.GetFailPct
+	case ClassPut:
+		return s.spec.PutFailPct
+	default:
+		return s.spec.AccFailPct
+	}
+}
+
+// Outcome is the fault decision of one remote one-sided operation: how
+// many attempts failed before the forced-successful one, the absorbed
+// latency spike on the successful attempt, and the stall window opening at
+// this op (all zero on the fault-free fast path).
+type Outcome struct {
+	s       *Sched
+	op      uint64
+	failed  int
+	spikeNS float64
+	stallNS float64
+}
+
+// Op advances the rank's remote-op counter and decides the op's faults.
+// It must be called exactly once per remote one-sided operation, at the
+// issue point of the canonical charge order.
+func (s *Sched) Op(cl Class) Outcome {
+	op := s.ops
+	s.ops++
+	o := Outcome{s: s, op: op}
+	if p := s.failPct(cl); p > 0 {
+		for a := 0; a < s.spec.Retry.MaxAttempts; a++ {
+			if s.u(uint64(cl), op, uint64(a)) >= p {
+				break
+			}
+			o.failed++
+		}
+	}
+	if s.spec.SpikePct > 0 && s.u(chSpike, op, 0) < s.spec.SpikePct {
+		o.spikeNS = s.spec.SpikeNS * (0.5 + s.u(chSpike, op, 1))
+	}
+	if n := uint64(s.spec.StallPeriodOps); n > 0 && op > 0 && op%n == 0 {
+		o.stallNS = s.spec.StallNS * (0.5 + s.u(chStall, op/n, 0))
+	}
+	return o
+}
+
+// Failed returns the number of failed attempts before the successful one
+// (0 on the fault-free path, ≤ the policy's MaxAttempts always).
+func (o Outcome) Failed() int { return o.failed }
+
+// SpikeNS returns the absorbed latency-spike delay of the successful
+// attempt, 0 if none fired.
+func (o Outcome) SpikeNS() float64 { return o.spikeNS }
+
+// StallNS returns the stall-window duration opening at this op, 0 if none.
+func (o Outcome) StallNS() float64 { return o.stallNS }
+
+// BackoffNS returns the deterministic jittered backoff before retrying
+// after failed attempt a: min(Base·2^a, Max) × (0.5 + u).
+func (o Outcome) BackoffNS(attempt int) float64 {
+	p := o.s.spec.Retry
+	sh := uint(attempt)
+	if sh > 30 {
+		sh = 30
+	}
+	b := p.BackoffBaseNS * float64(uint64(1)<<sh)
+	if b > p.BackoffMaxNS {
+		b = p.BackoffMaxNS
+	}
+	return b * (0.5 + o.s.u(chBackoff, o.op, uint64(attempt)))
+}
+
+// CacheOp advances the rank's cache-access counter and reports whether a
+// CLaMPI-unavailability fault fires on this access.
+func (s *Sched) CacheOp() bool {
+	if s.spec.CacheFailPct <= 0 {
+		return false
+	}
+	idx := s.cacheOps
+	s.cacheOps++
+	return s.u(chCache, idx, 0) < s.spec.CacheFailPct
+}
+
+// MsgDrops advances the rank's p2p send sequence and returns how many
+// times this message is dropped in flight before getting through (0 on
+// the fault-free path, bounded by the retry policy).
+func (s *Sched) MsgDrops() int {
+	if s.spec.DropPct <= 0 {
+		s.msgs++
+		return 0
+	}
+	seq := s.msgs
+	s.msgs++
+	d := 0
+	for d < s.spec.Retry.MaxAttempts && s.u(chDrop, seq, uint64(d)) < s.spec.DropPct {
+		d++
+	}
+	return d
+}
+
+// ParseSpec parses the -faults flag grammar: a comma-separated list of
+// key=value settings.
+//
+//	seed=N            schedule seed (default 1)
+//	get=P put=P acc=P per-attempt transient failure probability by class
+//	p=P               shorthand: get, put, acc and drop at once
+//	spike=P:NS        latency spikes: probability and magnitude
+//	stall=N:NS        a stall window every N remote ops, ~NS ns each
+//	drop=P            p2p message drop probability
+//	cache=P           CLaMPI unavailability probability per access
+//	retries=N timeout=NS backoff=BASE:MAX   retry policy
+//	chaos             the ChaosSpec preset (other keys still override)
+//
+// The empty string returns (nil, nil): faults off.
+func ParseSpec(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := Spec{Seed: 1}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		if kv == "chaos" {
+			spec = ChaosSpec(spec.Seed)
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		pair := func() (float64, float64, error) {
+			a, b, ok := strings.Cut(v, ":")
+			if !ok {
+				return 0, 0, fmt.Errorf("fault: %s needs a:b, got %q", k, v)
+			}
+			x, err := strconv.ParseFloat(a, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("fault: %s: %v", k, err)
+			}
+			y, err := strconv.ParseFloat(b, 64)
+			if err != nil {
+				return 0, 0, fmt.Errorf("fault: %s: %v", k, err)
+			}
+			return x, y, nil
+		}
+		var f float64
+		var err error
+		switch k {
+		case "spike":
+			spec.SpikePct, spec.SpikeNS, err = pair()
+		case "stall":
+			var n float64
+			n, spec.StallNS, err = pair()
+			spec.StallPeriodOps = int(n)
+		case "backoff":
+			spec.Retry.BackoffBaseNS, spec.Retry.BackoffMaxNS, err = pair()
+		default:
+			f, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: %s: %v", k, err)
+			}
+			switch k {
+			case "seed":
+				spec.Seed = uint64(f)
+			case "get":
+				spec.GetFailPct = f
+			case "put":
+				spec.PutFailPct = f
+			case "acc":
+				spec.AccFailPct = f
+			case "p":
+				spec.GetFailPct, spec.PutFailPct = f, f
+				spec.AccFailPct, spec.DropPct = f, f
+			case "drop":
+				spec.DropPct = f
+			case "cache":
+				spec.CacheFailPct = f
+			case "retries":
+				spec.Retry.MaxAttempts = int(f)
+			case "timeout":
+				spec.Retry.TimeoutNS = f
+			default:
+				return nil, fmt.Errorf("fault: unknown key %q", k)
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		if prob(k) && (f < 0 || f >= 1) {
+			return nil, fmt.Errorf("fault: %s=%v outside [0,1)", k, f)
+		}
+	}
+	if !spec.Enabled() {
+		return nil, fmt.Errorf("fault: %q enables no fault class", s)
+	}
+	return &spec, nil
+}
+
+func prob(k string) bool {
+	switch k {
+	case "get", "put", "acc", "p", "drop", "cache":
+		return true
+	}
+	return false
+}
+
+// String renders the spec in ParseSpec grammar (diagnostics, run logs).
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed=%d", s.Seed)
+	add := func(k string, v float64) {
+		if v > 0 {
+			fmt.Fprintf(&b, ",%s=%g", k, v)
+		}
+	}
+	add("get", s.GetFailPct)
+	add("put", s.PutFailPct)
+	add("acc", s.AccFailPct)
+	if s.SpikePct > 0 && s.SpikeNS > 0 {
+		fmt.Fprintf(&b, ",spike=%g:%g", s.SpikePct, s.SpikeNS)
+	}
+	if s.StallPeriodOps > 0 && s.StallNS > 0 {
+		fmt.Fprintf(&b, ",stall=%d:%g", s.StallPeriodOps, s.StallNS)
+	}
+	add("drop", s.DropPct)
+	add("cache", s.CacheFailPct)
+	return b.String()
+}

@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/intersect"
 	"repro/internal/lcc"
@@ -24,6 +25,9 @@ type Options struct {
 	// verification schedule.
 	ChargeObserver  rma.ChargeObserver
 	DeferredCharges bool
+
+	// Faults installs a deterministic fault schedule (see lcc.Options).
+	Faults *fault.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +87,9 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	if opt.DeferredCharges {
 		comm.SetDeferredCharges(true)
+	}
+	if opt.Faults != nil {
+		comm.SetFaults(opt.Faults)
 	}
 	win := comm.CreateReadOnlyWindow("blocks", bufs)
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/clampi"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/intersect"
@@ -89,6 +90,14 @@ type Options struct {
 	// verification schedule the equivalence tests diff against the
 	// default.
 	DeferredCharges bool
+
+	// Faults installs a deterministic fault schedule on the world
+	// (internal/fault): seeded transient RMA failures, latency spikes,
+	// stall windows and CLaMPI unavailability, recovered by the
+	// substrate's retry/backoff machinery and the engine's cache
+	// degradation ladder. Results are bit-identical to the fault-free
+	// run — faults cost simulated time, never correctness. nil = off.
+	Faults *fault.Spec
 }
 
 // configureCharges applies the diagnostic charge-plane options to a world.
@@ -98,6 +107,9 @@ func (o Options) configureCharges(comm *rma.Comm) {
 	}
 	if o.DeferredCharges {
 		comm.SetDeferredCharges(true)
+	}
+	if o.Faults != nil {
+		comm.SetFaults(o.Faults)
 	}
 }
 
@@ -561,7 +573,9 @@ func (w *worker) start(f *fetch, vj graph.V) {
 		w.opt.OnRemoteRead(w.r.ID(), vj)
 	}
 	off := 16 * li
-	if w.cOff == nil {
+	if w.cOff == nil || !w.cOff.Available() {
+		// No cache, or the fault schedule degraded it for this access:
+		// the direct-RMA flavor serves the same window bytes uncached.
 		w.r.GetInto(&f.offQ, w.wOff, f.owner, off, 16)
 		f.offR = true
 		return
@@ -597,7 +611,7 @@ func (w *worker) mid(f *fetch) {
 	start, end := pair[0], pair[1]
 	deg := int(end - start)
 	f.adjOff, f.adjSize = int(start)*4, deg*4
-	if w.cAdj == nil {
+	if w.cAdj == nil || !w.cAdj.Available() {
 		w.r.GetInto(&f.adjQ, w.wAdj, f.owner, f.adjOff, f.adjSize)
 		f.adjR = true
 		return

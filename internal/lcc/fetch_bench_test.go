@@ -161,3 +161,33 @@ func TestLookaheadPipelineAllocFree(t *testing.T) {
 		})
 	}
 }
+
+// TestFaultPlaneDisabledAllocFree pins the cost of the disabled fault
+// plane at exactly nothing: with no schedule installed (Options.Faults
+// nil, so every rank's schedule pointer stays nil) the injection guards in
+// the fetch flavors are a single nil check, and the steady-state
+// allocation profile of all three flavors remains zero objects per op.
+func TestFaultPlaneDisabledAllocFree(t *testing.T) {
+	cases := []struct {
+		name    string
+		caching bool
+		target  func(h *fetchHarness) graph.V
+	}{
+		{"local", false, func(h *fetchHarness) graph.V { return h.local }},
+		{"remote-miss", false, func(h *fetchHarness) graph.V { return h.remote }},
+		{"cached-hit", true, func(h *fetchHarness) graph.V { return h.remote }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			// The harness never sets Options.Faults, so the schedule
+			// pointer on every rank is nil — the disabled plane.
+			h := newFetchHarness(t, tc.caching)
+			vj := tc.target(h)
+			h.fetchOnce(vj) // warm pools / populate caches
+			if allocs := testing.AllocsPerRun(100, func() { h.fetchOnce(vj) }); allocs > 0 {
+				t.Errorf("%s fetch with disabled fault plane allocates %.1f objects per op, want 0", tc.name, allocs)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ package p2p
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/rma"
 	"repro/internal/sched"
 )
@@ -41,6 +42,8 @@ type Counters struct {
 	RecvCost    float64 // ns charged for receives
 	BarrierWait float64 // ns spent waiting at barriers for stragglers
 	ComputeTime float64
+	Retransmits int64   // messages dropped in flight and resent (fault plane)
+	FaultWait   float64 // ns lost to ack timeouts and retransmissions
 }
 
 // Rank is one process of the BSP world. Ranks must only be used inside
@@ -62,14 +65,26 @@ type Rank struct {
 
 	outbox [][]Message // staged sends, indexed by destination
 	inbox  []Message   // messages delivered by the previous exchange
+
+	// faults is the rank's bound fault schedule (World.SetFaults); nil —
+	// the default — costs one nil check per send.
+	faults *fault.Sched
 }
 
-// p2pCharge is one deferred charge: a modeled duration and whether it is
-// send cost (vs. compute time).
+// p2pCharge is one deferred charge: a modeled duration plus its
+// destination — compute time, send cost, or fault recovery (ack timeouts
+// and retransmissions, which fold as raw advances: recovery is blocking,
+// so it is never noise-perturbed and consumes no noise draws).
 type p2pCharge struct {
 	ns   float64
-	send bool
+	kind uint8
 }
+
+const (
+	chargeCompute uint8 = iota
+	chargeSend
+	chargeFault
+)
 
 // push appends a charge, folding a full tape in place first (folding
 // early is always legal — fold order equals append order either way — so
@@ -87,10 +102,15 @@ func (r *Rank) fold() {
 		return
 	}
 	for _, c := range r.tape {
-		r.clock.Advance(c.ns)
-		if c.send {
+		switch c.kind {
+		case chargeSend:
+			r.clock.Advance(c.ns)
 			r.ctr.SendCost += c.ns
-		} else {
+		case chargeFault:
+			r.clock.AdvanceRaw(c.ns)
+			r.ctr.FaultWait += c.ns
+		default:
+			r.clock.Advance(c.ns)
 			r.ctr.ComputeTime += c.ns
 		}
 	}
@@ -145,7 +165,24 @@ func (r *Rank) SendPayload(dst int, payload interface{}, size int) {
 	if dst == r.id {
 		cost = m.LocalCost(size)
 	}
-	r.push(p2pCharge{ns: cost, send: true})
+	r.push(p2pCharge{ns: cost, kind: chargeSend})
+	if r.faults != nil && dst != r.id {
+		// Fault plane: the schedule may drop this message in flight d
+		// times. The sender detects each loss at the ack-timeout budget
+		// and resends at full wire cost, all before the rendezvous
+		// returns — so delivery content and the canonical
+		// (sender, send-order) exchange fold are untouched, only the
+		// sender's clock pays. Decisions key on the rank-local send
+		// sequence, making them identical at any worker count.
+		if d := r.faults.MsgDrops(); d > 0 {
+			pol := r.faults.Policy()
+			for i := 0; i < d; i++ {
+				r.push(p2pCharge{ns: pol.TimeoutNS, kind: chargeFault})
+				r.push(p2pCharge{ns: cost, kind: chargeFault})
+			}
+			r.ctr.Retransmits += int64(d)
+		}
+	}
 	r.ctr.MsgsSent++
 	r.ctr.BytesSent += int64(size)
 	r.outbox[dst] = append(r.outbox[dst], Message{From: r.id, Size: size, Payload: payload})
@@ -188,6 +225,16 @@ func NewWorldWorkers(p int, model rma.CostModel, workers int) *World {
 		w.ranks[i].clock.SetNoise(model.Noise, i)
 	}
 	return w
+}
+
+// SetFaults installs a deterministic fault schedule: every rank binds its
+// own decision stream from the spec. Must be called before the first
+// Superstep; a nil or disabled spec leaves the plane off at zero cost.
+// Only the message-drop class applies to the two-sided world.
+func (w *World) SetFaults(spec *fault.Spec) {
+	for i, r := range w.ranks {
+		r.faults = fault.New(spec, i)
+	}
 }
 
 // NumRanks returns the world size.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // This file extends the simulated runtime beyond the operations the LCC
@@ -49,13 +51,17 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 	}
 	r.stage(w, target, offset, delta)
 
-	q := r.newRequest(w, target)
+	q := r.newRequest(w, target, reqAccumulate)
 	if target == r.id {
 		r.commitStaged(w, target)
 		r.clock.Advance(r.comm.model.LocalCost(8))
 		q.completeAt = r.clock.Now()
 		q.done = true
 		return q
+	}
+	if r.faults != nil {
+		r.injectFaults(fault.ClassAccumulate, 8)
+		r.fold() // the completion time below reads the clock eagerly
 	}
 	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(8))
 	q.completeAt = r.clock.Now() + cost
@@ -95,6 +101,10 @@ func (r *Rank) FetchAdd64(w *Window, target, offset int, delta uint64) uint64 {
 	if target == r.id {
 		r.clock.Advance(r.comm.model.LocalCost(8))
 		return old
+	}
+	if r.faults != nil {
+		r.injectFaults(fault.ClassAccumulate, 8)
+		r.fold() // blocking round trip reads the clock eagerly
 	}
 	r.clock.Advance(r.comm.model.RemoteCost(8))
 	r.ctr.Puts++
@@ -138,13 +148,17 @@ func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
 	r.stageBatch(w, target, ups)
 
 	size := updateWireBytes * len(ups)
-	q := r.newRequest(w, target)
+	q := r.newRequest(w, target, reqAccumulateBatch)
 	if target == r.id {
 		r.commitStaged(w, target)
 		r.clock.Advance(r.comm.model.LocalCost(size))
 		q.completeAt = r.clock.Now()
 		q.done = true
 		return q
+	}
+	if r.faults != nil {
+		r.injectFaults(fault.ClassAccumulate, size)
+		r.fold() // the completion time below reads the clock eagerly
 	}
 	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(size))
 	q.completeAt = r.clock.Now() + cost

@@ -1,0 +1,69 @@
+package rma
+
+// The fault plane of the RMA substrate: deterministic seeded injection of
+// transient one-sided failures, latency spikes and rank stall windows
+// (internal/fault), recovered by a capped-backoff retry loop whose every
+// cost folds through the charge tape as a descriptor.
+//
+// The recovery model: a remote one-sided operation is attempted, and each
+// failed attempt costs a timeout-detection delay (the per-op timeout
+// budget), a jittered exponential backoff sleep, and the wasted wire time
+// of the attempt (retransmit at the unperturbed α+s·β of the op's bytes).
+// After the schedule's capped number of failures the attempt is forced to
+// succeed — faults cost simulated time, never correctness. All recovery
+// charges are raw clock advances (Clock.AdvanceRaw): they are neither
+// perturbed by the noise plane nor consume its RNG draws, so the
+// fault-free run's charge and draw sequence is embedded verbatim in the
+// faulted run's — which is what makes results bit-identical, SimTime
+// reproducible at any worker count, and SimTime under faults ≥ fault-free
+// (every added charge is non-negative, and completion times and barrier
+// maxima are monotone in their inputs). DESIGN.md §7 states the contract.
+
+import "repro/internal/fault"
+
+// SetFaults installs a deterministic fault schedule: every rank created
+// after the call binds its own decision stream from the spec. Like the
+// charge-plane setters it must be called before Run; a nil spec (or one
+// that cannot inject anything) keeps the fault plane disabled at the cost
+// of one nil check per issue path.
+func (c *Comm) SetFaults(spec *fault.Spec) { c.faults = spec }
+
+// Faults returns the world's installed fault schedule, nil if none.
+func (c *Comm) Faults() *fault.Spec { return c.faults }
+
+// injectFaults consults the rank's fault schedule at the issue point of
+// one remote one-sided operation and charges the recovery it dictates, in
+// canonical order ahead of the operation's own charge: the stall window
+// opening at this op, then per failed attempt the timeout detection, the
+// backoff sleep and the retransmitted wire time, then any absorbed
+// latency spike on the successful attempt. Decisions are a pure function
+// of (seed, rank, op-index, attempt), so the charge sequence is identical
+// under either fold schedule and at any worker count. Callers must hold
+// r.faults != nil.
+func (r *Rank) injectFaults(cl fault.Class, size int) {
+	o := r.faults.Op(cl)
+	if st := o.StallNS(); st > 0 {
+		r.charge(ChargeStall, 0, st, nil)
+	}
+	if n := o.Failed(); n > 0 {
+		pol := r.faults.Policy()
+		cost := r.comm.model.RemoteCost(size)
+		for a := 0; a < n; a++ {
+			r.charge(ChargeTimeout, 0, pol.TimeoutNS, nil)
+			r.charge(ChargeRetryBackoff, 0, o.BackoffNS(a), nil)
+			r.charge(ChargeRetransmit, size, cost, nil)
+		}
+	}
+	if sp := o.SpikeNS(); sp > 0 {
+		r.charge(ChargeTimeout, 0, sp, nil)
+	}
+}
+
+// CacheFault consults the rank's fault schedule for one CLaMPI access and
+// reports whether a cache-unavailability fault fires (Spec.CacheFailPct).
+// The CLaMPI layer translates a firing into its degraded mode: flush the
+// resident entries and let the engine fall back to the direct-RMA fetch
+// flavor for the access.
+func (r *Rank) CacheFault() bool {
+	return r.faults != nil && r.faults.CacheOp()
+}

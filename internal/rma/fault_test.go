@@ -1,0 +1,221 @@
+package rma
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// faultGetRun drives a 2-rank world of cross-rank gets under the given
+// fault spec and charge plane, returning final counters and SimTime.
+func faultGetRun(t *testing.T, spec *fault.Spec, deferred bool, obs ChargeObserver) ([]Counters, float64) {
+	t.Helper()
+	c := NewComm(2, DefaultCostModel())
+	c.SetFaults(spec)
+	c.SetDeferredCharges(deferred)
+	if obs != nil {
+		c.SetChargeObserver(obs)
+	}
+	local := [][]byte{make([]byte, 1<<14), make([]byte, 1<<14)}
+	w := c.CreateReadOnlyWindow("data", local)
+	ranks := c.Run(func(r *Rank) {
+		r.LockAll(w)
+		for i := 0; i < 2000; i++ {
+			q := r.Get(w, 1-r.ID(), (i%255)*64, 64)
+			q.Wait()
+			q.Release()
+		}
+		r.UnlockAll(w)
+	})
+	ctrs := make([]Counters, len(ranks))
+	for i, r := range ranks {
+		ctrs[i] = r.Counters()
+	}
+	return ctrs, MaxClock(ranks)
+}
+
+// TestFaultRetryCharges: transient get failures charge recovery time and
+// count retries, leave the logical op counts untouched, and push SimTime
+// strictly above the fault-free run.
+func TestFaultRetryCharges(t *testing.T) {
+	base, baseSim := faultGetRun(t, nil, false, nil)
+	spec := &fault.Spec{Seed: 5, GetFailPct: 0.05}
+	got, sim := faultGetRun(t, spec, false, nil)
+	for i := range got {
+		if got[i].Retries == 0 || got[i].FaultWait == 0 {
+			t.Fatalf("rank %d: no recovery recorded under 5%% failures: %+v", i, got[i])
+		}
+		if got[i].Gets != base[i].Gets || got[i].RemoteBytes != base[i].RemoteBytes {
+			t.Fatalf("rank %d: logical op counts changed under faults: %+v vs %+v", i, got[i], base[i])
+		}
+	}
+	if sim <= baseSim {
+		t.Fatalf("faulted SimTime %v not above fault-free %v", sim, baseSim)
+	}
+}
+
+// TestFaultSpikesAndStalls: latency spikes and stall windows charge
+// FaultWait without any retransmits.
+func TestFaultSpikesAndStalls(t *testing.T) {
+	_, baseSim := faultGetRun(t, nil, false, nil)
+	spec := &fault.Spec{Seed: 8, SpikePct: 0.05, SpikeNS: 1e4, StallPeriodOps: 100, StallNS: 5e4}
+	got, sim := faultGetRun(t, spec, false, nil)
+	for i := range got {
+		if got[i].Retries != 0 {
+			t.Fatalf("rank %d: spikes/stalls must not retransmit: %+v", i, got[i])
+		}
+		if got[i].FaultWait == 0 {
+			t.Fatalf("rank %d: no FaultWait under spikes+stalls", i)
+		}
+	}
+	if sim <= baseSim {
+		t.Fatalf("faulted SimTime %v not above fault-free %v", sim, baseSim)
+	}
+}
+
+// TestFaultChargeTapeEquivalence is the fault plane's slice of the charge
+// tape contract: under faults, the canonical and deferred fold schedules
+// replay identical charge sequences — kinds, bytes, durations and folded
+// clock bits — and identical counters.
+func TestFaultChargeTapeEquivalence(t *testing.T) {
+	type rec struct {
+		kind  ChargeKind
+		bytes int
+		ns    float64
+		now   float64
+	}
+	record := func(deferred bool) ([][]rec, []Counters, float64) {
+		seq := make([][]rec, 2)
+		obs := func(rank int, kind ChargeKind, bytes int, ns, now float64) {
+			seq[rank] = append(seq[rank], rec{kind, bytes, ns, now})
+		}
+		spec := fault.ChaosSpec(21)
+		ctrs, sim := faultGetRun(t, &spec, deferred, obs)
+		return seq, ctrs, sim
+	}
+	refSeq, refCtr, refSim := record(false)
+	tapeSeq, tapeCtr, tapeSim := record(true)
+	if math.Float64bits(refSim) != math.Float64bits(tapeSim) {
+		t.Fatalf("SimTime bits differ: canonical %x vs deferred %x",
+			math.Float64bits(refSim), math.Float64bits(tapeSim))
+	}
+	for i := range refCtr {
+		if refCtr[i] != tapeCtr[i] {
+			t.Fatalf("rank %d counters differ: %+v vs %+v", i, refCtr[i], tapeCtr[i])
+		}
+	}
+	sawFault := false
+	for r := range refSeq {
+		if len(refSeq[r]) != len(tapeSeq[r]) {
+			t.Fatalf("rank %d charge count: canonical %d vs deferred %d", r, len(refSeq[r]), len(tapeSeq[r]))
+		}
+		for i := range refSeq[r] {
+			if refSeq[r][i] != tapeSeq[r][i] {
+				t.Fatalf("rank %d op %d diverges: %+v vs %+v", r, i, refSeq[r][i], tapeSeq[r][i])
+			}
+			switch refSeq[r][i].kind {
+			case ChargeRetryBackoff, ChargeTimeout, ChargeRetransmit, ChargeStall:
+				sawFault = true
+			}
+		}
+	}
+	if !sawFault {
+		t.Fatal("chaos spec injected no fault charges")
+	}
+}
+
+// TestFaultDeterministicReplay: equal specs replay bit-identical clocks.
+func TestFaultDeterministicReplay(t *testing.T) {
+	spec := fault.ChaosSpec(33)
+	_, sim1 := faultGetRun(t, &spec, false, nil)
+	_, sim2 := faultGetRun(t, &spec, false, nil)
+	if math.Float64bits(sim1) != math.Float64bits(sim2) {
+		t.Fatalf("replay diverged: %x vs %x", math.Float64bits(sim1), math.Float64bits(sim2))
+	}
+	other := fault.ChaosSpec(34)
+	_, sim3 := faultGetRun(t, &other, false, nil)
+	if math.Float64bits(sim1) == math.Float64bits(sim3) {
+		t.Fatal("different seeds produced identical SimTime — schedule ignores the seed")
+	}
+}
+
+// TestFaultWriteOps: the write-side ops (Put, Accumulate, AccumulateBatch,
+// FetchAdd64) consult the schedule too, and results are unchanged.
+func TestFaultWriteOps(t *testing.T) {
+	run := func(spec *fault.Spec) (Counters, uint64, float64) {
+		c := NewComm(2, DefaultCostModel())
+		c.SetFaults(spec)
+		local := [][]byte{make([]byte, 1024), make([]byte, 1024)}
+		w := c.CreateWindow("acc", local)
+		b := c.NewBarrier()
+		ranks := c.Run(func(r *Rank) {
+			r.LockAll(w)
+			for i := 0; i < 200; i++ {
+				r.Accumulate(w, 1-r.ID(), 0, 1).Release()
+				r.AccumulateBatch(w, 1-r.ID(), []Update{{Offset: 8, Delta: 2}}).Release()
+				r.Put(w, 1-r.ID(), 16+8*r.ID(), []byte{1, 2, 3, 4}).Release()
+				r.FetchAdd64(w, 1-r.ID(), 24, 3)
+				r.FlushAll(w)
+			}
+			b.Wait(r)
+			r.UnlockAll(w)
+		})
+		sum := uint64(0)
+		for i := 0; i < 2; i++ {
+			sum += DecodeUint64s(local[i][:8])[0]
+		}
+		ctr := Counters{}
+		for _, r := range ranks {
+			ctr.Merge(r.Counters())
+		}
+		return ctr, sum, MaxClock(ranks)
+	}
+	base, baseSum, baseSim := run(nil)
+	spec := &fault.Spec{Seed: 2, PutFailPct: 0.05, AccFailPct: 0.05}
+	got, sum, sim := run(spec)
+	if sum != baseSum {
+		t.Fatalf("accumulated values changed under faults: %d vs %d", sum, baseSum)
+	}
+	if got.Retries == 0 || got.FaultWait == 0 {
+		t.Fatalf("write ops recorded no recovery: %+v", got)
+	}
+	if got.Puts != base.Puts {
+		t.Fatalf("logical put count changed: %d vs %d", got.Puts, base.Puts)
+	}
+	if sim <= baseSim {
+		t.Fatalf("faulted SimTime %v not above fault-free %v", sim, baseSim)
+	}
+}
+
+// TestDoubleReleasePanics is the regression test for the free-list guard:
+// releasing a request twice must panic and name the rank and the request
+// kind instead of corrupting the pool.
+func TestDoubleReleasePanics(t *testing.T) {
+	c := NewComm(2, DefaultCostModel())
+	w := c.CreateReadOnlyWindow("data", [][]byte{make([]byte, 64), make([]byte, 64)})
+	c.Run(func(r *Rank) {
+		if r.ID() != 0 {
+			return
+		}
+		r.LockAll(w)
+		defer r.UnlockAll(w)
+		q := r.Get(w, 1, 0, 8)
+		q.Wait()
+		q.Release()
+		defer func() {
+			msg, ok := recover().(string)
+			if !ok {
+				t.Error("double Release did not panic")
+				return
+			}
+			for _, want := range []string{"rank 0", "get request", "double Release"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("panic %q does not mention %q", msg, want)
+				}
+			}
+		}()
+		q.Release()
+	})
+}

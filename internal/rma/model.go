@@ -124,6 +124,20 @@ func (c *Clock) AdvanceTo(t float64) {
 	}
 }
 
+// AdvanceRaw moves the clock forward by d ns without noise perturbation
+// and without consuming noise-RNG draws. The fault plane's recovery
+// charges — timeout detection, backoff sleeps, stall windows, retransmit
+// wire time — fold through here: recovery is blocking, not work, the same
+// doctrine that exempts AdvanceTo waits from noise. Leaving the noise
+// stream untouched keeps the fault-free run's draw sequence embedded
+// verbatim in the faulted run, which is what makes SimTime under faults
+// deterministically ≥ the fault-free SimTime.
+func (c *Clock) AdvanceRaw(d float64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
 // PerturbDuration applies the clock's noise stream to a duration that is
 // charged indirectly — e.g. the in-flight time of a non-blocking transfer
 // whose completion a later flush observes via AdvanceTo. Noise-free clocks

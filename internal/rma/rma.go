@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/sched"
 )
@@ -20,6 +21,10 @@ type Comm struct {
 	// from this world (tape.go); both must be set before Run.
 	deferred bool
 	observer ChargeObserver
+
+	// faults is the deterministic fault schedule every rank binds at
+	// construction (fault.go); nil leaves the plane off at zero cost.
+	faults *fault.Spec
 
 	mu      sync.Mutex
 	windows []*Window
@@ -216,6 +221,8 @@ type Counters struct {
 	GetCost     float64 // sum of α+s·β over issued remote gets (ns)
 	FlushWait   float64 // simulated time spent blocked in flushes (ns)
 	ComputeTime float64 // simulated time charged via Compute (ns)
+	Retries     int64   // failed one-sided attempts retransmitted (fault plane)
+	FaultWait   float64 // simulated time lost to fault recovery (ns)
 }
 
 // Merge accumulates o's activity into c. It is the one end-of-run rollup
@@ -232,6 +239,8 @@ func (c *Counters) Merge(o Counters) {
 	c.GetCost += o.GetCost
 	c.FlushWait += o.FlushWait
 	c.ComputeTime += o.ComputeTime
+	c.Retries += o.Retries
+	c.FaultWait += o.FaultWait
 }
 
 // Rank is one process of the world. A Rank must be used from a single
@@ -267,6 +276,10 @@ type Rank struct {
 	// buffered updates so the no-accumulate hot paths pay one int check.
 	staged    [][]stagedAcc
 	stagedOps int
+
+	// faults is the rank's bound fault schedule (fault.go); nil — the
+	// default — keeps every issue path at one nil check of overhead.
+	faults *fault.Sched
 }
 
 // Rank constructs the handle for rank id. Each id should be obtained once,
@@ -285,6 +298,7 @@ func (c *Comm) Rank(id int) *Rank {
 		r.tape = make([]tapeOp, 0, 64)
 	}
 	r.clock.SetNoise(c.model.Noise, id)
+	r.faults = fault.New(c.faults, id)
 	c.mu.Lock()
 	c.byID[id] = append(c.byID[id], r)
 	c.mu.Unlock()
@@ -384,6 +398,7 @@ type Request struct {
 	rank       *Rank
 	win        *Window
 	target     int
+	kind       reqKind   // operation class that issued this request
 	data       []byte    // byte windows: snapshot (writable) or view (read-only)
 	u64        []uint64  // ReadOnlyUint64s windows: aliased view
 	verts      []graph.V // ReadOnlyVertices windows: aliased view
@@ -396,8 +411,34 @@ type Request struct {
 	owned      bool // caller-owned storage (GetInto); must never be pooled
 }
 
+// reqKind names the operation class that issued a request, so misuse
+// diagnostics (double Release) can say what was released, not just where.
+type reqKind uint8
+
+const (
+	reqGet reqKind = iota
+	reqPut
+	reqAccumulate
+	reqAccumulateBatch
+)
+
+func (k reqKind) String() string {
+	switch k {
+	case reqGet:
+		return "get"
+	case reqPut:
+		return "put"
+	case reqAccumulate:
+		return "accumulate"
+	case reqAccumulateBatch:
+		return "accumulate-batch"
+	default:
+		return "unknown"
+	}
+}
+
 // newRequest pops a recycled request or allocates one.
-func (r *Rank) newRequest(w *Window, target int) *Request {
+func (r *Rank) newRequest(w *Window, target int, kind reqKind) *Request {
 	var q *Request
 	if n := len(r.free); n > 0 {
 		q = r.free[n-1]
@@ -409,6 +450,7 @@ func (r *Rank) newRequest(w *Window, target int) *Request {
 	}
 	q.win = w
 	q.target = target
+	q.kind = kind
 	q.data, q.u64, q.verts = nil, nil, nil
 	q.completeAt = 0
 	q.done = false
@@ -421,10 +463,14 @@ func (r *Rank) newRequest(w *Window, target int) *Request {
 // (the fire-and-forget pattern of the push engine's accumulates). After
 // Release, the request must not be touched again; data obtained from a
 // read-only window remains valid (it aliases the window, not the request),
-// while a writable-window snapshot is invalidated.
+// while a writable-window snapshot is invalidated. A second Release of the
+// same request panics — recycling it twice would hand two future
+// operations the same backing storage, and that free-list corruption
+// surfaces far from its cause.
 func (q *Request) Release() {
 	if q.pooled {
-		panic("rma: Release of an already-released request")
+		panic(fmt.Sprintf("rma: rank %d: double Release of %s request",
+			q.rank.id, q.kind))
 	}
 	if q.owned {
 		panic("rma: Release of a caller-owned request (GetInto); the caller owns its storage")
@@ -569,7 +615,7 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 		// own accumulates must observe them (staged.go).
 		r.commitStaged(w, target)
 	}
-	q := r.newRequest(w, target)
+	q := r.newRequest(w, target, reqGet)
 	q.resolve(w, target, offset, size)
 	if target == r.id {
 		q.done = true
@@ -582,6 +628,11 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 			r.charge(ChargeGetLocal, size, r.comm.model.LocalCost(size), q)
 		}
 		return q
+	}
+	// Fault plane: recovery charges land before the canonical op charge,
+	// modeling a rank blocked in its retry loop at the issue point.
+	if r.faults != nil {
+		r.injectFaults(fault.ClassGet, size)
 	}
 	// The issue charges nothing to the clock; the in-flight duration and
 	// the completion time are established here, at the canonical issue
@@ -624,6 +675,7 @@ func (r *Rank) GetInto(q *Request, w *Window, target, offset, size int) {
 	q.rank = r
 	q.win = w
 	q.target = target
+	q.kind = reqGet
 	q.done = false
 	q.owned = true
 	q.data, q.u64, q.verts = nil, nil, nil
@@ -639,6 +691,9 @@ func (r *Rank) GetInto(q *Request, w *Window, target, offset, size int) {
 			r.charge(ChargeGetLocal, size, r.comm.model.LocalCost(size), q)
 		}
 		return
+	}
+	if r.faults != nil {
+		r.injectFaults(fault.ClassGet, size)
 	}
 	if r.plain() {
 		cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(size))
@@ -674,12 +729,18 @@ func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
 		r.commitStaged(w, target)
 	}
 	copy(region[offset:], data)
-	q := r.newRequest(w, target)
+	q := r.newRequest(w, target, reqPut)
 	if target == r.id {
 		r.clock.Advance(r.comm.model.LocalCost(len(data)))
 		q.completeAt = r.clock.Now()
 		q.done = true
 		return q
+	}
+	if r.faults != nil {
+		// Put reads the clock eagerly below, so the recovery charges must
+		// be folded, not just appended, before the completion arithmetic.
+		r.injectFaults(fault.ClassPut, len(data))
+		r.fold()
 	}
 	cost := r.clock.PerturbDuration(r.comm.model.RemoteCost(len(data)))
 	q.completeAt = r.clock.Now() + cost

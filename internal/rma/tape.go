@@ -69,6 +69,24 @@ const (
 	// count at local-memory speed — storing a fetched entry, growing the
 	// buffer — charged as LocalCost(bytes) with no counter side effects.
 	ChargeCacheManage
+	// ChargeRetryBackoff is the deterministic jittered backoff sleep
+	// before retrying a failed one-sided operation (internal/fault). All
+	// fault-plane kinds fold as raw clock advances (Clock.AdvanceRaw):
+	// recovery is blocking, not work, so it is neither stretched by noise
+	// nor consumes noise-RNG draws — which keeps the fault-free charge
+	// sequence, draw for draw, embedded in the faulted one.
+	ChargeRetryBackoff
+	// ChargeTimeout is time lost waiting on an attempt that did not
+	// complete within budget: the detection delay of a failed attempt, or
+	// an absorbed latency spike on the successful one.
+	ChargeTimeout
+	// ChargeRetransmit is the wasted wire time of a failed attempt,
+	// re-charged at the unperturbed remote cost of the operation's bytes;
+	// it also counts one retry in the rank's counters.
+	ChargeRetransmit
+	// ChargeStall is a rank stall window (OS jitter, GC, a wedged
+	// progress engine) the fault schedule opens between operations.
+	ChargeStall
 
 	numChargeKinds
 )
@@ -91,6 +109,14 @@ func (k ChargeKind) String() string {
 		return "cache-miss"
 	case ChargeCacheManage:
 		return "cache-manage"
+	case ChargeRetryBackoff:
+		return "retry-backoff"
+	case ChargeTimeout:
+		return "timeout"
+	case ChargeRetransmit:
+		return "retransmit"
+	case ChargeStall:
+		return "stall"
 	default:
 		return "unknown"
 	}
@@ -179,6 +205,7 @@ func (r *Rank) foldTape() {
 func (r *Rank) applyCharge(op tapeOp) {
 	kind := ChargeKind(op.word & 0xff)
 	bytes := int(op.word >> 8)
+	obsNS := 0.0
 	switch kind {
 	case ChargeOps, ChargeLocalRead:
 		r.clock.Advance(op.cost)
@@ -194,11 +221,23 @@ func (r *Rank) applyCharge(op tapeOp) {
 		r.ctr.Gets++
 		r.ctr.RemoteBytes += int64(bytes)
 		r.ctr.GetCost += cost
+	case ChargeRetryBackoff, ChargeTimeout, ChargeStall:
+		// Fault-plane recovery: raw folds — blocking, never perturbed,
+		// no RNG draws (see Clock.AdvanceRaw). The duration is not a
+		// pure function of (kind, bytes), so it rides to the observer.
+		r.clock.AdvanceRaw(op.cost)
+		r.ctr.FaultWait += op.cost
+		obsNS = op.cost
+	case ChargeRetransmit:
+		r.clock.AdvanceRaw(op.cost)
+		r.ctr.FaultWait += op.cost
+		r.ctr.Retries++
+		obsNS = op.cost
 	default: // the cache kinds: clock only, stats live in the cache
 		r.clock.Advance(op.cost)
 	}
 	if r.observer != nil {
-		r.observer(r.id, kind, bytes, 0, r.clock.Now())
+		r.observer(r.id, kind, bytes, obsNS, r.clock.Now())
 	}
 }
 

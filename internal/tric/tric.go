@@ -18,6 +18,7 @@ package tric
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/intersect"
 	"repro/internal/lcc"
@@ -48,6 +49,10 @@ type Options struct {
 	// aggregated buffered variant would ship candidate volume at pure
 	// bandwidth cost, which no measured TriC deployment achieves.
 	QueryCostNS float64
+	// Faults installs a deterministic fault schedule on the exchange
+	// substrate (see lcc.Options); dropped messages are retransmitted by
+	// the sender, results are unchanged.
+	Faults *fault.Spec
 }
 
 func (o Options) withDefaults() Options {
@@ -124,6 +129,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	}
 	locals := part.ExtractAll(g, pt)
 	world := p2p.NewWorldWorkers(opt.Ranks, opt.Model, opt.Workers)
+	world.SetFaults(opt.Faults)
 
 	perVertexT := make([]int64, n)
 	res := &Result{LCC: make([]float64, n)}
