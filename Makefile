@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt check bench benchdiff pprof fuzz
+.PHONY: all build test vet fmt check bench bench-serve benchdiff serve-smoke stress pprof fuzz
 
 all: build
 
@@ -23,10 +23,29 @@ check: fmt vet build test
 bench:
 	./bench.sh
 
-# benchdiff compares the two newest committed BENCH_<n>.json records and
-# fails on per-benchmark regressions past the thresholds (cmd/benchdiff).
+# bench-serve appends the next serving-layer record: the sustained-QPS
+# benchmark through the supervision plane, tagged "mode":"serve" so
+# benchdiff never diffs it against the micro-benchmark trajectory.
+bench-serve:
+	BENCH_MODE=serve ./bench.sh
+
+# benchdiff compares the two newest committed BENCH_<n>.json records that
+# share a bench mode and fails on per-benchmark regressions past the
+# thresholds (cmd/benchdiff).
 benchdiff:
 	$(GO) run ./cmd/benchdiff
+
+# serve-smoke boots the lccd daemon on an ephemeral port, loads fb-sim
+# over its HTTP API, runs one supervised query, checks health, drains and
+# exits — the end-to-end serving-layer check CI runs.
+serve-smoke:
+	$(GO) run ./cmd/lccd -smoke
+
+# stress hammers the serving layer's lifecycle machinery under the race
+# detector: repeated cancellation, panic isolation and transition-edge
+# runs across the scheduler and supervision plane.
+stress:
+	$(GO) test -race -run 'Lifecycle|Cancel|Panic' -count=10 ./internal/serve ./internal/sched
 
 # pprof captures and symbolizes a CPU profile of the end-to-end non-cached
 # engine benchmark, so perf PRs start from evidence instead of guesses.

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/clampi"
@@ -13,6 +14,8 @@ import (
 	"repro/internal/lcc"
 	"repro/internal/part"
 	"repro/internal/rma"
+	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/spmat"
 	"repro/internal/tric"
 )
@@ -328,6 +331,95 @@ type LCC2DResult = grid.Result
 // fully asynchronous one-sided discipline as RunLCC: each rank pulls the
 // 2(√p−1) operand blocks it needs and never synchronizes.
 func RunLCC2D(g *Graph, opt LCC2DOptions) (*LCC2DResult, error) { return grid.Run(g, opt) }
+
+// --- cancellation and supervised serving ------------------------------------
+
+// ErrRunCanceled is wrapped by every error a canceled engine run returns:
+// the simulated ranks observed the context at a checkpoint or barrier and
+// unwound cleanly. errors.Is(err, ErrRunCanceled) identifies it; when a
+// deadline caused the cancellation, context.DeadlineExceeded is also in
+// the chain.
+var ErrRunCanceled = sched.ErrRunCanceled
+
+// PanicError is what an engine-goroutine panic becomes: a typed run error
+// carrying the simulated rank, the panic value, and the goroutine stack.
+// The panicking run fails; the process does not.
+type PanicError = sched.PanicError
+
+// CrashError reports a crash-stop fault (FaultSpec.CrashAtOp) in fail-fast
+// mode: the deterministic, typed outcome of the simulated rank's death.
+type CrashError = fault.CrashError
+
+// RunLCCCtx is RunLCC under a context: cancellation or deadline expiry
+// unwinds the simulated ranks at their next checkpoint and returns an
+// error wrapping ErrRunCanceled. RunLCCPushCtx, RunLCCReplicatedCtx and
+// RunJaccardCtx do the same for their engines.
+func RunLCCCtx(ctx context.Context, g *Graph, opt LCCOptions) (*LCCResult, error) {
+	return lcc.RunCtx(ctx, g, opt)
+}
+
+// RunLCCPushCtx is RunLCCPush under a context.
+func RunLCCPushCtx(ctx context.Context, g *Graph, opt LCCPushOptions) (*LCCResult, error) {
+	return lcc.RunPushCtx(ctx, g, opt)
+}
+
+// RunLCCReplicatedCtx is RunLCCReplicated under a context.
+func RunLCCReplicatedCtx(ctx context.Context, g *Graph, opt LCCReplicatedOptions) (*LCCResult, error) {
+	return lcc.RunReplicatedCtx(ctx, g, opt)
+}
+
+// RunJaccardCtx is RunJaccard under a context.
+func RunJaccardCtx(ctx context.Context, g *Graph, opt LCCOptions) (*JaccardResult, error) {
+	return lcc.RunJaccardCtx(ctx, g, opt)
+}
+
+// Snapshot is the immutable per-graph half of the engine setup —
+// partition, per-rank CSRs, window layouts, delegation — shared by every
+// run against the same distribution. Build once, query many times; each
+// run gets fresh communicator, clock and cache state, so results are
+// bit-identical to the corresponding one-shot entrypoint.
+type Snapshot = lcc.Snapshot
+
+// NewSnapshot distributes g over ranks once for repeated querying.
+func NewSnapshot(g *Graph, ranks int, scheme Scheme, delegateBytes int) (*Snapshot, error) {
+	return lcc.NewSnapshot(g, ranks, scheme, delegateBytes)
+}
+
+// The supervised serving layer (internal/serve, cmd/lccd): Instances own
+// a Snapshot and move through loading → ready → busy → unhealthy →
+// exited; a Supervisor manages them by name. Runs carry deadlines,
+// cancellation, panic isolation and admission control.
+type (
+	// ServeInstance is one loaded graph serving supervised queries.
+	ServeInstance = serve.Instance
+	// ServeConfig describes what an instance loads and how it admits runs.
+	ServeConfig = serve.Config
+	// ServeQuery selects the engine and per-run options of one query.
+	ServeQuery = serve.Query
+	// ServeResult summarizes one completed supervised run.
+	ServeResult = serve.QueryResult
+	// ServeSupervisor is the named-instance registry behind cmd/lccd.
+	ServeSupervisor = serve.Supervisor
+)
+
+// NewServeInstance creates an instance in the loading state; Start loads
+// it.
+func NewServeInstance(name string, cfg ServeConfig) *ServeInstance {
+	return serve.NewInstance(name, cfg)
+}
+
+// NewServeSupervisor creates an empty instance registry.
+func NewServeSupervisor() *ServeSupervisor { return serve.NewSupervisor() }
+
+// Typed serving errors (errors.Is targets).
+var (
+	ErrServeAlreadyRunning = serve.ErrAlreadyRunning
+	ErrServeInstanceExited = serve.ErrInstanceExited
+	ErrServeNotReady       = serve.ErrNotReady
+	ErrServeUnhealthy      = serve.ErrUnhealthy
+	ErrServeBusy           = serve.ErrBusy
+	ErrServeUnknown        = serve.ErrUnknownInstance
+)
 
 // --- caching ----------------------------------------------------------------
 

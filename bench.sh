@@ -14,6 +14,12 @@
 # the zero-copy substrate is accountable for. Macro experiment benchmarks
 # (Fig7, Fig9, ...) are excluded: they take minutes and measure modeled
 # time, not host performance.
+#
+# BENCH_MODE=serve switches to the serving-layer sustained-QPS benchmark
+# (internal/serve) and tags the record "mode":"serve". Serve records
+# measure a different quantity — saturated per-query latency through the
+# supervision plane, not substrate hot paths — so benchdiff refuses to
+# diff records across modes.
 set -e
 
 out="${1:-}"
@@ -23,7 +29,21 @@ if [ -z "$out" ]; then
     out="BENCH_${i}.json"
 fi
 
-pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkIntersectSweep$|BenchmarkKernelMergeBranchFree$|BenchmarkKernelStampProbe$|BenchmarkKernelFingerBinary$|BenchmarkFetchLocal$|BenchmarkFetchRemoteMiss$|BenchmarkFetchCachedHit$|BenchmarkEngineNonCached$|BenchmarkEngineCached$|BenchmarkEngineNonCachedParallel$|BenchmarkEngineCachedParallel$)'
+mode="${BENCH_MODE:-micro}"
+case "$mode" in
+micro)
+    pattern='^(BenchmarkRMAGet$|BenchmarkRMAGetReadOnly$|BenchmarkRMAAccumulate$|BenchmarkRMAFetchAdd$|BenchmarkClampiHit$|BenchmarkClampiMissEvict$|BenchmarkIntersectHybrid$|BenchmarkIntersectSweep$|BenchmarkKernelMergeBranchFree$|BenchmarkKernelStampProbe$|BenchmarkKernelFingerBinary$|BenchmarkFetchLocal$|BenchmarkFetchRemoteMiss$|BenchmarkFetchCachedHit$|BenchmarkEngineNonCached$|BenchmarkEngineCached$|BenchmarkEngineNonCachedParallel$|BenchmarkEngineCachedParallel$)'
+    pkgs='. ./internal/lcc'
+    ;;
+serve)
+    pattern='^BenchmarkServeSustainedQPS$'
+    pkgs='./internal/serve'
+    ;;
+*)
+    echo "bench.sh: unknown BENCH_MODE \"$mode\" (want micro or serve)" >&2
+    exit 2
+    ;;
+esac
 
 # Environment provenance: engine wall-clock now scales with cores (the
 # rank scheduler runs simulated ranks in parallel), so records from hosts
@@ -41,11 +61,11 @@ while [ "$i" -le "$runs" ]; do
     echo "# bench pass $i/$runs" >&2
     # The fetch-flavor benches live next to the engine internals
     # (internal/lcc); everything else is in the root package.
-    go test -run '^$' -bench "$pattern" -benchmem -benchtime=1s . ./internal/lcc | tee -a "$raw" >&2
+    go test -run '^$' -bench "$pattern" -benchmem -benchtime=1s $pkgs | tee -a "$raw" >&2
     i=$((i + 1))
 done
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$gmp" -v cpu="$cpu" '
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gmp="$gmp" -v cpu="$cpu" -v mode="$mode" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1
@@ -59,7 +79,7 @@ BEGIN { n = 0 }
     }
 }
 END {
-    printf "{\n  \"date\": \"%s\",\n  \"go_max_procs\": %d,\n  \"cpu_model\": \"%s\",\n  \"faults\": \"off\",\n  \"benchmarks\": [\n", date, gmp, cpu
+    printf "{\n  \"date\": \"%s\",\n  \"go_max_procs\": %d,\n  \"cpu_model\": \"%s\",\n  \"faults\": \"off\",\n  \"mode\": \"%s\",\n  \"benchmarks\": [\n", date, gmp, cpu, mode
     for (i = 0; i < n; i++) {
         name = order[i]
         printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n",

@@ -36,6 +36,7 @@ type record struct {
 	GoMaxProcs int         `json:"go_max_procs"` // 0 in records predating the field
 	CPUModel   string      `json:"cpu_model"`
 	Faults     string      `json:"faults"` // "" in records predating the fault plane — meaning off
+	Mode       string      `json:"mode"`   // "" in records predating the serving layer — meaning micro
 	Benchmarks []benchmark `json:"benchmarks"`
 }
 
@@ -47,6 +48,17 @@ func (r *record) faultMode() string {
 		return "off"
 	}
 	return r.Faults
+}
+
+// benchMode normalizes the measurement-plane tag: "micro" records measure
+// substrate hot paths, "serve" records measure saturated per-query latency
+// through the supervision plane (bench.sh BENCH_MODE=serve). Records
+// written before the field existed are micro.
+func (r *record) benchMode() string {
+	if r.Mode == "" {
+		return "micro"
+	}
+	return r.Mode
 }
 
 type benchmark struct {
@@ -96,6 +108,16 @@ func main() {
 	if oldRec.faultMode() != newRec.faultMode() {
 		fmt.Fprintf(os.Stderr, "benchdiff: fault modes differ (%s: %q, %s: %q): records are not comparable\n",
 			filepath.Base(oldPath), oldRec.faultMode(), filepath.Base(newPath), newRec.faultMode())
+		os.Exit(2)
+	}
+
+	// Micro records (substrate hot paths) and serve records (saturated
+	// per-query latency through the supervision plane) measure different
+	// quantities under different load shapes; a cross-mode diff is never a
+	// regression signal. Refuse outright.
+	if oldRec.benchMode() != newRec.benchMode() {
+		fmt.Fprintf(os.Stderr, "benchdiff: bench modes differ (%s: %q, %s: %q): records are not comparable\n",
+			filepath.Base(oldPath), oldRec.benchMode(), filepath.Base(newPath), newRec.benchMode())
 		os.Exit(2)
 	}
 
@@ -205,7 +227,11 @@ func load(path string) (*record, error) {
 
 var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 
-// newestPair returns the two highest-numbered BENCH_<n>.json files in dir.
+// newestPair returns the two highest-numbered BENCH_<n>.json files in dir
+// that share a bench mode. Records of different modes interleave freely on
+// the trajectory (a serve record can land between two micro records); the
+// scan compares within the mode whose newest record is most recent and has
+// a predecessor, so a first-of-its-mode record never breaks the diff.
 func newestPair(dir string) (old, new string, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -222,7 +248,19 @@ func newestPair(dir string) (old, new string, err error) {
 		return "", "", fmt.Errorf("need at least two BENCH_<n>.json records in %s, found %d", dir, len(nums))
 	}
 	sort.Ints(nums)
-	o := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", nums[len(nums)-2]))
-	n := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", nums[len(nums)-1]))
-	return o, n, nil
+	// Newest-first: the first mode seen twice is the pair to diff.
+	latest := map[string]string{} // mode -> newest record path of that mode
+	for i := len(nums) - 1; i >= 0; i-- {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", nums[i]))
+		rec, err := load(path)
+		if err != nil {
+			return "", "", err
+		}
+		mode := rec.benchMode()
+		if prev, ok := latest[mode]; ok {
+			return path, prev, nil
+		}
+		latest[mode] = path
+	}
+	return "", "", fmt.Errorf("no two BENCH_<n>.json records in %s share a bench mode", dir)
 }

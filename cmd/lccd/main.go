@@ -1,0 +1,378 @@
+// Command lccd is the persistent analytics daemon over the simulated
+// engines: it keeps named graph instances loaded (internal/serve) and
+// serves supervised LCC/Jaccard queries against them over a local
+// HTTP+JSON API. Runs carry deadlines, cancellation unwinds the simulated
+// ranks cleanly, a worker panic fails the run but never the process, and
+// admission control bounds concurrent runs per instance.
+//
+// Usage:
+//
+//	lccd -addr 127.0.0.1:8090
+//	lccd -smoke        # self-contained smoke run: load, query, drain, exit
+//
+// API (JSON bodies, JSON replies):
+//
+//	POST /v1/load   {"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2}
+//	POST /v1/run    {"instance":"fb","engine":"lcc","method":"hybrid","caching":true,"timeout_ms":5000}
+//	POST /v1/stop   {"instance":"fb"}
+//	GET  /v1/ps
+//	GET  /v1/health
+//
+// Typed serve errors map to statuses: 429 busy, 404 unknown instance,
+// 410 exited, 503 loading/unhealthy, 504 deadline or cancellation, 500
+// isolated panic. SIGTERM/SIGINT drains in-flight runs before exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/intersect"
+	"repro/internal/lcc"
+	"repro/internal/part"
+	"repro/internal/sched"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lccd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lccd", flag.ContinueOnError)
+	var (
+		addr  = fs.String("addr", "127.0.0.1:8090", "listen address for the HTTP API")
+		drain = fs.Duration("drain", 30*time.Second, "how long a shutdown waits for in-flight runs")
+		smoke = fs.Bool("smoke", false, "start on an ephemeral port, load fb-sim, run one query, drain, exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := newServer()
+	if *smoke {
+		return srv.smoke(out, *drain)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lccd: serving on http://%s\n", ln.Addr())
+	return srv.serve(ln, out, *drain)
+}
+
+// server binds the supervisor to the HTTP surface.
+type server struct {
+	sup  *serve.Supervisor
+	http *http.Server
+}
+
+func newServer() *server {
+	s := &server{sup: serve.NewSupervisor()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/load", s.handleLoad)
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/stop", s.handleStop)
+	mux.HandleFunc("GET /v1/ps", s.handlePS)
+	mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// serve runs the HTTP server until SIGTERM/SIGINT, then drains: the
+// supervisor stops admitting runs and waits for in-flight ones, then the
+// HTTP server shuts down.
+func (s *server) serve(ln net.Listener, out io.Writer, drain time.Duration) error {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	defer signal.Stop(stop)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.http.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-stop:
+		fmt.Fprintf(out, "lccd: %v, draining (up to %v)\n", sig, drain)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.sup.Shutdown(ctx); err != nil {
+		fmt.Fprintf(out, "lccd: drain incomplete: %v\n", err)
+	}
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "lccd: drained, bye")
+	return nil
+}
+
+// loadRequest is the POST /v1/load body.
+type loadRequest struct {
+	Name          string `json:"name"`
+	Dataset       string `json:"dataset"`
+	Ranks         int    `json:"ranks"`
+	Scheme        string `json:"scheme"`
+	DelegateBytes int    `json:"delegate_bytes"`
+	MaxConcurrent int    `json:"max_concurrent"`
+	TimeoutMS     int64  `json:"default_timeout_ms"`
+}
+
+func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" || req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, errors.New("load needs name and dataset"))
+		return
+	}
+	scheme, err := parseScheme(req.Scheme)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	inst, err := s.sup.Load(req.Name, serve.Config{
+		Dataset:        req.Dataset,
+		Ranks:          req.Ranks,
+		Scheme:         scheme,
+		DelegateBytes:  req.DelegateBytes,
+		MaxConcurrent:  req.MaxConcurrent,
+		DefaultTimeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, inst.Info())
+}
+
+// runRequest is the POST /v1/run body. Distribution comes from the
+// instance's snapshot; the query owns method, caching, workers and faults.
+type runRequest struct {
+	Instance     string `json:"instance"`
+	Engine       string `json:"engine"`
+	Method       string `json:"method"`
+	Workers      int    `json:"workers"`
+	Caching      bool   `json:"caching"`
+	CacheOffsets int    `json:"cache_offsets_bytes"`
+	CacheAdj     int    `json:"cache_adj_bytes"`
+	DegreeScores bool   `json:"degree_scores"`
+	NoOverlap    bool   `json:"no_overlap"`
+	Faults       string `json:"faults"`
+	TimeoutMS    int64  `json:"timeout_ms"`
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := fault.ParseSpec(req.Faults)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := lcc.Options{
+		Workers:      req.Workers,
+		Method:       parseMethod(req.Method),
+		DoubleBuffer: !req.NoOverlap,
+		Caching:      req.Caching,
+		DegreeScores: req.DegreeScores,
+		Faults:       spec,
+	}
+	if req.Caching {
+		opt.OffsetsCacheBytes = req.CacheOffsets
+		opt.AdjCacheBytes = req.CacheAdj
+		if opt.OffsetsCacheBytes == 0 {
+			opt.OffsetsCacheBytes = 1 << 20
+		}
+		if opt.AdjCacheBytes == 0 {
+			opt.AdjCacheBytes = 64 << 20
+		}
+	}
+	q := serve.Query{
+		Engine:  req.Engine,
+		Options: opt,
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	}
+	res, err := s.sup.Run(r.Context(), req.Instance, q)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Instance string `json:"instance"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.sup.Stop(req.Instance); err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"instance": req.Instance, "state": "exited"})
+}
+
+func (s *server) handlePS(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sup.List())
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	status := http.StatusOK
+	if !s.sup.Healthy() {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"healthy":   status == http.StatusOK,
+		"instances": s.sup.List(),
+	})
+}
+
+// statusFor maps typed serve/sched errors to HTTP statuses.
+func statusFor(err error) int {
+	var pe *sched.PanicError
+	switch {
+	case errors.Is(err, serve.ErrBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, serve.ErrUnknownInstance):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrInstanceExited):
+		return http.StatusGone
+	case errors.Is(err, serve.ErrNotReady), errors.Is(err, serve.ErrUnhealthy):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, serve.ErrAlreadyRunning):
+		return http.StatusConflict
+	case errors.Is(err, sched.ErrRunCanceled):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &pe):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func parseScheme(s string) (part.Scheme, error) {
+	switch s {
+	case "", "block":
+		return part.Block, nil
+	case "cyclic":
+		return part.Cyclic, nil
+	case "blockarcs", "block-arcs":
+		return part.BlockArcs, nil
+	default:
+		return part.Block, fmt.Errorf("unknown scheme %q", s)
+	}
+}
+
+func parseMethod(s string) intersect.Method {
+	switch s {
+	case "ssi":
+		return intersect.MethodSSI
+	case "binary":
+		return intersect.MethodBinary
+	case "hash":
+		return intersect.MethodHash
+	default:
+		return intersect.MethodHybrid
+	}
+}
+
+// smoke exercises the full service loop in one process — the make
+// serve-smoke / CI step: serve on an ephemeral port, load a graph over
+// HTTP, run one query, list instances, then drain and exit. Any failure
+// is fatal.
+func (s *server) smoke(out io.Writer, drain time.Duration) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { _ = s.http.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	post := func(path string, body string, want int) (map[string]any, error) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != want {
+			return m, fmt.Errorf("%s: status %d (want %d): %v", path, resp.StatusCode, want, m)
+		}
+		return m, nil
+	}
+
+	if _, err := post("/v1/load", `{"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2}`, http.StatusOK); err != nil {
+		return err
+	}
+	res, err := post("/v1/run", `{"instance":"fb","method":"hybrid","timeout_ms":60000}`, http.StatusOK)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "lccd smoke: run ok: triangles=%v sim_time_ns=%v\n", res["triangles"], res["sim_time_ns"])
+	if res["triangles"] == nil {
+		return errors.New("smoke run returned no triangle count")
+	}
+	resp, err := http.Get(base + "/v1/health")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health: status %d", resp.StatusCode)
+	}
+	if _, err := post("/v1/stop", `{"instance":"fb"}`, http.StatusOK); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := s.sup.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := s.http.Shutdown(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "lccd smoke: ok")
+	return nil
+}

@@ -9,10 +9,17 @@
 //	lccrun -dataset lj-sim -ranks 16 -engine push
 //	lccrun -dataset lj-sim -ranks 16 -engine replicated -replicas 4
 //	lccrun -in graph.csr -ranks 8 -scheme cyclic -top 10 -delegate 1048576
+//	lccrun -dataset lj-sim -ranks 16 -timeout 30s
 //	graphgen -dataset fb-sim -format edgelist | lccrun -ranks 2 -format edgelist -in -
+//
+// Exit codes: 0 on success, 1 on any error, 3 when -timeout canceled the
+// run (the simulated ranks unwind at their next checkpoint and no partial
+// results are printed).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,11 +31,19 @@ import (
 	"repro/internal/intersect"
 	"repro/internal/lcc"
 	"repro/internal/part"
+	"repro/internal/sched"
 )
+
+// exitDeadline is the distinct exit code for a run canceled by -timeout,
+// so scripts can tell "too slow" from "wrong".
+const exitDeadline = 3
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "lccrun:", err)
+		if errors.Is(err, sched.ErrRunCanceled) {
+			os.Exit(exitDeadline)
+		}
 		os.Exit(1)
 	}
 }
@@ -58,6 +73,7 @@ func run(args []string, out *os.File) error {
 		delegate  = fs.Int("delegate", 0, "static vertex-delegation budget in bytes per rank (0 = off)")
 		top       = fs.Int("top", 5, "print the top-K vertices by LCC")
 		faults    = fs.String("faults", "", `deterministic fault schedule, e.g. "seed=1,get=0.01,drop=0.02" or "chaos,seed=3" (empty = off); results are unchanged, only simulated time grows`)
+		timeout   = fs.Duration("timeout", 0, "cancel the run after this host-time budget (0 = none); a deadlined run prints nothing and exits with code 3")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,18 +114,25 @@ func run(args []string, out *os.File) error {
 
 	opt.DelegateBytes = *delegate
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *lcc.Result
 	switch *engine {
 	case "pull":
-		res, err = lcc.Run(g, opt)
+		res, err = lcc.RunCtx(ctx, g, opt)
 	case "push":
 		agg := lcc.PushBatched
 		if *pushAgg == "direct" {
 			agg = lcc.PushDirect
 		}
-		res, err = lcc.RunPush(g, lcc.PushOptions{Options: opt, Aggregation: agg})
+		res, err = lcc.RunPushCtx(ctx, g, lcc.PushOptions{Options: opt, Aggregation: agg})
 	case "replicated":
-		res, err = lcc.RunReplicated(g, lcc.ReplicatedOptions{Options: opt, Replication: *replicas})
+		res, err = lcc.RunReplicatedCtx(ctx, g, lcc.ReplicatedOptions{Options: opt, Replication: *replicas})
 	default:
 		err = fmt.Errorf("unknown engine %q", *engine)
 	}

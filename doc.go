@@ -31,6 +31,9 @@
 //   - internal/disttc — the DistTC shadow-edge baseline (§I)
 //   - internal/experiments — regenerates every table and figure of §IV
 //     plus the A1–A13 ablations
+//   - internal/serve — the supervised serving layer: long-lived instances
+//     over a shared graph snapshot, with run deadlines, cancellation,
+//     panic isolation and admission control (DESIGN.md §8)
 //
 // Quick start:
 //
@@ -42,6 +45,31 @@
 //		DoubleBuffer: true,
 //		Caching:      true,
 //	})
+//
+// For repeated queries against one distribution, build the immutable
+// setup once and run it supervised — or start the daemon and drive it
+// over HTTP:
+//
+//	inst := repro.NewServeInstance("fb", repro.ServeConfig{
+//		Dataset: "fb-sim", Ranks: 8, MaxConcurrent: 2,
+//	})
+//	_ = inst.Start()
+//	res, err := inst.Run(ctx, repro.ServeQuery{
+//		Options: repro.LCCOptions{Method: repro.MethodHybrid, DoubleBuffer: true},
+//		Timeout: 30 * time.Second,
+//	})
+//
+//	$ go run ./cmd/lccd &
+//	$ curl -d '{"name":"fb","dataset":"fb-sim","ranks":8}' localhost:8090/v1/load
+//	$ curl -d '{"instance":"fb","method":"hybrid","timeout_ms":30000}' localhost:8090/v1/run
+//	$ curl localhost:8090/v1/health
+//
+// A run canceled by its context or deadline unwinds the simulated ranks
+// at their next checkpoint (errors.Is(err, repro.ErrRunCanceled)); an
+// engine-goroutine panic becomes a typed *repro.PanicError that fails the
+// run, flips the instance unhealthy and leaves the process serving; the
+// next query after either reproduces the golden pins bit for bit
+// (DESIGN.md §8).
 //
 // Simulated ranks execute on real goroutines under a deterministic
 // multicore scheduler (internal/sched): Workers bounds how many run

@@ -15,12 +15,14 @@
 package repro_test
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"testing"
 
 	"repro/internal/fault"
 	"repro/internal/gen"
+	"repro/internal/lcc"
 )
 
 // faultScenarios is the fault-injection table every golden configuration
@@ -43,6 +45,11 @@ var faultScenarios = []struct {
 	{"drops-cache", fault.Spec{Seed: 303, GetFailPct: 0.005, DropPct: 0.05, CacheFailPct: 0.002}},
 	// Everything at once: the chaos preset the CI lane uses.
 	{"chaos", fault.ChaosSpec(7)},
+	// Crash-stop with recovery: rank 2 dies at its 1500th remote op, pays
+	// the restart delay plus a re-execution charge from its last barrier,
+	// and the run completes. Engines with fewer remote ops per rank simply
+	// never arm the crash — the >= invariant still holds with equality.
+	{"crash-recover", fault.Spec{Seed: 404, CrashAtOp: 1500, CrashRank: 2, CrashRecover: true}},
 }
 
 // TestFaultEquivalence replays the full golden table under every fault
@@ -84,6 +91,60 @@ func TestFaultEquivalence(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCrashFailFastDeterminism pins the other half of the crash-stop
+// class: without CrashRecover the run fails fast with a typed
+// *fault.CrashError naming the rank and op index, the error text is
+// identical at every worker count, and a subsequent fault-free run still
+// hits the golden pins — a simulated crash leaves no residue.
+func TestCrashFailFastDeterminism(t *testing.T) {
+	g := gen.MustLoad("fb-sim")
+	engines := []struct {
+		name string
+		run  func(opt lcc.Options) error
+	}{
+		{"pull", func(opt lcc.Options) error {
+			_, err := lcc.Run(g, opt)
+			return err
+		}},
+		{"push", func(opt lcc.Options) error {
+			_, err := lcc.RunPush(g, lcc.PushOptions{Options: opt, Aggregation: lcc.PushBatched})
+			return err
+		}},
+		{"replicated", func(opt lcc.Options) error {
+			_, err := lcc.RunReplicated(g, lcc.ReplicatedOptions{Options: opt, Replication: 2})
+			return err
+		}},
+	}
+	for _, eng := range engines {
+		eng := eng
+		t.Run(eng.name, func(t *testing.T) {
+			spec := fault.Spec{Seed: 17, CrashAtOp: 1500, CrashRank: 2}
+			var ref string
+			for i, wk := range []int{1, 4} {
+				opt := goldenBase()
+				opt.Workers = wk
+				opt.Faults = &spec
+				err := eng.run(opt)
+				var ce *fault.CrashError
+				if !errors.As(err, &ce) {
+					t.Fatalf("workers=%d: err = %v, want *fault.CrashError", wk, err)
+				}
+				if ce.Rank != 2 || ce.Op != 1500 {
+					t.Errorf("workers=%d: crash at rank %d op %d, want rank 2 op 1500", wk, ce.Rank, ce.Op)
+				}
+				if i == 0 {
+					ref = err.Error()
+				} else if err.Error() != ref {
+					t.Errorf("workers=%d: error %q differs from workers=1 %q", wk, err, ref)
+				}
+			}
+		})
+	}
+	// No residue: the fault-free pull pins still hold after the crashes.
+	pull := goldenConfigs[0]
+	checkGoldenRun(t, "pull/after-crash", pull.run(t, g, 0, nil), pull.want)
 }
 
 // TestFaultChaos is the CI chaos lane: the golden configurations rotated

@@ -131,6 +131,21 @@ type Spec struct {
 	// access degrades to the direct-RMA fetch flavor.
 	CacheFailPct float64
 
+	// CrashAtOp arms the crash-stop class: rank CrashRank dies at its
+	// CrashAtOp-th remote one-sided operation (1-based; 0 disables the
+	// class). Unlike the probabilistic classes the crash is a scheduled
+	// event — it fires exactly once, at a deterministic op index, which is
+	// what makes both recovery modes pinnable. With CrashRecover false the
+	// run fails fast with a deterministic *CrashError; with it true the
+	// rank restarts (CrashRestartNS) and re-executes from its last barrier
+	// — charged as blocked simulated time, never actually re-run, so the
+	// fault-free charge and draw sequence embeds verbatim in the recovered
+	// run and results stay bit-identical (DESIGN.md §8).
+	CrashAtOp      int
+	CrashRank      int
+	CrashRecover   bool
+	CrashRestartNS float64 // modeled restart delay; default 5e6 ns
+
 	// Retry bounds the recovery loops; zero value = defaults.
 	Retry RetryPolicy
 }
@@ -140,12 +155,28 @@ func (s Spec) Enabled() bool {
 	return s.GetFailPct > 0 || s.PutFailPct > 0 || s.AccFailPct > 0 ||
 		(s.SpikePct > 0 && s.SpikeNS > 0) ||
 		(s.StallPeriodOps > 0 && s.StallNS > 0) ||
-		s.DropPct > 0 || s.CacheFailPct > 0
+		s.DropPct > 0 || s.CacheFailPct > 0 || s.CrashAtOp > 0
 }
 
 func (s Spec) withDefaults() Spec {
 	s.Retry = s.Retry.withDefaults()
+	if s.CrashRestartNS <= 0 {
+		s.CrashRestartNS = 5e6
+	}
 	return s
+}
+
+// CrashError is the deterministic failure of a crash-stop without
+// recovery: rank Rank died at its Op-th remote one-sided operation. The
+// same spec produces the same error at any worker count and under either
+// charge-fold schedule.
+type CrashError struct {
+	Rank int
+	Op   int // 1-based remote-op index, equals Spec.CrashAtOp
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("fault: rank %d crash-stop at remote op %d", e.Rank, e.Op)
 }
 
 // ChaosSpec returns the moderate everything-on schedule the chaos tests
@@ -176,6 +207,7 @@ type Sched struct {
 	ops      uint64 // remote one-sided op index (all classes)
 	cacheOps uint64 // CLaMPI access index
 	msgs     uint64 // p2p send sequence
+	crashed  bool   // the crash-stop already fired (it fires once)
 }
 
 // New binds spec to a rank. nil spec, or one that cannot inject anything,
@@ -232,6 +264,7 @@ type Outcome struct {
 	failed  int
 	spikeNS float64
 	stallNS float64
+	crashed bool
 }
 
 // Op advances the rank's remote-op counter and decides the op's faults.
@@ -255,6 +288,11 @@ func (s *Sched) Op(cl Class) Outcome {
 	if n := uint64(s.spec.StallPeriodOps); n > 0 && op > 0 && op%n == 0 {
 		o.stallNS = s.spec.StallNS * (0.5 + s.u(chStall, op/n, 0))
 	}
+	if s.spec.CrashAtOp > 0 && !s.crashed && s.rank == s.spec.CrashRank &&
+		op+1 == uint64(s.spec.CrashAtOp) {
+		s.crashed = true
+		o.crashed = true
+	}
 	return o
 }
 
@@ -268,6 +306,22 @@ func (o Outcome) SpikeNS() float64 { return o.spikeNS }
 
 // StallNS returns the stall-window duration opening at this op, 0 if none.
 func (o Outcome) StallNS() float64 { return o.stallNS }
+
+// Crashed reports whether the crash-stop fires at this op.
+func (o Outcome) Crashed() bool { return o.crashed }
+
+// CrashRecovers reports the armed recovery mode: true re-executes from
+// the last barrier, false fails the run fast.
+func (o Outcome) CrashRecovers() bool { return o.s.spec.CrashRecover }
+
+// CrashRestartNS returns the modeled restart delay of a recovered crash.
+func (o Outcome) CrashRestartNS() float64 { return o.s.spec.CrashRestartNS }
+
+// CrashError builds the deterministic error of an unrecovered crash at
+// this op on the given rank.
+func (o Outcome) CrashError(rank int) *CrashError {
+	return &CrashError{Rank: rank, Op: int(o.op) + 1}
+}
 
 // BackoffNS returns the deterministic jittered backoff before retrying
 // after failed attempt a: min(Base·2^a, Max) × (0.5 + u).
@@ -322,6 +376,12 @@ func (s *Sched) MsgDrops() int {
 //	stall=N:NS        a stall window every N remote ops, ~NS ns each
 //	drop=P            p2p message drop probability
 //	cache=P           CLaMPI unavailability probability per access
+//	crash=R:OP        crash-stop: rank R dies at its OP-th remote op and
+//	                  the run fails fast with a deterministic error
+//	crashrecover=R:OP crash-stop with recovery: the rank restarts and
+//	                  re-executes from its last barrier (results are
+//	                  bit-identical to the fault-free run)
+//	restart=NS        modeled restart delay of a recovered crash
 //	retries=N timeout=NS backoff=BASE:MAX   retry policy
 //	chaos             the ChaosSpec preset (other keys still override)
 //
@@ -371,6 +431,14 @@ func ParseSpec(s string) (*Spec, error) {
 			spec.StallPeriodOps = int(n)
 		case "backoff":
 			spec.Retry.BackoffBaseNS, spec.Retry.BackoffMaxNS, err = pair()
+		case "crash", "crashrecover":
+			var rk, op float64
+			rk, op, err = pair()
+			spec.CrashRank, spec.CrashAtOp = int(rk), int(op)
+			spec.CrashRecover = k == "crashrecover"
+			if err == nil && (spec.CrashRank < 0 || spec.CrashAtOp < 1) {
+				return nil, fmt.Errorf("fault: %s=%s needs rank>=0 and op>=1", k, v)
+			}
 		default:
 			f, err = strconv.ParseFloat(v, 64)
 			if err != nil {
@@ -396,6 +464,8 @@ func ParseSpec(s string) (*Spec, error) {
 				spec.Retry.MaxAttempts = int(f)
 			case "timeout":
 				spec.Retry.TimeoutNS = f
+			case "restart":
+				spec.CrashRestartNS = f
 			default:
 				return nil, fmt.Errorf("fault: unknown key %q", k)
 			}
@@ -441,5 +511,15 @@ func (s Spec) String() string {
 	}
 	add("drop", s.DropPct)
 	add("cache", s.CacheFailPct)
+	if s.CrashAtOp > 0 {
+		k := "crash"
+		if s.CrashRecover {
+			k = "crashrecover"
+		}
+		fmt.Fprintf(&b, ",%s=%d:%d", k, s.CrashRank, s.CrashAtOp)
+		if s.CrashRestartNS > 0 {
+			fmt.Fprintf(&b, ",restart=%g", s.CrashRestartNS)
+		}
+	}
 	return b.String()
 }

@@ -1,6 +1,7 @@
 package lcc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -280,49 +281,26 @@ func (res *Result) CommFraction() float64 {
 // optionally through CLaMPI caches. No rank ever synchronizes with another
 // during the computation.
 func Run(g *graph.Graph, opt Options) (*Result, error) {
-	n := g.NumVertices()
-	opt = opt.withDefaults(n)
+	return RunCtx(context.Background(), g, opt)
+}
+
+// RunCtx is Run under supervision: the setup is snapshotted (NewSnapshot)
+// and the rank bodies execute under rma.Comm.RunCtx, so ctx cancellation
+// unwinds the run at its checkpoints (error wraps sched.ErrRunCanceled), a
+// rank panic surfaces as *sched.PanicError instead of killing the process,
+// and a fail-fast crash-stop fault returns its *fault.CrashError. Callers
+// that keep the graph loaded across queries should build the Snapshot once
+// and call its RunCtx directly; this entry point rebuilds it per run.
+func RunCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+	opt = opt.withDefaults(g.NumVertices())
 	if opt.Ranks < 1 {
 		return nil, fmt.Errorf("lcc: invalid rank count %d", opt.Ranks)
 	}
-	pt, err := part.Build(opt.Scheme, g, opt.Ranks)
+	snap, err := NewSnapshot(g, opt.Ranks, opt.Scheme, opt.DelegateBytes)
 	if err != nil {
 		return nil, err
 	}
-	locals := part.ExtractAll(g, pt)
-
-	// Each rank exposes (start,end) pairs rather than the raw offsets
-	// array: one 16-byte get fetches both bounds of an adjacency list
-	// (Fig. 3 reads offsets[li] and offsets[li+1] in one operation). Both
-	// windows are typed and read-only: setup involves no byte encoding,
-	// the adjacency window aliases the partition's own storage, and every
-	// Get returns a view instead of a copy.
-	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
-	opt.configureCharges(comm)
-	wOff, wAdj := makeGraphWindows(comm, locals)
-	resolve := buildResolve(pt)
-
-	lccOut := make([]float64, n)
-	triOut := make([]int64, opt.Ranks)
-	stats := make([]RankStats, opt.Ranks)
-
-	deleg := BuildDelegation(g, opt.DelegateBytes)
-
-	ranks := comm.Run(func(r *rma.Rank) {
-		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, resolve, opt)
-		w.deleg = deleg
-		sumT := w.run(lccOut)
-		triOut[r.ID()] = sumT
-		stats[r.ID()] = w.stats()
-	})
-
-	res := &Result{LCC: lccOut, PerRank: stats, SimTime: rma.MaxClock(ranks),
-		DelegatedVertices: deleg.Len(), DelegationBytes: deleg.Bytes()}
-	for _, t := range triOut {
-		res.SumT += t
-	}
-	res.Triangles = TriangleCount(g.Kind(), res.SumT)
-	return res, nil
+	return snap.RunCtx(ctx, opt)
 }
 
 // RunDataset is Run over a named dataset from the registry.
@@ -338,14 +316,23 @@ func RunDataset(name string, opt Options) (*Result, error) {
 // engine exposes: (start,end) offset pairs as native []uint64 and the
 // adjacency arrays as native []graph.V (aliasing the partitions' own CSR
 // storage — the O(|E|) encode copy of the byte-window design is gone).
+// Each rank exposes (start,end) pairs rather than the raw offsets array:
+// one 16-byte get fetches both bounds of an adjacency list (Fig. 3 reads
+// offsets[li] and offsets[li+1] in one operation).
 func makeGraphWindows(comm *rma.Comm, locals []*part.LocalCSR) (wOff, wAdj *rma.Window) {
-	p := comm.NumRanks()
-	// Replicas of a slot (the 1.5D engine passes fewer locals than ranks)
-	// share one pairs array, like they share the CSR storage itself.
 	pairs := make([][]uint64, len(locals))
 	for s, lc := range locals {
 		pairs[s] = offsetPairs(lc)
 	}
+	return windowsFromPairs(comm, locals, pairs)
+}
+
+// windowsFromPairs is makeGraphWindows with the pair arrays precomputed —
+// the snapshot path reuses them across runs.
+func windowsFromPairs(comm *rma.Comm, locals []*part.LocalCSR, pairs [][]uint64) (wOff, wAdj *rma.Window) {
+	p := comm.NumRanks()
+	// Replicas of a slot (the 1.5D engine passes fewer locals than ranks)
+	// share one pairs array, like they share the CSR storage itself.
 	offs := make([][]uint64, p)
 	adjs := make([][]graph.V, p)
 	for r := 0; r < p; r++ {
@@ -738,8 +725,16 @@ func (w *worker) forEachEdge(visit func(li int, vj graph.V, adjJ []graph.V)) {
 }
 
 // close ends the access epochs (a local operation in passive mode) and
-// returns the intersection scratch to its pool.
+// returns the intersection scratch to its pool. It is idempotent: the
+// engine bodies close explicitly before reading stats (the implied flush
+// charges time, which must land ahead of the snapshot) and also defer a
+// close, so a rank unwinding on cancellation or panic still repools its
+// scratch and leaves the windows' epochs closed. The close path performs
+// no checkpoint polls, so it cannot re-panic during an unwind.
 func (w *worker) close() {
+	if w.its == nil {
+		return
+	}
 	w.r.UnlockAll(w.wOff)
 	w.r.UnlockAll(w.wAdj)
 	intersect.PutScratch(w.its)
@@ -773,7 +768,6 @@ func (w *worker) run(lccOut []float64) int64 {
 		sumT += perVertexT[li]
 		w.r.Compute(2)
 	}
-	w.close()
 	return sumT
 }
 

@@ -1,10 +1,10 @@
 package lcc
 
 import (
+	"context"
+
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/part"
-	"repro/internal/rma"
 )
 
 // Jaccard similarity is the paper's future-work direction (ii): "other
@@ -31,57 +31,20 @@ type JaccardResult struct {
 // RunJaccard computes the per-edge Jaccard similarity with the same fully
 // asynchronous distributed engine as RunLCC.
 func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
-	n := g.NumVertices()
-	opt = opt.withDefaults(n)
-	pt, err := part.New(opt.Scheme, n, opt.Ranks)
+	return RunJaccardCtx(context.Background(), g, opt)
+}
+
+// RunJaccardCtx is RunJaccard under supervision, with the same
+// cancellation, panic-isolation and crash-stop contract as RunCtx. The
+// setup rides the Snapshot path, so arc-balanced (BlockArcs) partitions
+// now work for Jaccard too.
+func RunJaccardCtx(ctx context.Context, g *graph.Graph, opt Options) (*JaccardResult, error) {
+	opt = opt.withDefaults(g.NumVertices())
+	snap, err := NewSnapshot(g, opt.Ranks, opt.Scheme, opt.DelegateBytes)
 	if err != nil {
 		return nil, err
 	}
-	locals := part.ExtractAll(g, pt)
-
-	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
-	opt.configureCharges(comm)
-	wOff, wAdj := makeGraphWindows(comm, locals)
-	resolve := buildResolve(pt)
-
-	scores := make([]float64, g.NumArcs())
-	stats := make([]RankStats, opt.Ranks)
-
-	// Global arc index of each rank's first arc: offsets of preceding
-	// ranks' partitions sum up because Extract preserves CSR order.
-	base := make([]uint64, opt.Ranks+1)
-	for r, lc := range locals {
-		base[r+1] = base[r] + uint64(len(lc.Adj))
-	}
-
-	deleg := BuildDelegation(g, opt.DelegateBytes)
-
-	ranks := comm.Run(func(r *rma.Rank) {
-		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, resolve, opt)
-		w.deleg = deleg
-		lc := locals[r.ID()]
-		arc := base[r.ID()]
-		// forEachEdge visits arcs in exactly CSR order, so `arc`
-		// advances in lockstep.
-		w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
-			adjI := lc.AdjOf(li)
-			inter, ops := w.its.Count(opt.Method, adjI, adjJ)
-			union := len(adjI) + len(adjJ) - inter
-			if union > 0 {
-				scores[arc] = float64(inter) / float64(union)
-			}
-			arc++
-			w.r.Compute(ops + 6)
-		})
-		w.close()
-		stats[r.ID()] = w.stats()
-	})
-
-	return &JaccardResult{
-		Scores:  scores,
-		SimTime: rma.MaxClock(ranks),
-		PerRank: stats,
-	}, nil
+	return snap.RunJaccardCtx(ctx, opt)
 }
 
 // RunJaccardDataset is RunJaccard over a named dataset from the registry.

@@ -1,6 +1,7 @@
 package lcc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -113,6 +114,14 @@ const maxOutstandingAccumulates = 4096
 // totally orders corners, which has no meaning for the directed Eq. (1)
 // numerator. Results (LCC and Triangles) are bit-identical to Run's.
 func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
+	return RunPushCtx(context.Background(), g, opt)
+}
+
+// RunPushCtx is RunPush under supervision, with the same cancellation,
+// panic-isolation and crash-stop contract as RunCtx. The push engine's
+// single fence is a cancellation point like every barrier: a canceled run
+// wakes the ranks parked in the rendezvous and unwinds them.
+func RunPushCtx(ctx context.Context, g *graph.Graph, opt PushOptions) (*Result, error) {
 	if g.Kind() != graph.Undirected {
 		return nil, fmt.Errorf("lcc: push engine requires an undirected graph (directed LCC has no smallest-corner discovery rule)")
 	}
@@ -147,13 +156,18 @@ func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
 	triOut := make([]int64, opt.Ranks)
 	stats := make([]RankStats, opt.Ranks)
 
-	ranks := comm.Run(func(r *rma.Rank) {
+	ranks, err := comm.RunCtx(ctx, func(r *rma.Rank) {
 		w := newWorker(r, g.Kind(), pt, locals[r.ID()], wOff, wAdj, resolve, opt.Options)
 		w.deleg = deleg
+		defer w.close()
 		sumT := w.runPush(lccOut, wTri, bar, opt.Aggregation)
+		w.close()
 		triOut[r.ID()] = sumT
 		stats[r.ID()] = w.stats()
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{LCC: lccOut, PerRank: stats, SimTime: rma.MaxClock(ranks),
 		DelegatedVertices: deleg.Len(), DelegationBytes: deleg.Bytes()}
@@ -250,7 +264,6 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 		w.r.Compute(2)
 	}
 	w.r.UnlockAll(wTri)
-	w.close()
 	return sumT
 }
 

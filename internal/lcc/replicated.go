@@ -1,6 +1,7 @@
 package lcc
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -45,6 +46,12 @@ type ReplicatedOptions struct {
 // Results are bit-identical to Run's; only the communication pattern and
 // the per-rank memory differ.
 func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
+	return RunReplicatedCtx(context.Background(), g, opt)
+}
+
+// RunReplicatedCtx is RunReplicated under supervision, with the same
+// cancellation, panic-isolation and crash-stop contract as RunCtx.
+func RunReplicatedCtx(ctx context.Context, g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
 	n := g.NumVertices()
 	opt.Options = opt.Options.withDefaults(n)
 	c := opt.Replication
@@ -76,7 +83,7 @@ func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
 	triOut := make([]int64, opt.Ranks)
 	stats := make([]RankStats, opt.Ranks)
 
-	ranks := comm.Run(func(r *rma.Rank) {
+	ranks, err := comm.RunCtx(ctx, func(r *rma.Rank) {
 		group, slot := r.ID()/q, r.ID()%q
 		w := newWorker(r, g.Kind(), pt, slots[slot], wOff, wAdj, resolve, opt.Options)
 		w.deleg = deleg
@@ -84,10 +91,15 @@ func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
 		// resolve table yields slot coordinates, and ownerBase maps a
 		// slot to the replica this rank reads from.
 		w.slot, w.ownerBase = slot, group*q
+		defer w.close()
 		sumT := w.runSlice(lccOut, slot, group, c)
+		w.close()
 		triOut[r.ID()] = sumT
 		stats[r.ID()] = w.stats()
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{LCC: lccOut, PerRank: stats, SimTime: rma.MaxClock(ranks),
 		DelegatedVertices: deleg.Len(), DelegationBytes: deleg.Bytes()}
@@ -124,7 +136,6 @@ func (w *worker) runSlice(lccOut []float64, slot, phase, c int) int64 {
 		sumT += perVertexT[li]
 		w.r.Compute(2)
 	}
-	w.close()
 	return sumT
 }
 

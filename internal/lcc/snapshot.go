@@ -1,0 +1,190 @@
+package lcc
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/part"
+	"repro/internal/rma"
+)
+
+// Snapshot is the per-graph half of a distributed run: the partition, the
+// extracted per-rank CSRs, the precomputed (start,end) offset pairs the
+// windows expose, the packed resolve table and the static delegation
+// replica. All of it is immutable once built and — unlike the communicator,
+// the caches and the clocks — independent of any particular query, so one
+// snapshot is shared by any number of sequential or concurrent runs over
+// the same graph (the serving layer keeps exactly one per loaded instance).
+//
+// The split is conservative by construction: Snapshot.RunCtx builds its
+// windows from the same pair arrays makeGraphWindows would compute, so a
+// run through a snapshot is bit-identical to the corresponding lcc.Run.
+type Snapshot struct {
+	g             *graph.Graph
+	ranks         int
+	scheme        part.Scheme
+	delegateBytes int
+
+	pt      *part.Partition
+	locals  []*part.LocalCSR
+	pairs   [][]uint64
+	resolve []uint64
+	deleg   *Delegation
+}
+
+// NewSnapshot partitions g over the given rank count and precomputes every
+// per-graph table of the engine setup. ranks == 0 selects 1. The snapshot
+// pins the distribution: queries executed on it inherit its rank count,
+// scheme and delegation budget regardless of what their Options say.
+func NewSnapshot(g *graph.Graph, ranks int, scheme part.Scheme, delegateBytes int) (*Snapshot, error) {
+	if ranks == 0 {
+		ranks = 1
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("lcc: invalid rank count %d", ranks)
+	}
+	pt, err := part.Build(scheme, g, ranks)
+	if err != nil {
+		return nil, err
+	}
+	locals := part.ExtractAll(g, pt)
+	pairs := make([][]uint64, len(locals))
+	for s, lc := range locals {
+		pairs[s] = offsetPairs(lc)
+	}
+	return &Snapshot{
+		g: g, ranks: ranks, scheme: scheme, delegateBytes: delegateBytes,
+		pt: pt, locals: locals, pairs: pairs,
+		resolve: buildResolve(pt),
+		deleg:   BuildDelegation(g, delegateBytes),
+	}, nil
+}
+
+// LoadSnapshot is NewSnapshot over a named dataset from the registry.
+func LoadSnapshot(name string, ranks int, scheme part.Scheme, delegateBytes int) (*Snapshot, error) {
+	g, err := gen.Load(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewSnapshot(g, ranks, scheme, delegateBytes)
+}
+
+// Graph returns the snapshot's graph.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Ranks returns the pinned rank count p.
+func (s *Snapshot) Ranks() int { return s.ranks }
+
+// Scheme returns the pinned partitioning scheme.
+func (s *Snapshot) Scheme() part.Scheme { return s.scheme }
+
+// options pins the snapshot-owned fields — the distribution belongs to the
+// snapshot, the method/caching/workers/faults to the query — and applies
+// the usual defaults.
+func (s *Snapshot) options(opt Options) Options {
+	opt.Ranks, opt.Scheme, opt.DelegateBytes = s.ranks, s.scheme, s.delegateBytes
+	return opt.withDefaults(s.g.NumVertices())
+}
+
+// windows exposes the snapshot's partitions in a fresh communicator,
+// reusing the precomputed pair arrays.
+func (s *Snapshot) windows(comm *rma.Comm) (wOff, wAdj *rma.Window) {
+	return windowsFromPairs(comm, s.locals, s.pairs)
+}
+
+// RunCtx executes the fully asynchronous LCC computation (Algorithm 3)
+// over the snapshot, under supervision: ctx cancellation unwinds every
+// rank at its next checkpoint or barrier and returns an error wrapping
+// sched.ErrRunCanceled; a rank panic surfaces as *sched.PanicError; a
+// fail-fast crash-stop fault as *fault.CrashError. On any error the
+// result is nil — a supervised run yields complete results or none —
+// and the snapshot itself is untouched: it holds no per-run state, so
+// the caller can simply run again.
+func (s *Snapshot) RunCtx(ctx context.Context, opt Options) (*Result, error) {
+	opt = s.options(opt)
+	n := s.g.NumVertices()
+	comm := rma.NewCommWorkers(s.ranks, opt.Model, opt.Workers)
+	opt.configureCharges(comm)
+	wOff, wAdj := s.windows(comm)
+
+	lccOut := make([]float64, n)
+	triOut := make([]int64, s.ranks)
+	stats := make([]RankStats, s.ranks)
+
+	ranks, err := comm.RunCtx(ctx, func(r *rma.Rank) {
+		w := newWorker(r, s.g.Kind(), s.pt, s.locals[r.ID()], wOff, wAdj, s.resolve, opt)
+		w.deleg = s.deleg
+		// The deferred close repools the scratch and closes the epochs on
+		// the cancel/panic unwind path; the explicit close keeps the
+		// epoch-close charges ahead of the stats snapshot, as the charge
+		// order always had them.
+		defer w.close()
+		sumT := w.run(lccOut)
+		w.close()
+		triOut[r.ID()] = sumT
+		stats[r.ID()] = w.stats()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{LCC: lccOut, PerRank: stats, SimTime: rma.MaxClock(ranks),
+		DelegatedVertices: s.deleg.Len(), DelegationBytes: s.deleg.Bytes()}
+	for _, t := range triOut {
+		res.SumT += t
+	}
+	res.Triangles = TriangleCount(s.g.Kind(), res.SumT)
+	return res, nil
+}
+
+// RunJaccardCtx executes the per-edge Jaccard computation (jaccard.go)
+// over the snapshot, under the same supervision contract as RunCtx.
+func (s *Snapshot) RunJaccardCtx(ctx context.Context, opt Options) (*JaccardResult, error) {
+	opt = s.options(opt)
+	comm := rma.NewCommWorkers(s.ranks, opt.Model, opt.Workers)
+	opt.configureCharges(comm)
+	wOff, wAdj := s.windows(comm)
+
+	scores := make([]float64, s.g.NumArcs())
+	stats := make([]RankStats, s.ranks)
+
+	// Global arc index of each rank's first arc: offsets of preceding
+	// ranks' partitions sum up because Extract preserves CSR order.
+	base := make([]uint64, s.ranks+1)
+	for r, lc := range s.locals {
+		base[r+1] = base[r] + uint64(len(lc.Adj))
+	}
+
+	ranks, err := comm.RunCtx(ctx, func(r *rma.Rank) {
+		w := newWorker(r, s.g.Kind(), s.pt, s.locals[r.ID()], wOff, wAdj, s.resolve, opt)
+		w.deleg = s.deleg
+		defer w.close()
+		lc := s.locals[r.ID()]
+		arc := base[r.ID()]
+		// forEachEdge visits arcs in exactly CSR order, so `arc`
+		// advances in lockstep.
+		w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
+			adjI := lc.AdjOf(li)
+			inter, ops := w.its.Count(opt.Method, adjI, adjJ)
+			union := len(adjI) + len(adjJ) - inter
+			if union > 0 {
+				scores[arc] = float64(inter) / float64(union)
+			}
+			arc++
+			w.r.Compute(ops + 6)
+		})
+		w.close()
+		stats[r.ID()] = w.stats()
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &JaccardResult{
+		Scores:  scores,
+		SimTime: rma.MaxClock(ranks),
+		PerRank: stats,
+	}, nil
+}

@@ -38,6 +38,7 @@ func (r *Rank) Flush(w *Window, target int) {
 // than a serializing read-modify-write. Accumulates targeting the rank
 // itself commit immediately, preserving local program order.
 func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request {
+	r.checkpoint()
 	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: Accumulate on %q outside an access epoch", r.id, w.name))
 	}
@@ -78,6 +79,7 @@ func (r *Rank) Accumulate(w *Window, target, offset int, delta uint64) *Request 
 // fetch-and-op is a synchronizing read-modify-write, so the issuing rank
 // cannot proceed without the old value.
 func (r *Rank) FetchAdd64(w *Window, target, offset int, delta uint64) uint64 {
+	r.checkpoint()
 	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: FetchAdd64 on %q outside an access epoch", r.id, w.name))
 	}
@@ -131,6 +133,7 @@ const updateWireBytes = 12
 // k scattered Accumulates cost k·(α + 8β), the combined batch α + 12k·β.
 // Like Accumulate it is non-blocking; completion is observed by a flush.
 func (r *Rank) AccumulateBatch(w *Window, target int, ups []Update) *Request {
+	r.checkpoint()
 	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: AccumulateBatch on %q outside an access epoch", r.id, w.name))
 	}
@@ -193,20 +196,41 @@ type Barrier struct {
 }
 
 // NewBarrier creates a reusable barrier over the communicator's p ranks.
+// The barrier registers a cancellation wakeup with the scheduler: a
+// canceled run must rouse ranks blocked in the rendezvous (they hold no
+// slot and poll no checkpoints), so they re-check the run state and
+// unwind. Create barriers before starting the supervised run.
 func (c *Comm) NewBarrier() *Barrier {
 	b := &Barrier{comm: c}
 	b.cond = sync.NewCond(&b.mu)
+	c.pool.NotifyCancel(func() {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	})
 	return b
 }
 
 // Wait blocks until all p ranks have arrived, then advances every clock to
 // the latest arrival time plus BarrierLatency. The time a rank spends
 // blocked is accounted as FlushWait (it is synchronization, not work).
+//
+// Under a supervised run (Comm.RunCtx) Wait is also a cancellation point:
+// a waiter woken by a canceled run unwinds instead of completing the
+// round, and an arriving rank checks before joining. A completed Wait is
+// the crash-stop recovery point — the rank's clock at release is recorded
+// as the state a recovered crash re-executes from (fault.go).
 func (b *Barrier) Wait(r *Rank) {
 	r.fold() // the rendezvous publishes this rank's clock to the world
+	pool := r.comm.pool
+	if r.running {
+		pool.Checkpoint()
+	}
 	var target float64
+	canceled := false
 	rendezvous := func() {
 		b.mu.Lock()
+		defer b.mu.Unlock()
 		gen := b.gen
 		if t := r.clock.Now(); t > b.maxT {
 			b.maxT = t
@@ -224,21 +248,31 @@ func (b *Barrier) Wait(r *Rank) {
 			b.gen++
 			b.cond.Broadcast()
 		} else {
-			for gen == b.gen {
+			for gen == b.gen && !pool.Canceled() {
 				b.cond.Wait()
+			}
+			if gen == b.gen {
+				// Woken by cancellation: the round will never close —
+				// some rank of the world is already unwinding. Leave the
+				// rendezvous and unwind too.
+				canceled = true
+				return
 			}
 		}
 		target = b.doneT
-		b.mu.Unlock()
 	}
 	if r.running {
-		r.comm.pool.Yield(rendezvous)
+		pool.Yield(rendezvous)
 	} else {
 		rendezvous()
+	}
+	if canceled {
+		pool.Checkpoint() // Canceled() held above: this unwinds
 	}
 	before := r.clock.Now()
 	r.clock.AdvanceTo(target)
 	r.ctr.FlushWait += r.clock.Now() - before
+	r.ckptT = r.clock.Now()
 }
 
 // Fence closes the current active-target epoch on w and opens the next one

@@ -19,7 +19,10 @@ package rma
 // (every added charge is non-negative, and completion times and barrier
 // maxima are monotone in their inputs). DESIGN.md §7 states the contract.
 
-import "repro/internal/fault"
+import (
+	"repro/internal/fault"
+	"repro/internal/sched"
+)
 
 // SetFaults installs a deterministic fault schedule: every rank created
 // after the call binds its own decision stream from the spec. Like the
@@ -42,6 +45,9 @@ func (c *Comm) Faults() *fault.Spec { return c.faults }
 // r.faults != nil.
 func (r *Rank) injectFaults(cl fault.Class, size int) {
 	o := r.faults.Op(cl)
+	if o.Crashed() {
+		r.crashStop(o)
+	}
 	if st := o.StallNS(); st > 0 {
 		r.charge(ChargeStall, 0, st, nil)
 	}
@@ -56,6 +62,38 @@ func (r *Rank) injectFaults(cl fault.Class, size int) {
 	}
 	if sp := o.SpikeNS(); sp > 0 {
 		r.charge(ChargeTimeout, 0, sp, nil)
+	}
+}
+
+// crashStop handles the crash-stop class firing at this op's issue point.
+//
+// Fail-fast mode aborts the run with the deterministic CrashError — under
+// a supervised run (Comm.RunCtx) the abort surfaces as the run's error
+// and the remaining ranks unwind; under plain Run it panics.
+//
+// Recovery mode models a restart plus re-execution from the rank's last
+// barrier (ckptT, run start if none): the redo REPLAYS deterministically
+// into exactly the state the first execution built — rank state is
+// rank-local and every decision below the crash point is a pure function
+// of position — so the substrate never actually re-runs it; it charges
+// the redo's duration (clock at the crash minus clock at the recovery
+// point) plus the restart delay as blocked time. Both charges fold raw
+// (no noise draws), so the fault-free charge and draw sequence embeds
+// verbatim in the recovered run: results bit-identical, SimTime ≥
+// fault-free, reproducible at any worker count (DESIGN.md §8).
+func (r *Rank) crashStop(o fault.Outcome) {
+	if !o.CrashRecovers() {
+		sched.Abort(o.CrashError(r.id))
+	}
+	// The redo duration reads the clock at the canonical issue point:
+	// fold any deferred charges first, like every eager clock read — and
+	// before the restart charge lands, so the measured redo is the same
+	// under either fold schedule.
+	r.fold()
+	redo := r.clock.Now() - r.ckptT
+	r.charge(ChargeCrashRestart, 0, o.CrashRestartNS(), nil)
+	if redo > 0 {
+		r.charge(ChargeCrashRedo, 0, redo, nil)
 	}
 }
 

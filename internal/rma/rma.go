@@ -1,6 +1,7 @@
 package rma
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -223,6 +224,7 @@ type Counters struct {
 	ComputeTime float64 // simulated time charged via Compute (ns)
 	Retries     int64   // failed one-sided attempts retransmitted (fault plane)
 	FaultWait   float64 // simulated time lost to fault recovery (ns)
+	Crashes     int64   // crash-stops recovered by restart + redo (fault plane)
 }
 
 // Merge accumulates o's activity into c. It is the one end-of-run rollup
@@ -241,6 +243,7 @@ func (c *Counters) Merge(o Counters) {
 	c.ComputeTime += o.ComputeTime
 	c.Retries += o.Retries
 	c.FaultWait += o.FaultWait
+	c.Crashes += o.Crashes
 }
 
 // Rank is one process of the world. A Rank must be used from a single
@@ -280,6 +283,28 @@ type Rank struct {
 	// faults is the rank's bound fault schedule (fault.go); nil — the
 	// default — keeps every issue path at one nil check of overhead.
 	faults *fault.Sched
+
+	// ckOps counts issue points for the masked cancellation poll
+	// (checkpoint); ckptT is the rank's clock at its last completed
+	// barrier — the recovery point a crash-stop re-executes from.
+	ckOps uint32
+	ckptT float64
+}
+
+// checkpointMask throttles cancellation polling: one atomic load every
+// 256 issue points keeps the cancel latency far below any human-visible
+// deadline while costing the hot paths a counter increment and a branch.
+const checkpointMask = 0xff
+
+// checkpoint polls run cancellation. If the surrounding RunCtx has been
+// canceled, the rank unwinds here (by panic, collected by the scheduler);
+// ops between two checkpoints run exactly as in an unsupervised run, so
+// the poll never perturbs the charge sequence (DESIGN.md §8).
+func (r *Rank) checkpoint() {
+	r.ckOps++
+	if r.ckOps&checkpointMask == 0 {
+		r.comm.pool.Checkpoint()
+	}
 }
 
 // Rank constructs the handle for rank id. Each id should be obtained once,
@@ -330,6 +355,7 @@ func (r *Rank) Counters() Counters {
 
 // Compute charges modeled computation time (ops × κ) to the rank's clock.
 func (r *Rank) Compute(ops int) {
+	r.checkpoint()
 	d := float64(ops) * r.comm.model.ComputePerOp
 	if r.plain() {
 		r.clock.Advance(d)
@@ -603,6 +629,7 @@ func (q *Request) resolve(w *Window, target, offset, size int) {
 // §III-A). Reads targeting the rank itself are served at local-memory cost
 // and complete immediately.
 func (r *Rank) Get(w *Window, target, offset, size int) *Request {
+	r.checkpoint()
 	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: Get on %q outside an access epoch", r.id, w.name))
 	}
@@ -662,6 +689,7 @@ func (r *Rank) Get(w *Window, target, offset, size int) *Request {
 // else — charges, completion time, counters, data views — is identical to
 // Get, including the canonical charge-tape position.
 func (r *Rank) GetInto(q *Request, w *Window, target, offset, size int) {
+	r.checkpoint()
 	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: GetInto on %q outside an access epoch", r.id, w.name))
 	}
@@ -711,6 +739,7 @@ func (r *Rank) GetInto(q *Request, w *Window, target, offset, size int) {
 // the same epoch, which MPI forbids) but completion time follows the same
 // α+s·β model. Put requires a writable window.
 func (r *Rank) Put(w *Window, target, offset int, data []byte) *Request {
+	r.checkpoint()
 	if !r.inEpoch(w) {
 		panic(fmt.Sprintf("rma: rank %d: Put on %q outside an access epoch", r.id, w.name))
 	}
@@ -807,6 +836,29 @@ func (c *Comm) Run(body func(r *Rank)) []*Rank {
 		r.running = false
 	})
 	return ranks
+}
+
+// RunCtx is Run under supervision (sched.Pool.RunCtx): ranks observe ctx
+// cancellation at their issue-point checkpoints and barrier waits and
+// unwind cleanly; a rank-body panic is converted into a *sched.PanicError
+// with the rank attached; a deterministic abort (the crash-stop class in
+// fail-fast mode) returns its error. On any non-nil error the returned
+// ranks are nil — a supervised run yields complete results or none.
+func (c *Comm) RunCtx(ctx context.Context, body func(r *Rank)) ([]*Rank, error) {
+	ranks := make([]*Rank, c.p)
+	for i := 0; i < c.p; i++ {
+		ranks[i] = c.Rank(i)
+	}
+	err := c.pool.RunCtx(ctx, c.p, func(i int) {
+		r := ranks[i]
+		r.running = true
+		defer func() { r.running = false }()
+		body(r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ranks, nil
 }
 
 // MaxClock returns the largest simulated finish time over ranks — the

@@ -87,6 +87,16 @@ const (
 	// ChargeStall is a rank stall window (OS jitter, GC, a wedged
 	// progress engine) the fault schedule opens between operations.
 	ChargeStall
+	// ChargeCrashRestart is the modeled restart delay of a recovered
+	// crash-stop (the rank rebooting); it also counts one crash in the
+	// rank's counters.
+	ChargeCrashRestart
+	// ChargeCrashRedo is the re-execution of the work between the rank's
+	// last barrier and the crash point, charged as blocked time rather
+	// than re-run: the redo replays deterministically into the same state
+	// the first execution left, so only its duration — clock at the crash
+	// minus clock at the last barrier — is modeled (DESIGN.md §8).
+	ChargeCrashRedo
 
 	numChargeKinds
 )
@@ -117,6 +127,10 @@ func (k ChargeKind) String() string {
 		return "retransmit"
 	case ChargeStall:
 		return "stall"
+	case ChargeCrashRestart:
+		return "crash-restart"
+	case ChargeCrashRedo:
+		return "crash-redo"
 	default:
 		return "unknown"
 	}
@@ -233,6 +247,15 @@ func (r *Rank) applyCharge(op tapeOp) {
 		r.ctr.FaultWait += op.cost
 		r.ctr.Retries++
 		obsNS = op.cost
+	case ChargeCrashRestart:
+		r.clock.AdvanceRaw(op.cost)
+		r.ctr.FaultWait += op.cost
+		r.ctr.Crashes++
+		obsNS = op.cost
+	case ChargeCrashRedo:
+		r.clock.AdvanceRaw(op.cost)
+		r.ctr.FaultWait += op.cost
+		obsNS = op.cost
 	default: // the cache kinds: clock only, stats live in the cache
 		r.clock.Advance(op.cost)
 	}
@@ -251,6 +274,7 @@ func (r *Rank) plain() bool { return !r.deferred && r.observer == nil }
 // an adjacency list out of their own partition (or a delegation replica)
 // without inventing the duration at the call site.
 func (r *Rank) ChargeLocalRead(bytes int) {
+	r.checkpoint()
 	cost := r.comm.model.LocalCost(bytes)
 	if r.plain() {
 		r.clock.Advance(cost)

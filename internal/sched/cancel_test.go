@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCtxCompletesWithoutError(t *testing.T) {
+	p := New(4)
+	var n int32
+	if err := p.RunCtx(context.Background(), 16, func(i int) { atomic.AddInt32(&n, 1) }); err != nil {
+		t.Fatalf("RunCtx = %v, want nil", err)
+	}
+	if n != 16 {
+		t.Fatalf("executed %d bodies, want 16", n)
+	}
+}
+
+func TestRunCtxCancelUnwindsAtCheckpoints(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		ctx, cancel := context.WithCancel(context.Background())
+		var reached int32
+		err := p.RunCtx(ctx, 8, func(i int) {
+			if atomic.AddInt32(&reached, 1) == 8 {
+				cancel()
+			}
+			// Spin until the cancel propagates; Checkpoint must be the only
+			// exit. Yielding keeps the remaining bodies schedulable at
+			// workers=1 so every rank reaches the loop.
+			for {
+				p.Checkpoint()
+				p.Yield(func() {})
+			}
+		})
+		if !errors.Is(err, ErrRunCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrRunCanceled", workers, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want to unwrap context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestRunCtxDeadlineIsDistinguishable(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := p.RunCtx(ctx, 2, func(i int) {
+		for {
+			p.Checkpoint()
+		}
+	})
+	if !errors.Is(err, ErrRunCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrRunCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestRunCtxPanicIsIsolated(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		err := p.RunCtx(context.Background(), 8, func(i int) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			// Unwound by the panic-induced cancel; yielding keeps rank 3
+			// schedulable at workers=1.
+			for {
+				p.Checkpoint()
+				p.Yield(func() {})
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Rank != 3 || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: PanicError = rank %d value %v", workers, pe.Rank, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "cancel_test.go") {
+			t.Fatalf("workers=%d: stack does not point at the panic site:\n%s", workers, pe.Stack)
+		}
+	}
+}
+
+func TestRunCtxAbortReturnsTheError(t *testing.T) {
+	p := New(2)
+	boom := errors.New("deterministic failure")
+	err := p.RunCtx(context.Background(), 4, func(i int) {
+		if i == 1 {
+			Abort(boom)
+		}
+		for {
+			p.Checkpoint()
+			p.Yield(func() {})
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the abort error", err)
+	}
+	if errors.Is(err, ErrRunCanceled) {
+		t.Fatalf("abort error must not read as plain cancellation")
+	}
+}
+
+// TestRunCtxCancelWakesYieldedRendezvous pins the wakeup path: a rank
+// blocked inside a Yield-routed rendezvous holds no slot and polls no
+// checkpoints, so cancellation must reach it through a NotifyCancel hook.
+func TestRunCtxCancelWakesYieldedRendezvous(t *testing.T) {
+	p := New(2)
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	p.NotifyCancel(func() {
+		mu.Lock()
+		cond.Broadcast()
+		mu.Unlock()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	var waiting int32
+	go func() {
+		for atomic.LoadInt32(&waiting) < 4 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	err := p.RunCtx(ctx, 4, func(i int) {
+		p.Yield(func() {
+			mu.Lock()
+			atomic.AddInt32(&waiting, 1)
+			for !p.Canceled() {
+				cond.Wait()
+			}
+			mu.Unlock()
+			panic(panicCanceled{})
+		})
+	})
+	if !errors.Is(err, ErrRunCanceled) {
+		t.Fatalf("err = %v, want ErrRunCanceled", err)
+	}
+}
+
+// TestRunCtxReusableAfterCancel pins that a pool whose run was canceled
+// (or panicked) supervises the next run cleanly — the slot accounting
+// survived the unwind.
+func TestRunCtxReusableAfterCancel(t *testing.T) {
+	p := New(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.RunCtx(ctx, 4, func(i int) {
+		for {
+			p.Checkpoint()
+			p.Yield(func() {})
+		}
+	}); !errors.Is(err, ErrRunCanceled) {
+		t.Fatalf("first run: err = %v, want ErrRunCanceled", err)
+	}
+	if err := p.RunCtx(context.Background(), 4, func(i int) { panic("x") }); err == nil {
+		t.Fatalf("second run: want panic error")
+	}
+	var n int32
+	if err := p.RunCtx(context.Background(), 4, func(i int) { atomic.AddInt32(&n, 1) }); err != nil || n != 4 {
+		t.Fatalf("third run: err = %v, executed %d", err, n)
+	}
+}

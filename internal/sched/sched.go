@@ -24,13 +24,23 @@
 // blocking through it.
 package sched
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // Pool bounds how many rank bodies execute concurrently. The zero value
 // is not usable; call New.
 type Pool struct {
 	workers int
 	slots   chan struct{}
+
+	// Run supervision (cancel.go): the in-flight RunCtx's cancellation
+	// state, and the registered rendezvous wakeup hooks.
+	cur    atomic.Pointer[runState]
+	hookMu sync.Mutex
+	hooks  []func()
 }
 
 // New creates a pool with the given worker bound. workers <= 0 selects
@@ -87,9 +97,14 @@ func (p *Pool) Run(n int, body func(i int)) {
 // Yield releases the caller's execution slot, runs blocked (which may
 // block on other ranks — a barrier rendezvous, a condition variable), and
 // reacquires a slot before returning. It must only be called from inside
-// a body started by Run; the caller holds a slot by construction.
+// a body started by Run or RunCtx; the caller holds a slot by
+// construction. The reacquire is deferred so that a blocked section that
+// panics — a canceled rank unwinding out of a rendezvous — restores the
+// slot the body's own deferred release is about to return; without it the
+// unwind would release a slot the body no longer holds and corrupt the
+// pool's accounting.
 func (p *Pool) Yield(blocked func()) {
 	p.release()
+	defer p.acquire()
 	blocked()
-	p.acquire()
 }

@@ -1,0 +1,487 @@
+// Package serve is the supervision plane over the simulated engines: the
+// layer that turns the one-shot library entrypoints into a long-lived
+// analytics service (ROADMAP item 2, DESIGN.md §8).
+//
+// An Instance owns one loaded graph Snapshot (internal/lcc) — the
+// immutable per-graph half of the engine setup: partition, per-rank CSRs,
+// offset pairs, resolve table, delegation replica — and serves queries
+// against it. Every run gets a fresh communicator, clocks and caches, so
+// queries share the snapshot and nothing else; results are bit-identical
+// to the corresponding one-shot lcc.Run.
+//
+// The instance moves through loading → ready → busy → unhealthy → exited
+// under a per-instance lock. Runs are supervised end to end:
+//
+//   - Deadlines and cancellation: the run context threads through
+//     rma.Comm.RunCtx into the scheduler; ranks observe cancellation at
+//     their issue-point checkpoints and barrier waits and unwind cleanly.
+//     A canceled run returns an error wrapping sched.ErrRunCanceled (and
+//     context.DeadlineExceeded when a deadline caused it) and the
+//     instance returns to ready — cancellation discards the run, never
+//     the instance.
+//   - Panic isolation: an engine-goroutine panic is converted into a
+//     *sched.PanicError carrying the rank and stack. The instance flips
+//     to unhealthy, its snapshot is discarded (Reload rebuilds it), the
+//     per-rank scratch state is repooled by the engine's deferred close,
+//     and the process lives.
+//   - Admission control: at most Config.MaxConcurrent runs are admitted
+//     per instance; overflow returns ErrBusy immediately.
+//
+// A Supervisor manages named instances and is the backing store of the
+// lccd server (cmd/lccd).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lcc"
+	"repro/internal/part"
+	"repro/internal/sched"
+)
+
+// State is the lifecycle state of an Instance. Transitions happen under
+// the instance lock; every edge not drawn below is rejected with a typed
+// error rather than racing:
+//
+//	loading → ready      (Start/Reload succeeds)
+//	loading → unhealthy  (load fails)
+//	ready   ⇄ busy       (run admitted / last run drains)
+//	busy    → unhealthy  (a run panics)
+//	unhealthy → loading  (Reload)
+//	any     → exited     (Stop; terminal)
+type State int32
+
+const (
+	StateLoading State = iota
+	StateReady
+	StateBusy
+	StateUnhealthy
+	StateExited
+)
+
+func (s State) String() string {
+	switch s {
+	case StateLoading:
+		return "loading"
+	case StateReady:
+		return "ready"
+	case StateBusy:
+		return "busy"
+	case StateUnhealthy:
+		return "unhealthy"
+	case StateExited:
+		return "exited"
+	default:
+		return "unknown"
+	}
+}
+
+// Typed lifecycle errors. Handlers map them to protocol statuses; tests
+// assert transition edges against them with errors.Is.
+var (
+	// ErrAlreadyRunning rejects a second Start on a started instance (or
+	// a Supervisor.Load under a name that is still live).
+	ErrAlreadyRunning = errors.New("serve: instance already started")
+	// ErrInstanceExited rejects any operation on a stopped instance.
+	ErrInstanceExited = errors.New("serve: instance exited")
+	// ErrNotReady rejects runs while the instance is still loading.
+	ErrNotReady = errors.New("serve: instance not ready")
+	// ErrUnhealthy rejects runs after a panic flipped the instance; a
+	// Reload restores service.
+	ErrUnhealthy = errors.New("serve: instance unhealthy")
+	// ErrBusy is the admission-control overflow: MaxConcurrent runs are
+	// already in flight.
+	ErrBusy = errors.New("serve: instance busy")
+	// ErrUnknownInstance is returned by the Supervisor for names it does
+	// not hold.
+	ErrUnknownInstance = errors.New("serve: unknown instance")
+)
+
+// Config describes what an Instance loads and how it admits runs.
+type Config struct {
+	// Dataset names a registered dataset (gen.Names); used when Graph is
+	// nil.
+	Dataset string
+	// Graph, when non-nil, is served directly instead of loading Dataset.
+	Graph *graph.Graph
+
+	// Ranks, Scheme and DelegateBytes pin the snapshot's distribution
+	// (lcc.NewSnapshot); queries inherit them regardless of their own
+	// Options. Ranks 0 selects 1.
+	Ranks         int
+	Scheme        part.Scheme
+	DelegateBytes int
+
+	// MaxConcurrent bounds admitted runs; 0 selects 1.
+	MaxConcurrent int
+	// DefaultTimeout applies to runs whose Query sets none; 0 = no
+	// deadline.
+	DefaultTimeout time.Duration
+}
+
+// Counters aggregates an instance's served-run outcomes.
+type Counters struct {
+	Served   int64 // runs completed with results
+	Canceled int64 // runs unwound by cancellation or deadline
+	Panicked int64 // runs that died on an engine panic
+	Failed   int64 // runs that returned any other error
+	Rejected int64 // admissions refused with ErrBusy
+}
+
+// Instance is one loaded graph serving queries. Create with NewInstance,
+// bring up with Start; all methods are safe for concurrent use.
+type Instance struct {
+	name string
+	cfg  Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled whenever active drops or state changes
+	state   State
+	started bool
+	active  int
+	snap    *lcc.Snapshot
+	failure error // what flipped unhealthy (load error or *sched.PanicError)
+	ctr     Counters
+}
+
+// NewInstance creates an instance in the loading state. Start loads it.
+func NewInstance(name string, cfg Config) *Instance {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.Ranks == 0 {
+		cfg.Ranks = 1
+	}
+	inst := &Instance{name: name, cfg: cfg, state: StateLoading}
+	inst.cond = sync.NewCond(&inst.mu)
+	return inst
+}
+
+// Name returns the instance name.
+func (inst *Instance) Name() string { return inst.name }
+
+// State returns the current lifecycle state.
+func (inst *Instance) State() State {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.state
+}
+
+// Failure returns the error that flipped the instance unhealthy, nil when
+// healthy.
+func (inst *Instance) Failure() error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.failure
+}
+
+// Counters returns a snapshot of the run counters.
+func (inst *Instance) Counters() Counters {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.ctr
+}
+
+// Start loads the instance's graph and snapshot and moves it to ready. A
+// second Start returns ErrAlreadyRunning; Start after Stop returns
+// ErrInstanceExited. On a load failure the instance is unhealthy with the
+// cause recorded.
+func (inst *Instance) Start() error {
+	inst.mu.Lock()
+	if inst.state == StateExited {
+		inst.mu.Unlock()
+		return ErrInstanceExited
+	}
+	if inst.started {
+		inst.mu.Unlock()
+		return ErrAlreadyRunning
+	}
+	inst.started = true
+	inst.mu.Unlock()
+	return inst.load()
+}
+
+// load builds the snapshot outside the lock and installs it under it.
+func (inst *Instance) load() error {
+	g := inst.cfg.Graph
+	var err error
+	if g == nil {
+		g, err = gen.Load(inst.cfg.Dataset)
+	}
+	var snap *lcc.Snapshot
+	if err == nil {
+		snap, err = lcc.NewSnapshot(g, inst.cfg.Ranks, inst.cfg.Scheme, inst.cfg.DelegateBytes)
+	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.state == StateExited {
+		// Stopped while loading: stay exited, discard the work.
+		return ErrInstanceExited
+	}
+	if err != nil {
+		inst.state = StateUnhealthy
+		inst.failure = err
+		inst.cond.Broadcast()
+		return err
+	}
+	inst.snap, inst.failure = snap, nil
+	inst.state = StateReady
+	inst.cond.Broadcast()
+	return nil
+}
+
+// Reload rebuilds the snapshot and restores service — the recovery path
+// out of unhealthy. It refuses while runs are in flight (ErrBusy), before
+// Start (ErrNotReady) and after Stop (ErrInstanceExited).
+func (inst *Instance) Reload() error {
+	inst.mu.Lock()
+	switch {
+	case inst.state == StateExited:
+		inst.mu.Unlock()
+		return ErrInstanceExited
+	case !inst.started:
+		inst.mu.Unlock()
+		return ErrNotReady
+	case inst.active > 0:
+		inst.mu.Unlock()
+		return ErrBusy
+	}
+	inst.state = StateLoading
+	inst.snap = nil
+	inst.mu.Unlock()
+	return inst.load()
+}
+
+// Stop moves the instance to the terminal exited state. New runs are
+// rejected with ErrInstanceExited; runs already in flight complete
+// against the snapshot they captured (Quiesce waits for them). A second
+// Stop returns ErrInstanceExited.
+func (inst *Instance) Stop() error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.state == StateExited {
+		return ErrInstanceExited
+	}
+	inst.state = StateExited
+	inst.snap = nil
+	inst.cond.Broadcast()
+	return nil
+}
+
+// Quiesce blocks until no run is in flight or ctx expires — the drain
+// half of a graceful shutdown (call Stop first to fence new admissions).
+func (inst *Instance) Quiesce(ctx context.Context) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			inst.mu.Lock()
+			inst.cond.Broadcast()
+			inst.mu.Unlock()
+		case <-done:
+		}
+	}()
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	for inst.active > 0 && ctx.Err() == nil {
+		inst.cond.Wait()
+	}
+	return ctx.Err()
+}
+
+// Query selects the engine and per-run options of one supervised run. The
+// snapshot's distribution (ranks, scheme, delegation) overrides the
+// corresponding Options fields; method, caching, workers, charge plane
+// and faults belong to the query.
+type Query struct {
+	// Engine is "lcc" (default) or "jaccard".
+	Engine string
+	// Options are the engine options for this run.
+	Options lcc.Options
+	// Timeout bounds the run; 0 applies the instance default, negative
+	// disables the deadline even when the instance has one.
+	Timeout time.Duration
+}
+
+// QueryResult summarizes one completed run.
+type QueryResult struct {
+	Engine    string        `json:"engine"`
+	SimTime   float64       `json:"sim_time_ns"`
+	Triangles int64         `json:"triangles,omitempty"`
+	SumT      int64         `json:"sum_t,omitempty"`
+	ScoreBits uint64        `json:"score_bits"` // checksum of the score vector (see ScoreBits)
+	HitRate   float64       `json:"hit_rate,omitempty"`
+	Wall      time.Duration `json:"wall_ns"`
+
+	// Full engine results for in-process callers; elided on the wire.
+	LCC     *lcc.Result        `json:"-"`
+	Jaccard *lcc.JaccardResult `json:"-"`
+}
+
+// ScoreBits is the float bit pattern of the score sum — the same cheap
+// whole-vector checksum the golden determinism tests pin.
+func ScoreBits(scores []float64) uint64 {
+	var s float64
+	for _, x := range scores {
+		s += x
+	}
+	return math.Float64bits(s)
+}
+
+// Run executes one supervised query. The error is one of the typed
+// admission errors (ErrNotReady, ErrUnhealthy, ErrInstanceExited,
+// ErrBusy), a cancellation (wraps sched.ErrRunCanceled), a panic
+// conversion (*sched.PanicError — the instance is unhealthy afterwards),
+// or an engine error (e.g. *fault.CrashError in fail-fast mode, which
+// leaves the instance serving: a deterministic simulated crash is a run
+// outcome, not an instance failure).
+func (inst *Instance) Run(ctx context.Context, q Query) (*QueryResult, error) {
+	snap, err := inst.admit()
+	if err != nil {
+		return nil, err
+	}
+	timeout := q.Timeout
+	if timeout == 0 {
+		timeout = inst.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := execute(ctx, snap, q)
+	inst.finish(err)
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// admit applies the lifecycle and admission checks and claims a run slot.
+func (inst *Instance) admit() (*lcc.Snapshot, error) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	switch inst.state {
+	case StateLoading:
+		return nil, ErrNotReady
+	case StateUnhealthy:
+		return nil, fmt.Errorf("%w (cause: %v)", ErrUnhealthy, inst.failure)
+	case StateExited:
+		return nil, ErrInstanceExited
+	}
+	if inst.active >= inst.cfg.MaxConcurrent {
+		inst.ctr.Rejected++
+		return nil, ErrBusy
+	}
+	inst.active++
+	inst.state = StateBusy
+	return inst.snap, nil
+}
+
+// finish releases the run slot and applies the outcome to the lifecycle:
+// panics flip the instance unhealthy and discard the snapshot; every
+// other outcome leaves it serving, returning to ready once the last
+// in-flight run drains.
+func (inst *Instance) finish(err error) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	inst.active--
+	var pe *sched.PanicError
+	switch {
+	case err == nil:
+		inst.ctr.Served++
+	case errors.Is(err, sched.ErrRunCanceled):
+		inst.ctr.Canceled++
+	case errors.As(err, &pe):
+		inst.ctr.Panicked++
+		if inst.state == StateBusy {
+			inst.state = StateUnhealthy
+			inst.failure = err
+			inst.snap = nil
+		}
+	default:
+		inst.ctr.Failed++
+	}
+	if inst.state == StateBusy && inst.active == 0 {
+		inst.state = StateReady
+	}
+	inst.cond.Broadcast()
+}
+
+// execute dispatches the query to its engine on the captured snapshot.
+// Panic conversion happens below, in the scheduler: sched.Pool.RunCtx
+// recovers rank-body panics into *sched.PanicError, so a misbehaving
+// engine can fail this run but not the process.
+func execute(ctx context.Context, snap *lcc.Snapshot, q Query) (*QueryResult, error) {
+	switch q.Engine {
+	case "", "lcc":
+		res, err := snap.RunCtx(ctx, q.Options)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{
+			Engine: "lcc", SimTime: res.SimTime,
+			Triangles: res.Triangles, SumT: res.SumT,
+			ScoreBits: ScoreBits(res.LCC), HitRate: res.HitRate(),
+			LCC: res,
+		}, nil
+	case "jaccard":
+		res, err := snap.RunJaccardCtx(ctx, q.Options)
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{
+			Engine: "jaccard", SimTime: res.SimTime,
+			ScoreBits: ScoreBits(res.Scores),
+			Jaccard:   res,
+		}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown engine %q", q.Engine)
+	}
+}
+
+// InstanceInfo is the ps/health view of one instance.
+type InstanceInfo struct {
+	Name     string   `json:"name"`
+	Dataset  string   `json:"dataset,omitempty"`
+	State    string   `json:"state"`
+	Ranks    int      `json:"ranks"`
+	Vertices int      `json:"vertices,omitempty"`
+	Arcs     int64    `json:"arcs,omitempty"`
+	Active   int      `json:"active"`
+	Failure  string   `json:"failure,omitempty"`
+	Counters Counters `json:"counters"`
+}
+
+// Info reports the instance's current state and counters.
+func (inst *Instance) Info() InstanceInfo {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	info := InstanceInfo{
+		Name:     inst.name,
+		Dataset:  inst.cfg.Dataset,
+		State:    inst.state.String(),
+		Ranks:    inst.cfg.Ranks,
+		Active:   inst.active,
+		Counters: inst.ctr,
+	}
+	if inst.snap != nil {
+		g := inst.snap.Graph()
+		info.Vertices = g.NumVertices()
+		info.Arcs = int64(g.NumArcs())
+	}
+	if inst.failure != nil {
+		info.Failure = inst.failure.Error()
+	}
+	return info
+}

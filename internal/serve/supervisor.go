@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Supervisor manages named instances: the registry behind the lccd
+// server's load/run/stop/ps surface. All methods are safe for concurrent
+// use; per-run supervision (deadlines, cancellation, panic isolation,
+// admission) lives in the instances themselves.
+type Supervisor struct {
+	mu        sync.Mutex
+	instances map[string]*Instance
+}
+
+// NewSupervisor creates an empty registry.
+func NewSupervisor() *Supervisor {
+	return &Supervisor{instances: make(map[string]*Instance)}
+}
+
+// Load creates, registers and starts an instance under name. A live
+// instance already holding the name is an error (ErrAlreadyRunning); an
+// exited one is replaced. On a load failure the instance stays registered
+// in its unhealthy state — ps and health report the cause — and the error
+// is returned alongside it.
+func (s *Supervisor) Load(name string, cfg Config) (*Instance, error) {
+	s.mu.Lock()
+	if old, ok := s.instances[name]; ok && old.State() != StateExited {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: instance %q: %w", name, ErrAlreadyRunning)
+	}
+	inst := NewInstance(name, cfg)
+	s.instances[name] = inst
+	s.mu.Unlock()
+	if err := inst.Start(); err != nil {
+		return inst, err
+	}
+	return inst, nil
+}
+
+// Get returns the named instance or ErrUnknownInstance.
+func (s *Supervisor) Get(name string) (*Instance, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	inst, ok := s.instances[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: instance %q: %w", name, ErrUnknownInstance)
+	}
+	return inst, nil
+}
+
+// Run executes a supervised query on the named instance.
+func (s *Supervisor) Run(ctx context.Context, name string, q Query) (*QueryResult, error) {
+	inst, err := s.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return inst.Run(ctx, q)
+}
+
+// Stop moves the named instance to exited. The instance stays listed so
+// its terminal state remains observable.
+func (s *Supervisor) Stop(name string) error {
+	inst, err := s.Get(name)
+	if err != nil {
+		return err
+	}
+	return inst.Stop()
+}
+
+// List reports every registered instance, sorted by name.
+func (s *Supervisor) List() []InstanceInfo {
+	s.mu.Lock()
+	insts := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	s.mu.Unlock()
+	infos := make([]InstanceInfo, len(insts))
+	for i, inst := range insts {
+		infos[i] = inst.Info()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Healthy reports whether every non-exited instance is serving (ready or
+// busy) — the health-endpoint predicate.
+func (s *Supervisor) Healthy() bool {
+	for _, info := range s.List() {
+		if info.State == StateLoading.String() || info.State == StateUnhealthy.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// Shutdown drains the registry: every instance stops admitting runs, then
+// in-flight runs are awaited until ctx expires. The first deadline error
+// is returned; instances are stopped regardless.
+func (s *Supervisor) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	insts := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	s.mu.Unlock()
+	for _, inst := range insts {
+		// Fence admissions first so the quiesce below can only shrink.
+		_ = inst.Stop() // already-exited instances are fine
+	}
+	var firstErr error
+	for _, inst := range insts {
+		if err := inst.Quiesce(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
