@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt check bench bench-serve benchdiff serve-smoke stress pprof fuzz
+.PHONY: all build test vet fmt check bench bench-serve bench-scale benchdiff serve-smoke stress pprof fuzz
 
 all: build
 
@@ -29,6 +29,14 @@ bench:
 bench-serve:
 	BENCH_MODE=serve ./bench.sh
 
+# bench-scale appends the next storage-plane scale record: a scale-series
+# dataset (~100× the golden suite) materialized through the graph disk
+# cache, recording edges, bytes on disk, compression ratio, load time and
+# RSS peak, tagged "mode":"scale" (cmd/scalebench). First run generates
+# the dataset into .graph-cache — minutes for half a billion edges.
+bench-scale:
+	BENCH_MODE=scale ./bench.sh
+
 # benchdiff compares the two newest committed BENCH_<n>.json records that
 # share a bench mode and fails on per-benchmark regressions past the
 # thresholds (cmd/benchdiff).
@@ -56,8 +64,9 @@ pprof:
 		-cpuprofile cpu.pprof -o repro.test .
 	$(GO) tool pprof -top -nodecount 25 repro.test cpu.pprof
 
-# fuzz runs the intersection-kernel and fault-schedule fuzzers briefly —
-# the same smokes CI runs.
+# fuzz runs the intersection-kernel, varint-codec and fault-schedule
+# fuzzers briefly — the same smokes CI runs.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzIntersectKernels$$' -fuzztime 30s ./internal/intersect
+	$(GO) test -run '^$$' -fuzz '^FuzzVarintAdjacency$$' -fuzztime 30s ./internal/graph
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultSchedule$$' -fuzztime 30s .

@@ -41,6 +41,13 @@ const (
 	Directed   = graph.Directed
 )
 
+// GraphStore is the adjacency-access contract every graph representation
+// satisfies — plain in-RAM CSR (*Graph), varint/delta-compressed CSR, and
+// file-backed CSR — so every engine entrypoint accepts any of them. The
+// simulated model plane never observes which one a run used: results and
+// SimTime are bit-identical across representations (DESIGN.md §9).
+type GraphStore = graph.Store
+
 // BuildGraph constructs a simple CSR graph from an edge list, dropping
 // self-loops and collapsing multi-edges (§II-A).
 func BuildGraph(kind Kind, n int, edges []Edge) (*Graph, error) {
@@ -53,11 +60,38 @@ func ReadEdgeList(r io.Reader, kind Kind) (*Graph, error) {
 }
 
 // ReadBinaryGraph reads the binary CSR container written by
-// WriteBinaryGraph or cmd/graphgen.
+// WriteBinaryGraph or cmd/graphgen, fully materialized as a plain *Graph.
 func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
 
-// WriteBinaryGraph writes the binary CSR container format.
+// ReadBinaryGraphStore reads the binary CSR container preserving its
+// on-disk representation: raw files load as plain *Graph, varint files as
+// the compressed CSR — at roughly a third of the plain footprint.
+func ReadBinaryGraphStore(r io.Reader) (GraphStore, error) { return graph.ReadBinaryStore(r) }
+
+// WriteBinaryGraph writes the versioned, per-section-checksummed binary
+// CSR container format.
 func WriteBinaryGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// WriteBinaryGraphStore writes any representation to the binary container:
+// a compressed store writes its varint/delta stream verbatim, everything
+// else the raw plain image.
+func WriteBinaryGraphStore(w io.Writer, st GraphStore) error {
+	return graph.WriteBinaryStore(w, st)
+}
+
+// OpenBinaryGraph maps a binary container file as a file-backed store:
+// adjacency reads are served from the mapped (or pread) file with only the
+// offset index resident, so graphs larger than RAM open in seconds.
+func OpenBinaryGraph(path string) (GraphStore, error) { return graph.OpenBinary(path) }
+
+// CompressGraph re-encodes g's adjacency as the varint/delta compressed
+// CSR (DESIGN.md §9) — same answers through GraphStore, ~3× smaller.
+func CompressGraph(g *Graph) GraphStore { return graph.CompressGraph(g) }
+
+// GraphCorruptError is the typed failure of every binary-container read: a
+// bad magic/version, an implausible header, or a section whose CRC does not
+// match. Corrupt files fail loud; they never load garbage.
+type GraphCorruptError = graph.CorruptError
 
 // Prepare applies the paper's §II-B preprocessing: iterated degree<2
 // removal plus a seeded random relabeling.
@@ -74,6 +108,27 @@ func LoadDataset(name string) (*Graph, error) { return gen.Load(name) }
 
 // MustLoadDataset is LoadDataset for names known at compile time.
 func MustLoadDataset(name string) *Graph { return gen.MustLoad(name) }
+
+// LoadDatasetStore loads a dataset as the cheapest representation that
+// fits a resident-memory budget: plain when it fits, then compressed, then
+// file-backed straight from the disk cache (budget ≤ 0: unconstrained,
+// plain). With the disk cache enabled (SetGraphCacheDir or
+// LCC_GRAPH_CACHE) large graphs load from their binary file instead of
+// regenerating.
+func LoadDatasetStore(name string, budget int64) (GraphStore, error) {
+	return gen.LoadStore(name, budget)
+}
+
+// ScaleDatasetNames lists the scale-series datasets (~100× the golden
+// suite's edge count; the BENCH_MODE=scale subjects). They load like any
+// dataset but are excluded from DatasetNames so sweeps never pick them up.
+func ScaleDatasetNames() []string { return gen.ScaleNames() }
+
+// SetGraphCacheDir enables the dataset disk cache: generated graphs
+// persist to dir in the binary container format on first load and load
+// from it afterwards. The LCC_GRAPH_CACHE environment variable sets the
+// same default.
+func SetGraphCacheDir(dir string) { gen.SetCacheDir(dir) }
 
 // RMAT generates an R-MAT graph with the paper's default skew parameters
 // (a=0.57, b=c=0.19, d=0.05; §IV-A). The result is raw: apply Prepare
@@ -193,14 +248,28 @@ func ChaosFaultSpec(seed uint64) FaultSpec { return fault.ChaosSpec(seed) }
 // carry the same field.
 type LCCOptions = lcc.Options
 
+// StorageMode selects the host-side representation of the per-rank local
+// CSRs (LCCOptions.Storage): plain arrays, varint/delta-compressed, or
+// automatic under LCCOptions.MemBudgetBytes. Purely a host memory/speed
+// trade — every simulated bit is identical across modes (DESIGN.md §9).
+type StorageMode = lcc.StorageMode
+
+// Storage modes.
+const (
+	StorageAuto       = lcc.StorageAuto
+	StoragePlain      = lcc.StoragePlain
+	StorageCompressed = lcc.StorageCompressed
+)
+
 // LCCResult is the output of a distributed run: per-vertex LCC scores,
 // the global triangle count, the simulated job time, and per-rank
 // communication/caching statistics.
 type LCCResult = lcc.Result
 
 // RunLCC executes the paper's fully asynchronous distributed TC+LCC
-// computation on a simulated p-rank machine.
-func RunLCC(g *Graph, opt LCCOptions) (*LCCResult, error) { return lcc.Run(g, opt) }
+// computation on a simulated p-rank machine. g may be any GraphStore —
+// plain, compressed, or file-backed; results are identical.
+func RunLCC(g GraphStore, opt LCCOptions) (*LCCResult, error) { return lcc.Run(g, opt) }
 
 // SharedResult is the output of the single-node computation.
 type SharedResult = lcc.SharedResult
@@ -266,7 +335,7 @@ type LCCPushOptions = lcc.PushOptions
 // their contribution through one-sided accumulates. Results are
 // bit-identical to RunLCC on undirected graphs; directed graphs are
 // rejected.
-func RunLCCPush(g *Graph, opt LCCPushOptions) (*LCCResult, error) {
+func RunLCCPush(g GraphStore, opt LCCPushOptions) (*LCCResult, error) {
 	return lcc.RunPush(g, opt)
 }
 
@@ -278,7 +347,7 @@ type LCCReplicatedOptions = lcc.ReplicatedOptions
 // RunLCCReplicated computes LCC over the replicated-groups distribution.
 // Results are bit-identical to RunLCC; the remote-read fraction falls as
 // the replication factor grows, at a proportional per-rank memory cost.
-func RunLCCReplicated(g *Graph, opt LCCReplicatedOptions) (*LCCResult, error) {
+func RunLCCReplicated(g GraphStore, opt LCCReplicatedOptions) (*LCCResult, error) {
 	return lcc.RunReplicated(g, opt)
 }
 
@@ -293,7 +362,7 @@ type JaccardResult = lcc.JaccardResult
 
 // RunJaccard computes per-edge Jaccard similarity on the same asynchronous
 // RMA substrate as RunLCC — the paper's future-work direction (ii).
-func RunJaccard(g *Graph, opt LCCOptions) (*JaccardResult, error) {
+func RunJaccard(g GraphStore, opt LCCOptions) (*JaccardResult, error) {
 	return lcc.RunJaccard(g, opt)
 }
 
@@ -305,7 +374,7 @@ type TriCResult = tric.Result
 
 // RunTriC executes the TriC query-response baseline over the simulated BSP
 // substrate.
-func RunTriC(g *Graph, opt TriCOptions) (*TriCResult, error) { return tric.Run(g, opt) }
+func RunTriC(g GraphStore, opt TriCOptions) (*TriCResult, error) { return tric.Run(g, opt) }
 
 // DistTCOptions configure the DistTC baseline (Hoang et al., HPEC'19; §I,
 // §V-C).
@@ -317,7 +386,7 @@ type DistTCResult = disttc.Result
 
 // RunDistTC executes the DistTC shadow-edge baseline: communication-free
 // triangle counting after a precomputed ghost-edge exchange.
-func RunDistTC(g *Graph, opt DistTCOptions) (*DistTCResult, error) { return disttc.Run(g, opt) }
+func RunDistTC(g GraphStore, opt DistTCOptions) (*DistTCResult, error) { return disttc.Run(g, opt) }
 
 // LCC2DOptions configure the asynchronous 2D block engine (future work i,
 // §VI). Ranks must be a perfect square.
@@ -330,7 +399,7 @@ type LCC2DResult = grid.Result
 // RunLCC2D executes TC+LCC over a √p×√p block distribution with the same
 // fully asynchronous one-sided discipline as RunLCC: each rank pulls the
 // 2(√p−1) operand blocks it needs and never synchronizes.
-func RunLCC2D(g *Graph, opt LCC2DOptions) (*LCC2DResult, error) { return grid.Run(g, opt) }
+func RunLCC2D(g GraphStore, opt LCC2DOptions) (*LCC2DResult, error) { return grid.Run(g, opt) }
 
 // --- cancellation and supervised serving ------------------------------------
 
@@ -354,22 +423,22 @@ type CrashError = fault.CrashError
 // unwinds the simulated ranks at their next checkpoint and returns an
 // error wrapping ErrRunCanceled. RunLCCPushCtx, RunLCCReplicatedCtx and
 // RunJaccardCtx do the same for their engines.
-func RunLCCCtx(ctx context.Context, g *Graph, opt LCCOptions) (*LCCResult, error) {
+func RunLCCCtx(ctx context.Context, g GraphStore, opt LCCOptions) (*LCCResult, error) {
 	return lcc.RunCtx(ctx, g, opt)
 }
 
 // RunLCCPushCtx is RunLCCPush under a context.
-func RunLCCPushCtx(ctx context.Context, g *Graph, opt LCCPushOptions) (*LCCResult, error) {
+func RunLCCPushCtx(ctx context.Context, g GraphStore, opt LCCPushOptions) (*LCCResult, error) {
 	return lcc.RunPushCtx(ctx, g, opt)
 }
 
 // RunLCCReplicatedCtx is RunLCCReplicated under a context.
-func RunLCCReplicatedCtx(ctx context.Context, g *Graph, opt LCCReplicatedOptions) (*LCCResult, error) {
+func RunLCCReplicatedCtx(ctx context.Context, g GraphStore, opt LCCReplicatedOptions) (*LCCResult, error) {
 	return lcc.RunReplicatedCtx(ctx, g, opt)
 }
 
 // RunJaccardCtx is RunJaccard under a context.
-func RunJaccardCtx(ctx context.Context, g *Graph, opt LCCOptions) (*JaccardResult, error) {
+func RunJaccardCtx(ctx context.Context, g GraphStore, opt LCCOptions) (*JaccardResult, error) {
 	return lcc.RunJaccardCtx(ctx, g, opt)
 }
 
@@ -381,7 +450,7 @@ func RunJaccardCtx(ctx context.Context, g *Graph, opt LCCOptions) (*JaccardResul
 type Snapshot = lcc.Snapshot
 
 // NewSnapshot distributes g over ranks once for repeated querying.
-func NewSnapshot(g *Graph, ranks int, scheme Scheme, delegateBytes int) (*Snapshot, error) {
+func NewSnapshot(g GraphStore, ranks int, scheme Scheme, delegateBytes int) (*Snapshot, error) {
 	return lcc.NewSnapshot(g, ranks, scheme, delegateBytes)
 }
 

@@ -20,6 +20,14 @@
 # measure a different quantity — saturated per-query latency through the
 # supervision plane, not substrate hot paths — so benchdiff refuses to
 # diff records across modes.
+#
+# BENCH_MODE=scale delegates to cmd/scalebench: it materializes a
+# scale-series dataset (default rmat-s21-ef256, ~100× the golden suite's
+# edge count) through the graph disk cache and records edge count, bytes
+# on disk, varint/delta compression ratio, checksummed load wall-time and
+# resident-set peak, tagged "mode":"scale". Knobs: BENCH_SCALE_DATASET,
+# LCC_GRAPH_CACHE (default .graph-cache). The first run against an empty
+# cache generates the dataset — minutes for half a billion edges.
 set -e
 
 out="${1:-}"
@@ -39,8 +47,18 @@ serve)
     pattern='^BenchmarkServeSustainedQPS$'
     pkgs='./internal/serve'
     ;;
+scale)
+    # The scale record is a dataset-plane measurement, not a go-test
+    # benchmark sweep; cmd/scalebench emits the full record itself.
+    go run ./cmd/scalebench \
+        -dataset "${BENCH_SCALE_DATASET:-rmat-s21-ef256}" \
+        -cache "${LCC_GRAPH_CACHE:-.graph-cache}" \
+        -out "$out"
+    echo "wrote $out" >&2
+    exit 0
+    ;;
 *)
-    echo "bench.sh: unknown BENCH_MODE \"$mode\" (want micro or serve)" >&2
+    echo "bench.sh: unknown BENCH_MODE \"$mode\" (want micro, serve or scale)" >&2
     exit 2
     ;;
 esac

@@ -4,8 +4,12 @@
 //
 // The package is the public facade over the internal subsystems:
 //
-//   - internal/graph — CSR graph core, I/O, preprocessing (§II-B)
-//   - internal/gen — deterministic dataset generators (Table II stand-ins)
+//   - internal/graph — CSR graph core, I/O, preprocessing (§II-B), and
+//     the storage plane: plain, varint/delta-compressed and file-backed
+//     CSR behind one Store contract, plus the versioned checksummed
+//     binary container (DESIGN.md §9)
+//   - internal/gen — deterministic dataset generators (Table II
+//     stand-ins) with a binary disk cache for the large scale series
 //   - internal/part — 1D block and cyclic vertex distribution (§III-A)
 //   - internal/rma — simulated MPI-3 RMA runtime with per-rank clocks (§II-E)
 //   - internal/p2p — simulated two-sided MPI / BSP substrate (TriC baseline)
@@ -44,6 +48,21 @@
 //		Method:       repro.MethodHybrid,
 //		DoubleBuffer: true,
 //		Caching:      true,
+//	})
+//
+// Large graphs load instead of regenerate: enable the disk cache and
+// every dataset persists to the versioned, per-section-checksummed binary
+// container on first generation. The engines accept any GraphStore —
+// plain CSR, varint/delta-compressed CSR (~3× smaller), or a file-backed
+// CSR mapped straight from the container — and simulated results are
+// bit-identical regardless of representation (DESIGN.md §9):
+//
+//	repro.SetGraphCacheDir(".graph-cache") // or LCC_GRAPH_CACHE=...
+//	st, err := repro.LoadDatasetStore("rmat-s21-ef256", 8<<30) // cheapest form under 8 GiB
+//	res, err := repro.RunLCC(st, repro.LCCOptions{
+//		Ranks:   64,
+//		Caching: true,
+//		Storage: repro.StorageCompressed, // per-rank locals stay compressed too
 //	})
 //
 // For repeated queries against one distribution, build the immutable

@@ -35,8 +35,14 @@ func lccBits(scores []float64) uint64 {
 	return math.Float64bits(s)
 }
 
+// goldenStorage is the per-rank storage mode the golden run functions
+// apply; the storage-equivalence sweep flips it to StorageCompressed and
+// asserts the same pinned bits (host representation is model-invisible).
+var goldenStorage lcc.StorageMode
+
 func goldenBase() lcc.Options {
-	return lcc.Options{Ranks: 4, Method: intersect.MethodHybrid, DoubleBuffer: true}
+	return lcc.Options{Ranks: 4, Method: intersect.MethodHybrid, DoubleBuffer: true,
+		Storage: goldenStorage}
 }
 
 const (
@@ -63,12 +69,12 @@ type goldenRun struct {
 var goldenConfigs = []struct {
 	name string
 	want goldenRun
-	run  func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun
+	run  func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun
 }{
 	{
 		name: "pull",
 		want: goldenRun{0x419e343dbb9986d8, goldenLCCBits, goldenTriangles, goldenSumT},
-		run: func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun {
+		run: func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun {
 			opt := goldenBase()
 			opt.Workers = workers
 			opt.Faults = faults
@@ -82,7 +88,7 @@ var goldenConfigs = []struct {
 	{
 		name: "cached",
 		want: goldenRun{0x41a09b0455ccbf5c, goldenLCCBits, goldenTriangles, goldenSumT},
-		run: func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun {
+		run: func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun {
 			opt := goldenBase()
 			opt.Workers = workers
 			opt.Faults = faults
@@ -105,7 +111,7 @@ var goldenConfigs = []struct {
 	{
 		name: "noise",
 		want: goldenRun{0x41a1b9b48a01a470, 0, goldenTriangles, -1},
-		run: func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun {
+		run: func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun {
 			opt := goldenBase()
 			opt.Workers = workers
 			opt.Faults = faults
@@ -121,7 +127,7 @@ var goldenConfigs = []struct {
 	{
 		name: "push",
 		want: goldenRun{0x418f03fb880008fd, goldenLCCBits, goldenTriangles, goldenSumT},
-		run: func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun {
+		run: func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun {
 			opt := goldenBase()
 			opt.Workers = workers
 			opt.Faults = faults
@@ -135,7 +141,7 @@ var goldenConfigs = []struct {
 	{
 		name: "replicated",
 		want: goldenRun{0x4194d5d82066633a, goldenLCCBits, goldenTriangles, goldenSumT},
-		run: func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun {
+		run: func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun {
 			opt := goldenBase()
 			opt.Workers = workers
 			opt.Faults = faults
@@ -149,7 +155,7 @@ var goldenConfigs = []struct {
 	{
 		name: "jaccard",
 		want: goldenRun{0x419e4086ab9986ca, 0x40d8e68d91b9c64c, -1, -1},
-		run: func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun {
+		run: func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun {
 			opt := goldenBase()
 			opt.Workers = workers
 			opt.Faults = faults
@@ -163,7 +169,7 @@ var goldenConfigs = []struct {
 	{
 		name: "grid",
 		want: goldenRun{0x4149df9a00000000, goldenLCCBits, goldenTriangles, -1},
-		run: func(t *testing.T, g *graph.Graph, workers int, faults *fault.Spec) goldenRun {
+		run: func(t *testing.T, g graph.Store, workers int, faults *fault.Spec) goldenRun {
 			res, err := grid.Run(g, grid.Options{Ranks: 4, Workers: workers, Faults: faults})
 			if err != nil {
 				t.Fatal(err)

@@ -190,6 +190,7 @@ type pendingMiss struct {
 	buf   []byte // pooled storage backing data on writable windows
 	u64   []uint64
 	verts []graph.V
+	vbuf  []graph.V // pooled decode storage on compressed windows
 }
 
 // New wraps window w for rank r with a cache configured by cfg.
@@ -284,6 +285,7 @@ type Request struct {
 	buf    []byte // pooled storage backing data for writable-window hits
 	u64    []uint64
 	verts  []graph.V
+	vbuf   []graph.V    // pooled decode storage for compressed-window hits
 	under  *rma.Request // local bypass on a writable window: owns data until Release
 	pm     *pendingMiss
 }
@@ -304,8 +306,8 @@ func (c *Cache) newPM() *pendingMiss {
 		pm := c.pmFree[n-1]
 		c.pmFree[n-1] = nil
 		c.pmFree = c.pmFree[:n-1]
-		buf := pm.buf
-		*pm = pendingMiss{buf: buf[:0]}
+		buf, vbuf := pm.buf, pm.vbuf
+		*pm = pendingMiss{buf: buf[:0], vbuf: vbuf[:0]}
 		return pm
 	}
 	return &pendingMiss{}
@@ -335,8 +337,8 @@ func (q *Request) Release() {
 			c.pmFree = append(c.pmFree, pm)
 		}
 	}
-	buf := q.buf
-	*q = Request{cache: c, pooled: true, buf: buf[:0]}
+	buf, vbuf := q.buf, q.vbuf
+	*q = Request{cache: c, pooled: true, buf: buf[:0], vbuf: vbuf[:0]}
 	c.reqFree = append(c.reqFree, q)
 	c.leave()
 }
@@ -482,6 +484,11 @@ func (c *Cache) serveView(q *Request, target, offset, size, slot int) {
 		q.u64 = c.win.ViewUint64s(target, offset, size)
 	case rma.ReadOnlyVertices:
 		q.verts = c.win.ViewVertices(target, offset, size)
+	case rma.CompressedVertices:
+		// Decode into the request's pooled buffer: the hit must not hand
+		// out window-internal compressed bytes, and entries store no data.
+		q.verts = c.win.ReadVertices(target, offset, size, q.vbuf)
+		q.vbuf = q.verts
 	default:
 		q.buf = append(q.buf[:0], c.tab.entryAt(slot).bytes.data...)
 		q.data = q.buf
@@ -501,6 +508,11 @@ func (c *Cache) get(target, offset, size int, score float64) *Request {
 			uq.Release()
 		case rma.ReadOnlyVertices:
 			q.verts = uq.Vertices()
+			uq.Release()
+		case rma.CompressedVertices:
+			// uq's decode storage recycles with uq; copy before Release.
+			q.vbuf = append(q.vbuf[:0], uq.Vertices()...)
+			q.verts = q.vbuf
 			uq.Release()
 		case rma.ReadOnlyBytes:
 			q.data = uq.Data()
@@ -602,6 +614,9 @@ func (c *Cache) complete(pm *pendingMiss) {
 		pm.u64 = pm.under.Uint64s()
 	case rma.ReadOnlyVertices:
 		pm.verts = pm.under.Vertices()
+	case rma.CompressedVertices:
+		pm.vbuf = append(pm.vbuf[:0], pm.under.Vertices()...)
+		pm.verts = pm.vbuf
 	default:
 		pm.buf = append(pm.buf[:0], pm.under.Data()...)
 		pm.data = pm.buf

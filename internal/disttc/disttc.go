@@ -93,7 +93,7 @@ type Result struct {
 //  4. Credit exchange. Per-vertex triangle credits for remote corners are
 //     shipped to their owners (one aggregated message per peer) and the
 //     global count is reduced.
-func Run(g *graph.Graph, opt Options) (*Result, error) {
+func Run(g graph.Store, opt Options) (*Result, error) {
 	if g.Kind() != graph.Undirected {
 		return nil, fmt.Errorf("disttc: requires an undirected graph, got %v", g.Kind())
 	}
@@ -298,7 +298,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 }
 
 // MustRun is Run for known-valid options; it panics on error.
-func MustRun(g *graph.Graph, opt Options) *Result {
+func MustRun(g graph.Store, opt Options) *Result {
 	r, err := Run(g, opt)
 	if err != nil {
 		panic(fmt.Sprintf("disttc: %v", err))

@@ -105,9 +105,15 @@ func Names() []string {
 	return out
 }
 
-// Lookup returns the dataset descriptor for name.
+// Lookup returns the dataset descriptor for name, searching the standard
+// registry and the scale-series registry (see scale.go).
 func Lookup(name string) (Dataset, error) {
 	for _, d := range registry {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	for _, d := range scaleRegistry {
 		if d.Name == name {
 			return d, nil
 		}
@@ -120,6 +126,12 @@ func Lookup(name string) (Dataset, error) {
 // vertices of degree < 2, and apply a random relabeling when the vertex
 // order correlates with degree (always, for the BA generator, whose early
 // vertices are the hubs).
+//
+// When the disk cache is enabled (SetCacheDir / LCC_GRAPH_CACHE), the
+// first generation persists the prepared graph in the checksummed binary
+// container and later process lifetimes deserialize it instead of
+// regenerating; the per-entry sync.Once still guarantees at most one
+// generation or read per process.
 func Load(name string) (*graph.Graph, error) {
 	cacheMu.Lock()
 	e, ok := cache[name]
@@ -134,7 +146,16 @@ func Load(name string) (*graph.Graph, error) {
 			e.err = err
 			return
 		}
-		e.g = Prepare(d.Make(), 0xC0FFEE)
+		if path := CachePath(name); path != "" {
+			if g, ok := loadFromDisk(path); ok {
+				e.g = g
+				return
+			}
+			e.g = Prepare(d.Make(), prepareSeed)
+			persistToDisk(path, e.g)
+			return
+		}
+		e.g = Prepare(d.Make(), prepareSeed)
 	})
 	return e.g, e.err
 }

@@ -1,0 +1,200 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// evictMemo drops the in-memory memo entry for name so the next Load goes
+// through the disk-cache path again (tests only; the per-entry sync.Once
+// makes entries otherwise immortal within a process).
+func evictMemo(name string) {
+	cacheMu.Lock()
+	delete(cache, name)
+	cacheMu.Unlock()
+}
+
+func sameGraph(t *testing.T, a, b *graph.Graph) {
+	t.Helper()
+	if a.Kind() != b.Kind() || a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		t.Fatalf("graph shape differs: kind %v/%v n %d/%d arcs %d/%d",
+			a.Kind(), b.Kind(), a.NumVertices(), b.NumVertices(), a.NumArcs(), b.NumArcs())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		la, lb := a.Adj(graph.V(v)), b.Adj(graph.V(v))
+		if len(la) != len(lb) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(la), len(lb))
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("vertex %d: neighbour %d is %d vs %d", v, i, la[i], lb[i])
+			}
+		}
+	}
+}
+
+// TestDiskCachePersistsAndReloads pins the round trip: a cold Load with
+// the cache enabled persists the prepared graph; a later cold Load (memo
+// evicted, as a fresh process would be) deserializes the identical graph
+// instead of regenerating; a corrupted file is a miss, not an error.
+func TestDiskCachePersistsAndReloads(t *testing.T) {
+	const name = "fb-sim"
+	SetCacheDir(t.TempDir())
+	defer SetCacheDir("")
+	defer evictMemo(name) // leave no disk-backed memo for other tests
+
+	evictMemo(name)
+	g1 := MustLoad(name)
+	path := CachePath(name)
+	if path == "" {
+		t.Fatal("CachePath empty with cache dir set")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("dataset was not persisted: %v", err)
+	}
+
+	evictMemo(name)
+	g2 := MustLoad(name)
+	if g1 == g2 {
+		t.Fatal("second load returned the memoized pointer; memo eviction failed")
+	}
+	sameGraph(t, g1, g2)
+
+	// Corrupt one payload byte: the checksummed read must fail closed and
+	// Load must regenerate (and re-persist) rather than surface bytes.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	evictMemo(name)
+	g3 := MustLoad(name)
+	sameGraph(t, g1, g3)
+}
+
+// TestDiskCacheConcurrentLoads exercises the per-entry sync.Once with the
+// disk cache enabled: many goroutines cold-loading the same dataset must
+// produce exactly one generation (same returned pointer) and one valid
+// cache file — no torn writes, no duplicate temp files left behind.
+func TestDiskCacheConcurrentLoads(t *testing.T) {
+	const name = "rmat-s14-ef8"
+	dir := t.TempDir()
+	SetCacheDir(dir)
+	defer SetCacheDir("")
+	defer evictMemo(name)
+
+	evictMemo(name)
+	const loaders = 8
+	graphs := make([]*graph.Graph, loaders)
+	var wg sync.WaitGroup
+	for i := 0; i < loaders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			graphs[i] = MustLoad(name)
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < loaders; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("loader %d got a distinct graph: sync.Once discipline broken", i)
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		files = append(files, e.Name())
+	}
+	if len(files) != 1 || filepath.Join(dir, files[0]) != CachePath(name) {
+		t.Fatalf("cache dir holds %v, want exactly the entry for %s", files, name)
+	}
+
+	// The persisted file must round-trip through the checksummed reader.
+	f, err := os.Open(CachePath(name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st, err := graph.ReadBinaryStore(f)
+	if err != nil {
+		t.Fatalf("persisted file does not parse: %v", err)
+	}
+	sameGraph(t, graphs[0], graph.Materialize(st))
+}
+
+// TestLoadStoreBudgets pins the representation ladder of LoadStore: no
+// budget → plain, tight budget → compressed, and a budget below even the
+// compressed footprint falls back to the file-backed form when the disk
+// cache holds the dataset.
+func TestLoadStoreBudgets(t *testing.T) {
+	const name = "fb-sim"
+	SetCacheDir(t.TempDir())
+	defer SetCacheDir("")
+	defer evictMemo(name)
+	evictMemo(name)
+
+	plain, err := LoadStore(name, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ReprName() != "plain" {
+		t.Fatalf("no budget chose %q, want plain", plain.ReprName())
+	}
+
+	comp, err := LoadStore(name, plain.MemBytes()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.ReprName() != "compressed" {
+		t.Fatalf("tight budget chose %q, want compressed", comp.ReprName())
+	}
+	if comp.MemBytes() >= plain.MemBytes() {
+		t.Fatalf("compressed footprint %d not below plain %d", comp.MemBytes(), plain.MemBytes())
+	}
+
+	fileSt, err := LoadStore(name, 1) // nothing fits in one byte
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, ok := fileSt.(*graph.FileCSR)
+	if !ok {
+		t.Fatalf("1-byte budget returned %T (%s), want *graph.FileCSR", fileSt, fileSt.ReprName())
+	}
+	defer fc.Close()
+	if fc.MemBytes() != 0 {
+		t.Fatalf("file-backed MemBytes = %d, want 0", fc.MemBytes())
+	}
+	sameStoreAdj(t, plain, fc)
+}
+
+func sameStoreAdj(t *testing.T, a, b graph.Store) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumArcs() != b.NumArcs() {
+		t.Fatalf("store shape differs: n %d/%d arcs %d/%d",
+			a.NumVertices(), b.NumVertices(), a.NumArcs(), b.NumArcs())
+	}
+	var ba, bb []graph.V
+	for v := 0; v < a.NumVertices(); v++ {
+		ba = a.AdjInto(graph.V(v), ba)
+		bb = b.AdjInto(graph.V(v), bb)
+		if len(ba) != len(bb) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(ba), len(bb))
+		}
+		for i := range ba {
+			if ba[i] != bb[i] {
+				t.Fatalf("vertex %d: neighbour %d is %d vs %d", v, i, ba[i], bb[i])
+			}
+		}
+	}
+}

@@ -146,6 +146,27 @@ func (g *Graph) CSRSizeBytes() int64 {
 // symmetry. It is used by tests and by the CLI loaders.
 func (g *Graph) Validate() error {
 	n := g.NumVertices()
+	if err := g.ValidateQuick(); err != nil {
+		return err
+	}
+	if g.kind == Undirected {
+		for v := 0; v < n; v++ {
+			for _, w := range g.Adj(V(v)) {
+				if !g.HasEdge(w, V(v)) {
+					return fmt.Errorf("graph: undirected edge {%d,%d} missing reverse arc", v, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateQuick checks the structural invariants in O(n+m): monotone
+// bounded offsets, strictly sorted in-range adjacency lists, no self-loops.
+// It skips the O(m log d) undirected-symmetry check of Validate, which is
+// what makes it usable on billion-arc loads; the binary readers use it.
+func (g *Graph) ValidateQuick() error {
+	n := g.NumVertices()
 	if len(g.offsets) == 0 {
 		return fmt.Errorf("graph: offsets array is empty")
 	}
@@ -169,15 +190,6 @@ func (g *Graph) Validate() error {
 			}
 			if i > 0 && a[i-1] >= w {
 				return fmt.Errorf("graph: adjacency of vertex %d not strictly sorted at index %d", v, i)
-			}
-		}
-	}
-	if g.kind == Undirected {
-		for v := 0; v < n; v++ {
-			for _, w := range g.Adj(V(v)) {
-				if !g.HasEdge(w, V(v)) {
-					return fmt.Errorf("graph: undirected edge {%d,%d} missing reverse arc", v, w)
-				}
 			}
 		}
 	}

@@ -4,9 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // WriteEdgeList writes g in the whitespace-separated "src dst" text format
@@ -25,9 +24,71 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // ReadEdgeList parses a SNAP-style edge list. Vertex ids may be sparse; they
 // are compacted to 0..n-1 in first-appearance order. kind selects how edges
 // are interpreted.
+//
+// The reader streams token by token through a fixed-size buffer, so line
+// length is unbounded: files that put many edges on one line (or one huge
+// line) parse in constant memory beyond the edge slice itself. A '#' or '%'
+// where a number is expected skips the rest of that line as a comment.
 func ReadEdgeList(r io.Reader, kind Kind) (*Graph, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	br := bufio.NewReaderSize(r, 1<<20)
+	line := 1
+	// nextUint scans past whitespace and comments to the next unsigned
+	// integer. done=true at clean EOF before any digit.
+	nextUint := func() (val uint64, done bool, err error) {
+		for {
+			b, e := br.ReadByte()
+			if e == io.EOF {
+				return 0, true, nil
+			}
+			if e != nil {
+				return 0, false, e
+			}
+			switch {
+			case b == '\n':
+				line++
+			case b == ' ' || b == '\t' || b == '\r' || b == '\f' || b == '\v':
+			case b == '#' || b == '%':
+				for {
+					c, e := br.ReadByte()
+					if e == io.EOF {
+						return 0, true, nil
+					}
+					if e != nil {
+						return 0, false, e
+					}
+					if c == '\n' {
+						line++
+						break
+					}
+				}
+			case b >= '0' && b <= '9':
+				val = uint64(b - '0')
+				digits := 1
+				for {
+					c, e := br.ReadByte()
+					if e == io.EOF {
+						return val, false, nil
+					}
+					if e != nil {
+						return 0, false, e
+					}
+					if c < '0' || c > '9' {
+						if e := br.UnreadByte(); e != nil {
+							return 0, false, e
+						}
+						return val, false, nil
+					}
+					digits++
+					if digits > 20 || val > (^uint64(0)-uint64(c-'0'))/10 {
+						return 0, false, fmt.Errorf("graph: line %d: integer overflows uint64", line)
+					}
+					val = val*10 + uint64(c-'0')
+				}
+			default:
+				return 0, false, fmt.Errorf("graph: line %d: unexpected byte %q", line, b)
+			}
+		}
+	}
 	ids := make(map[uint64]V)
 	intern := func(raw uint64) V {
 		if v, ok := ids[raw]; ok {
@@ -38,125 +99,448 @@ func ReadEdgeList(r io.Reader, kind Kind) (*Graph, error) {
 		return v
 	}
 	var edges []Edge
-	line := 0
-	for sc.Scan() {
-		line++
-		s := strings.TrimSpace(sc.Text())
-		if s == "" || strings.HasPrefix(s, "#") || strings.HasPrefix(s, "%") {
-			continue
-		}
-		fields := strings.Fields(s)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("graph: line %d: want two fields, got %q", line, s)
-		}
-		a, err := strconv.ParseUint(fields[0], 10, 64)
+	for {
+		a, done, err := nextUint()
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			return nil, err
 		}
-		b, err := strconv.ParseUint(fields[1], 10, 64)
+		if done {
+			break
+		}
+		b, done, err := nextUint()
 		if err != nil {
-			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			return nil, err
+		}
+		if done {
+			return nil, fmt.Errorf("graph: line %d: dangling endpoint %d at end of input", line, a)
 		}
 		edges = append(edges, Edge{intern(a), intern(b)})
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	return Build(kind, len(ids), edges)
 }
 
-// Binary CSR container format:
+// Binary CSR container, version 2 (DESIGN.md §9):
 //
-//	magic   [8]byte  "LCCGRAPH"
-//	version uint32   (1)
-//	kind    uint32
-//	n       uint64
-//	arcs    uint64
-//	offsets [n+1]uint64
-//	adj     [arcs]uint32
+//	magic    [8]byte  "LCCGRAPH"
+//	version  uint32   (2)
+//	kind     uint32
+//	n        uint64
+//	arcs     uint64
+//	flags    uint32   (bit 0: offsets are uint32; bit 1: adjacency is
+//	                   varint/delta; bit 2: byte-offsets are uint32)
+//	nsect    uint32
+//	table    nsect × { id uint32, length uint64, crc uint32 }
+//	hdrcrc   uint32   (CRC-32C of every preceding byte)
+//	payloads, in table order, each covered by its table CRC
 //
-// All fields little-endian. This is the on-disk format produced by
-// cmd/graphgen and consumed by cmd/lccrun, standing in for the paper's
-// "reading graph chunk from disk" step.
+// All fields little-endian, CRCs Castagnoli. Sections:
+//
+//	1  offsets       plain arc offsets, n+1 entries (uint32 iff flag bit 0)
+//	2  adjacency     raw uint32 arcs, or the varint/delta stream (bit 1)
+//	3  byte-offsets  varint files only: per-vertex byte offsets into the
+//	                 adjacency stream, n+1 entries (uint32 iff flag bit 2)
+//
+// Raw sections are laid out exactly as their in-memory arrays, so a
+// file-backed store (OpenBinary) can serve reads straight from the mapped
+// file. Version-1 files (unversioned sections, no checksums) are rejected
+// with a clear error; cmd/graphgen rewrites them.
 var binaryMagic = [8]byte{'L', 'C', 'C', 'G', 'R', 'A', 'P', 'H'}
 
-const binaryVersion = 1
+const binaryVersion = 2
 
-// WriteBinary serializes g in the binary CSR container format.
-func WriteBinary(w io.Writer, g *Graph) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
-	}
-	hdr := make([]byte, 4+4+8+8)
-	binary.LittleEndian.PutUint32(hdr[0:], binaryVersion)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(g.kind))
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.NumVertices()))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.NumArcs()))
-	if _, err := bw.Write(hdr); err != nil {
-		return err
-	}
-	buf := make([]byte, 8)
-	for _, o := range g.offsets {
-		binary.LittleEndian.PutUint64(buf, o)
-		if _, err := bw.Write(buf); err != nil {
-			return err
+// BinaryVersion is the current version of the binary container format —
+// cache keys and tooling embed it so format bumps invalidate cleanly.
+const BinaryVersion = binaryVersion
+
+const (
+	flagOff32   = 1 << 0
+	flagVarint  = 1 << 1
+	flagByte32  = 1 << 2
+	flagsKnown  = flagOff32 | flagVarint | flagByte32
+	sectOffsets = 1
+	sectAdj     = 2
+	sectByteOff = 3
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// CorruptError is returned when a binary graph file fails a checksum,
+// structural, or framing check. Corrupt large files must fail loud, not
+// load garbage.
+type CorruptError struct {
+	Section string // "header", "offsets", "adjacency", "byte-offsets"
+	Reason  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("graph: corrupt binary file: %s: %s", e.Section, e.Reason)
+}
+
+type sectionEntry struct {
+	id     uint32
+	length uint64
+	crc    uint32
+}
+
+type binHeader struct {
+	kind  Kind
+	n     int
+	arcs  int
+	flags uint32
+	sects []sectionEntry
+}
+
+func (h *binHeader) section(id uint32) (sectionEntry, bool) {
+	for _, s := range h.sects {
+		if s.id == id {
+			return s, true
 		}
 	}
-	for _, a := range g.adj {
-		binary.LittleEndian.PutUint32(buf[:4], a)
-		if _, err := bw.Write(buf[:4]); err != nil {
+	return sectionEntry{}, false
+}
+
+func (h *binHeader) offWidth() int {
+	if h.flags&flagOff32 != 0 {
+		return 4
+	}
+	return 8
+}
+
+func (h *binHeader) byteOffWidth() int {
+	if h.flags&flagByte32 != 0 {
+		return 4
+	}
+	return 8
+}
+
+func (h *binHeader) encode() []byte {
+	buf := make([]byte, 0, 40+16*len(h.sects)+4)
+	buf = append(buf, binaryMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, binaryVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(h.kind))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.n))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(h.arcs))
+	buf = binary.LittleEndian.AppendUint32(buf, h.flags)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(h.sects)))
+	for _, s := range h.sects {
+		buf = binary.LittleEndian.AppendUint32(buf, s.id)
+		buf = binary.LittleEndian.AppendUint64(buf, s.length)
+		buf = binary.LittleEndian.AppendUint32(buf, s.crc)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	return buf
+}
+
+// maxSectionBytes bounds any single section so a corrupted length field
+// cannot drive a huge allocation before its checksum is ever verified.
+const maxSectionBytes = 1 << 38
+
+func decodeBinHeader(br *bufio.Reader) (*binHeader, error) {
+	head := make([]byte, 40)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("short read: %v", err)}
+	}
+	if *(*[8]byte)(head[:8]) != binaryMagic {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("bad magic %q", head[:8])}
+	}
+	if v := binary.LittleEndian.Uint32(head[8:]); v != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported binary version %d (want %d; regenerate with cmd/graphgen)", v, binaryVersion)
+	}
+	h := &binHeader{
+		kind:  Kind(binary.LittleEndian.Uint32(head[12:])),
+		n:     int(binary.LittleEndian.Uint64(head[16:])),
+		arcs:  int(binary.LittleEndian.Uint64(head[24:])),
+		flags: binary.LittleEndian.Uint32(head[32:]),
+	}
+	nsect := binary.LittleEndian.Uint32(head[36:])
+	if h.kind != Undirected && h.kind != Directed {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("bad kind %d", h.kind)}
+	}
+	const maxReasonable = 1 << 34
+	if h.n < 0 || h.arcs < 0 || h.n > maxReasonable || h.arcs > maxSectionBytes/4 {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("implausible sizes n=%d arcs=%d", h.n, h.arcs)}
+	}
+	if h.flags&^uint32(flagsKnown) != 0 {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("unknown flags %#x", h.flags)}
+	}
+	if nsect > 16 {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("implausible section count %d", nsect)}
+	}
+	table := make([]byte, 16*nsect+4)
+	if _, err := io.ReadFull(br, table); err != nil {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("short section table: %v", err)}
+	}
+	crc := crc32.Checksum(head, castagnoli)
+	crc = crc32.Update(crc, castagnoli, table[:len(table)-4])
+	if got := binary.LittleEndian.Uint32(table[len(table)-4:]); got != crc {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("checksum mismatch (stored %#x, computed %#x)", got, crc)}
+	}
+	h.sects = make([]sectionEntry, nsect)
+	for i := range h.sects {
+		h.sects[i] = sectionEntry{
+			id:     binary.LittleEndian.Uint32(table[16*i:]),
+			length: binary.LittleEndian.Uint64(table[16*i+4:]),
+			crc:    binary.LittleEndian.Uint32(table[16*i+12:]),
+		}
+		if h.sects[i].length > maxSectionBytes {
+			return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("section %d implausibly large (%d bytes)", h.sects[i].id, h.sects[i].length)}
+		}
+	}
+	// Exactly the sections the flags call for, in canonical order.
+	want := []uint32{sectOffsets, sectAdj}
+	if h.flags&flagVarint != 0 {
+		want = append(want, sectByteOff)
+	}
+	if len(h.sects) != len(want) {
+		return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("want %d sections, have %d", len(want), len(h.sects))}
+	}
+	for i, id := range want {
+		if h.sects[i].id != id {
+			return nil, &CorruptError{Section: "header", Reason: fmt.Sprintf("section %d has id %d, want %d", i, h.sects[i].id, id)}
+		}
+	}
+	if got, want := h.sects[0].length, uint64(h.n+1)*uint64(h.offWidth()); got != want {
+		return nil, &CorruptError{Section: "offsets", Reason: fmt.Sprintf("length %d, want %d", got, want)}
+	}
+	if h.flags&flagVarint == 0 {
+		if got, want := h.sects[1].length, uint64(h.arcs)*4; got != want {
+			return nil, &CorruptError{Section: "adjacency", Reason: fmt.Sprintf("length %d, want %d", got, want)}
+		}
+	} else if got, want := h.sects[2].length, uint64(h.n+1)*uint64(h.byteOffWidth()); got != want {
+		return nil, &CorruptError{Section: "byte-offsets", Reason: fmt.Sprintf("length %d, want %d", got, want)}
+	}
+	return h, nil
+}
+
+func sectionName(id uint32) string {
+	switch id {
+	case sectOffsets:
+		return "offsets"
+	case sectAdj:
+		return "adjacency"
+	case sectByteOff:
+		return "byte-offsets"
+	}
+	return fmt.Sprintf("section-%d", id)
+}
+
+// readSection reads and checksum-verifies one payload.
+func readSection(br *bufio.Reader, s sectionEntry) ([]byte, error) {
+	buf := make([]byte, s.length)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, &CorruptError{Section: sectionName(s.id), Reason: fmt.Sprintf("short read: %v", err)}
+	}
+	if got := crc32.Checksum(buf, castagnoli); got != s.crc {
+		return nil, &CorruptError{Section: sectionName(s.id), Reason: fmt.Sprintf("checksum mismatch (stored %#x, computed %#x)", s.crc, got)}
+	}
+	return buf, nil
+}
+
+func decodeOffsets(payload []byte, n int, width int) ([]uint64, error) {
+	offsets := make([]uint64, n+1)
+	for i := range offsets {
+		if width == 4 {
+			offsets[i] = uint64(binary.LittleEndian.Uint32(payload[4*i:]))
+		} else {
+			offsets[i] = binary.LittleEndian.Uint64(payload[8*i:])
+		}
+	}
+	return offsets, nil
+}
+
+// WriteBinary serializes g in the raw (uncompressed) binary container
+// format, with 32-bit offsets when the arc count permits.
+func WriteBinary(w io.Writer, g *Graph) error {
+	return WriteBinaryStore(w, g)
+}
+
+// WriteBinaryStore serializes any Store. The on-disk adjacency encoding
+// follows the representation: a *CompressedCSR writes its varint/delta
+// stream verbatim (no re-encode), everything else writes the raw plain
+// image. Offset arrays are written 32-bit whenever their values fit.
+func WriteBinaryStore(w io.Writer, st Store) error {
+	if c, ok := st.(*CompressedCSR); ok {
+		return writeBinaryCompressed(w, c)
+	}
+	g := Materialize(st)
+	h := &binHeader{kind: g.kind, n: g.NumVertices(), arcs: g.NumArcs()}
+	offPayload := encodeOffsetArray(g.offsets, &h.flags, flagOff32)
+	adjPayload := make([]byte, 4*len(g.adj))
+	for i, v := range g.adj {
+		binary.LittleEndian.PutUint32(adjPayload[4*i:], v)
+	}
+	h.sects = []sectionEntry{
+		{id: sectOffsets, length: uint64(len(offPayload)), crc: crc32.Checksum(offPayload, castagnoli)},
+		{id: sectAdj, length: uint64(len(adjPayload)), crc: crc32.Checksum(adjPayload, castagnoli)},
+	}
+	return writePayloads(w, h, offPayload, adjPayload)
+}
+
+func writeBinaryCompressed(w io.Writer, c *CompressedCSR) error {
+	ca := c.ca
+	h := &binHeader{kind: c.kind, n: c.NumVertices(), arcs: c.NumArcs(), flags: flagVarint}
+	var offPayload, boPayload []byte
+	if ca.po32 != nil {
+		h.flags |= flagOff32
+		offPayload = encodeU32Array(ca.po32)
+	} else {
+		offPayload = encodeU64Array(ca.po64)
+	}
+	if ca.bo32 != nil {
+		h.flags |= flagByte32
+		boPayload = encodeU32Array(ca.bo32)
+	} else {
+		boPayload = encodeU64Array(ca.bo64)
+	}
+	h.sects = []sectionEntry{
+		{id: sectOffsets, length: uint64(len(offPayload)), crc: crc32.Checksum(offPayload, castagnoli)},
+		{id: sectAdj, length: uint64(len(ca.data)), crc: crc32.Checksum(ca.data, castagnoli)},
+		{id: sectByteOff, length: uint64(len(boPayload)), crc: crc32.Checksum(boPayload, castagnoli)},
+	}
+	return writePayloads(w, h, offPayload, ca.data, boPayload)
+}
+
+func writePayloads(w io.Writer, h *binHeader, payloads ...[]byte) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(h.encode()); err != nil {
+		return err
+	}
+	for _, p := range payloads {
+		if _, err := bw.Write(p); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-// ReadBinary deserializes a graph written by WriteBinary and validates it.
+func encodeOffsetArray(off []uint64, flags *uint32, fit32 uint32) []byte {
+	if off[len(off)-1] < 1<<32 {
+		*flags |= fit32
+		buf := make([]byte, 4*len(off))
+		for i, o := range off {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(o))
+		}
+		return buf
+	}
+	return encodeU64Array(off)
+}
+
+func encodeU32Array(a []uint32) []byte {
+	buf := make([]byte, 4*len(a))
+	for i, x := range a {
+		binary.LittleEndian.PutUint32(buf[4*i:], x)
+	}
+	return buf
+}
+
+func encodeU64Array(a []uint64) []byte {
+	buf := make([]byte, 8*len(a))
+	for i, x := range a {
+		binary.LittleEndian.PutUint64(buf[8*i:], x)
+	}
+	return buf
+}
+
+// ReadBinary deserializes a graph written by WriteBinary/WriteBinaryStore
+// into a plain in-RAM *Graph, decoding compressed files eagerly. Every
+// section is checksum-verified and the result passes the O(n+m) structural
+// checks of ValidateQuick; failures return a *CorruptError. For a
+// representation-preserving resident load use ReadBinaryStore; for a lazy
+// file-backed load use OpenBinary.
 func ReadBinary(r io.Reader) (*Graph, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("graph: reading magic: %w", err)
-	}
-	if magic != binaryMagic {
-		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
-	}
-	hdr := make([]byte, 4+4+8+8)
-	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("graph: reading header: %w", err)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[0:]); v != binaryVersion {
-		return nil, fmt.Errorf("graph: unsupported version %d", v)
-	}
-	kind := Kind(binary.LittleEndian.Uint32(hdr[4:]))
-	if kind != Undirected && kind != Directed {
-		return nil, fmt.Errorf("graph: bad kind %d", kind)
-	}
-	n := binary.LittleEndian.Uint64(hdr[8:])
-	arcs := binary.LittleEndian.Uint64(hdr[16:])
-	const maxReasonable = 1 << 34
-	if n > maxReasonable || arcs > maxReasonable {
-		return nil, fmt.Errorf("graph: implausible sizes n=%d arcs=%d", n, arcs)
-	}
-	offsets := make([]uint64, n+1)
-	buf := make([]byte, 8)
-	for i := range offsets {
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, fmt.Errorf("graph: reading offsets: %w", err)
-		}
-		offsets[i] = binary.LittleEndian.Uint64(buf)
-	}
-	adj := make([]V, arcs)
-	for i := range adj {
-		if _, err := io.ReadFull(br, buf[:4]); err != nil {
-			return nil, fmt.Errorf("graph: reading adjacencies: %w", err)
-		}
-		adj[i] = binary.LittleEndian.Uint32(buf[:4])
-	}
-	g := &Graph{kind: kind, offsets: offsets, adj: adj}
-	if err := g.Validate(); err != nil {
+	st, err := ReadBinaryStore(r)
+	if err != nil {
 		return nil, err
 	}
+	g := Materialize(st)
+	if err := g.ValidateQuick(); err != nil {
+		return nil, &CorruptError{Section: "adjacency", Reason: err.Error()}
+	}
 	return g, nil
+}
+
+// ReadBinaryStore deserializes a binary graph file into the resident
+// representation it was written in: raw files load as *Graph, varint files
+// as *CompressedCSR (the stream is adopted verbatim, no decode pass). All
+// checksums are verified; raw files additionally pass ValidateQuick.
+func ReadBinaryStore(r io.Reader) (Store, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	h, err := decodeBinHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	offPayload, err := readSection(br, h.sects[0])
+	if err != nil {
+		return nil, err
+	}
+	adjPayload, err := readSection(br, h.sects[1])
+	if err != nil {
+		return nil, err
+	}
+	offsets, err := decodeOffsets(offPayload, h.n, h.offWidth())
+	if err != nil {
+		return nil, err
+	}
+	if offsets[h.n] != uint64(h.arcs) {
+		return nil, &CorruptError{Section: "offsets", Reason: fmt.Sprintf("offsets[n] = %d, want arcs = %d", offsets[h.n], h.arcs)}
+	}
+	if h.flags&flagVarint == 0 {
+		adj := make([]V, h.arcs)
+		for i := range adj {
+			adj[i] = binary.LittleEndian.Uint32(adjPayload[4*i:])
+		}
+		g := &Graph{kind: h.kind, offsets: offsets, adj: adj}
+		if err := g.ValidateQuick(); err != nil {
+			return nil, &CorruptError{Section: "adjacency", Reason: err.Error()}
+		}
+		return g, nil
+	}
+	boPayload, err := readSection(br, h.sects[2])
+	if err != nil {
+		return nil, err
+	}
+	ca := &CompressedAdj{lists: h.n, data: adjPayload}
+	if h.flags&flagOff32 != 0 {
+		ca.po32 = make([]uint32, h.n+1)
+		for i := range ca.po32 {
+			ca.po32[i] = binary.LittleEndian.Uint32(offPayload[4*i:])
+		}
+	} else {
+		ca.po64 = offsets
+	}
+	if err := adoptByteOffsets(ca, boPayload, h); err != nil {
+		return nil, err
+	}
+	return &CompressedCSR{kind: h.kind, ca: ca}, nil
+}
+
+func adoptByteOffsets(ca *CompressedAdj, boPayload []byte, h *binHeader) error {
+	last := uint64(0)
+	if h.flags&flagByte32 != 0 {
+		ca.bo32 = make([]uint32, h.n+1)
+		for i := range ca.bo32 {
+			ca.bo32[i] = binary.LittleEndian.Uint32(boPayload[4*i:])
+		}
+		last = uint64(ca.bo32[h.n])
+		for i := 0; i < h.n; i++ {
+			if ca.bo32[i] > ca.bo32[i+1] {
+				return &CorruptError{Section: "byte-offsets", Reason: fmt.Sprintf("not monotone at %d", i)}
+			}
+		}
+	} else {
+		ca.bo64 = make([]uint64, h.n+1)
+		for i := range ca.bo64 {
+			ca.bo64[i] = binary.LittleEndian.Uint64(boPayload[8*i:])
+		}
+		last = ca.bo64[h.n]
+		for i := 0; i < h.n; i++ {
+			if ca.bo64[i] > ca.bo64[i+1] {
+				return &CorruptError{Section: "byte-offsets", Reason: fmt.Sprintf("not monotone at %d", i)}
+			}
+		}
+	}
+	if last != uint64(len(ca.data)) {
+		return &CorruptError{Section: "byte-offsets", Reason: fmt.Sprintf("byte-offsets[n] = %d, want stream length %d", last, len(ca.data))}
+	}
+	return nil
 }

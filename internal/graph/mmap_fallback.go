@@ -1,0 +1,19 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package graph
+
+import (
+	"io"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap degrades to one buffered read
+// of the whole file; the FileCSR contract (lazy per-list decode, Close
+// releases) is preserved, only the pages are heap-resident.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	b := make([]byte, size)
+	if _, err := io.ReadFull(f, b); err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return nil }, nil
+}

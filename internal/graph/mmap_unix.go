@@ -1,0 +1,21 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package graph
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps f read-only. The returned release function unmaps; both are
+// no-ops for empty files.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b, func() error { return syscall.Munmap(b) }, nil
+}

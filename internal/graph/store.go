@@ -1,0 +1,100 @@
+package graph
+
+import "fmt"
+
+// Store is the adjacency-access contract every graph representation
+// satisfies: plain in-RAM CSR (*Graph), delta/varint-compressed CSR
+// (*CompressedCSR), and file-backed CSR (*FileCSR). Consumers that only
+// traverse adjacency lists — partitioning, local-CSR extraction, the
+// engines' setup paths — accept a Store and therefore work with any
+// representation.
+//
+// The contract is deliberately narrow: a Store answers "what are the sorted
+// neighbours of v" and nothing about how those neighbours are laid out in
+// host memory. The simulated model plane never sees a Store at all — by the
+// time ranks exchange bytes over RMA windows, every representation has been
+// decoded to the identical plain image (same offsets, same adjacency byte
+// layout), so simulated costs, cache keys, and SimTime bits cannot depend
+// on the host-side representation (DESIGN.md §9).
+type Store interface {
+	// Kind reports whether the graph is directed or undirected.
+	Kind() Kind
+	// NumVertices returns n.
+	NumVertices() int
+	// NumArcs returns the number of stored adjacency entries.
+	NumArcs() int
+	// NumEdges returns m (an undirected edge counts once).
+	NumEdges() int
+	// OutDegree returns deg+(v) in O(1).
+	OutDegree(v V) int
+	// AdjInto returns the sorted adjacency list of v. Representations that
+	// hold the plain image return an aliased view and ignore buf; others
+	// decode into buf (growing it only if cap(buf) < deg(v)) and return
+	// buf[:deg(v)]. Either way the result is valid until the next AdjInto
+	// call with the same buf and must not be modified.
+	AdjInto(v V, buf []V) []V
+	// MemBytes returns the resident host-memory footprint of the
+	// representation (on-disk bytes for file-backed stores count as 0 —
+	// mapped pages are reclaimable).
+	MemBytes() int64
+	// ReprName names the representation ("plain", "compressed", "file") for
+	// logs and BENCH records.
+	ReprName() string
+}
+
+// *Graph satisfies Store with aliased, zero-copy views.
+
+// AdjInto returns the adjacency list of v as an aliased view; buf is
+// ignored. It exists so *Graph satisfies Store.
+func (g *Graph) AdjInto(v V, _ []V) []V { return g.Adj(v) }
+
+// MemBytes returns the resident footprint of the plain CSR arrays.
+func (g *Graph) MemBytes() int64 { return g.CSRSizeBytes() }
+
+// ReprName identifies the plain representation.
+func (g *Graph) ReprName() string { return "plain" }
+
+// Materialize decodes any Store into a plain in-RAM *Graph. If st already
+// is one it is returned unchanged (no copy).
+func Materialize(st Store) *Graph {
+	if g, ok := st.(*Graph); ok {
+		return g
+	}
+	n := st.NumVertices()
+	offsets := make([]uint64, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + uint64(st.OutDegree(V(v)))
+	}
+	adj := make([]V, st.NumArcs())
+	for v := 0; v < n; v++ {
+		copy(adj[offsets[v]:offsets[v+1]], st.AdjInto(V(v), nil))
+	}
+	return &Graph{kind: st.Kind(), offsets: offsets, adj: adj}
+}
+
+// PlainBytes returns the in-memory size of the plain CSR image for a graph
+// with n vertices and the given arc count: 8 bytes per offsets entry plus 4
+// bytes per adjacency entry.
+func PlainBytes(n, arcs int) int64 {
+	return int64(n+1)*8 + int64(arcs)*4
+}
+
+// StoreUnderBudget returns the cheapest representation of g that fits under
+// budget bytes of resident memory, preferring plain (fastest) over
+// compressed (decode per access). A zero or negative budget means
+// unconstrained and returns g itself. If even the compressed form exceeds
+// the budget it is returned anyway — it is the smallest fully-resident
+// representation available — along with an error describing the overshoot;
+// callers wanting a hard failure can check the error, callers wanting
+// best-effort can ignore it.
+func StoreUnderBudget(g *Graph, budget int64) (Store, error) {
+	if budget <= 0 || g.MemBytes() <= budget {
+		return g, nil
+	}
+	c := CompressGraph(g)
+	if c.MemBytes() <= budget {
+		return c, nil
+	}
+	return c, fmt.Errorf("graph: no resident representation fits budget %d bytes (plain %d, compressed %d)",
+		budget, g.MemBytes(), c.MemBytes())
+}

@@ -1,0 +1,329 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// randomStoreGraph builds a moderately skewed random graph for the storage
+// tests: enough vertices to exercise varint widths, hubs for dense runs.
+func randomStoreGraph(t testing.TB, n, m int, seed int64) *Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u := V(rng.Intn(n))
+		var v V
+		if rng.Intn(4) == 0 {
+			v = V(rng.Intn(n / 16)) // hub-biased endpoint
+		} else {
+			v = V(rng.Intn(n))
+		}
+		if u != v {
+			edges = append(edges, Edge{u, v})
+		}
+	}
+	g, err := Build(Undirected, n, edges)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+// sameStore asserts st serves exactly g's adjacency through the Store
+// contract.
+func sameStore(t *testing.T, g *Graph, st Store) {
+	t.Helper()
+	if st.Kind() != g.Kind() || st.NumVertices() != g.NumVertices() ||
+		st.NumArcs() != g.NumArcs() || st.NumEdges() != g.NumEdges() {
+		t.Fatalf("%s: shape mismatch: kind=%v n=%d arcs=%d edges=%d, want %v/%d/%d/%d",
+			st.ReprName(), st.Kind(), st.NumVertices(), st.NumArcs(), st.NumEdges(),
+			g.Kind(), g.NumVertices(), g.NumArcs(), g.NumEdges())
+	}
+	var buf []V
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := st.OutDegree(V(v)); d != g.OutDegree(V(v)) {
+			t.Fatalf("%s: OutDegree(%d) = %d, want %d", st.ReprName(), v, d, g.OutDegree(V(v)))
+		}
+		buf = st.AdjInto(V(v), buf)
+		want := g.Adj(V(v))
+		if len(buf) != len(want) {
+			t.Fatalf("%s: AdjInto(%d) returned %d elements, want %d", st.ReprName(), v, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("%s: AdjInto(%d)[%d] = %d, want %d", st.ReprName(), v, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompressedCSRMatchesPlain(t *testing.T) {
+	g := randomStoreGraph(t, 2000, 12000, 1)
+	c := CompressGraph(g)
+	sameStore(t, g, c)
+	if c.ca.DataBytes() >= c.ca.PlainBytes() {
+		t.Errorf("compressed stream %d bytes, plain %d: no compression on a skewed graph",
+			c.ca.DataBytes(), c.ca.PlainBytes())
+	}
+	if got := Materialize(c); got.NumArcs() != g.NumArcs() {
+		t.Fatalf("Materialize arcs = %d, want %d", got.NumArcs(), g.NumArcs())
+	} else if err := got.Validate(); err != nil {
+		t.Fatalf("materialized graph invalid: %v", err)
+	}
+}
+
+func TestCompressedAdjDecodeAt(t *testing.T) {
+	g := randomStoreGraph(t, 300, 2000, 2)
+	ca := CompressGraph(g).Adjacency()
+	var buf []V
+	for v := 0; v < g.NumVertices(); v++ {
+		start := int(g.Offsets()[v])
+		deg := g.OutDegree(V(v))
+		buf = ca.DecodeAt(start*4, deg*4, buf)
+		want := g.Adj(V(v))
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("DecodeAt(%d): element %d = %d, want %d", v, i, buf[i], want[i])
+			}
+		}
+	}
+	// Partial-run and misaligned reads must panic: the engines fetch whole
+	// vertex runs only, and anything else would leak representation.
+	for _, bad := range [][2]int{{2, 4}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("DecodeAt(%d, %d) did not panic", bad[0], bad[1])
+				}
+			}()
+			ca.DecodeAt(bad[0], bad[1], nil)
+		}()
+	}
+}
+
+func TestBinaryStoreRoundTripCompressed(t *testing.T) {
+	g := randomStoreGraph(t, 1500, 9000, 3)
+	c := CompressGraph(g)
+	var buf bytes.Buffer
+	if err := WriteBinaryStore(&buf, c); err != nil {
+		t.Fatalf("WriteBinaryStore: %v", err)
+	}
+	st, err := ReadBinaryStore(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinaryStore: %v", err)
+	}
+	if st.ReprName() != "compressed" {
+		t.Fatalf("round-trip representation = %s, want compressed", st.ReprName())
+	}
+	sameStore(t, g, st)
+	// The eager reader decodes the same file to a plain graph.
+	g2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBinary(compressed file): %v", err)
+	}
+	sameStore(t, g, g2)
+}
+
+func TestFileCSRServesBothEncodings(t *testing.T) {
+	g := randomStoreGraph(t, 1200, 8000, 4)
+	dir := t.TempDir()
+	for name, st := range map[string]Store{"raw.lcc": g, "comp.lcc": CompressGraph(g)} {
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteBinaryStore(f, st); err != nil {
+			t.Fatalf("WriteBinaryStore(%s): %v", name, err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		fc, err := OpenBinary(path)
+		if err != nil {
+			t.Fatalf("OpenBinary(%s): %v", name, err)
+		}
+		sameStore(t, g, fc)
+		if fc.DiskBytes() == 0 || fc.MemBytes() != 0 {
+			t.Errorf("%s: DiskBytes=%d MemBytes=%d, want >0 and 0", name, fc.DiskBytes(), fc.MemBytes())
+		}
+		if err := fc.Close(); err != nil {
+			t.Fatalf("Close(%s): %v", name, err)
+		}
+	}
+}
+
+func TestBinaryCorruptSectionsFailTyped(t *testing.T) {
+	g := randomStoreGraph(t, 400, 2500, 5)
+	for _, st := range []Store{g, CompressGraph(g)} {
+		var buf bytes.Buffer
+		if err := WriteBinaryStore(&buf, st); err != nil {
+			t.Fatal(err)
+		}
+		clean := buf.Bytes()
+		// Flip one byte at a spread of positions: header, table, payloads.
+		for _, pos := range []int{9, 20, 45, 80, len(clean) / 2, len(clean) - 3} {
+			bad := append([]byte(nil), clean...)
+			bad[pos] ^= 0x40
+			_, err := ReadBinaryStore(bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("%s: corruption at byte %d loaded silently", st.ReprName(), pos)
+			}
+			var ce *CorruptError
+			if !errors.As(err, &ce) && pos != 9 {
+				// Byte 9 flips the version field, which reports a plain
+				// unsupported-version error by design.
+				t.Errorf("%s: corruption at byte %d: error %v is not a *CorruptError", st.ReprName(), pos, err)
+			}
+		}
+		// Truncation fails loud too.
+		_, err := ReadBinaryStore(bytes.NewReader(clean[:len(clean)-10]))
+		var ce *CorruptError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: truncated file: error %v is not a *CorruptError", st.ReprName(), err)
+		}
+	}
+}
+
+func TestReadBinaryRejectsVersion1(t *testing.T) {
+	old := append([]byte("LCCGRAPH"), make([]byte, 40)...)
+	old[8] = 1 // version field
+	_, err := ReadBinary(bytes.NewReader(old))
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("version")) {
+		t.Fatalf("version-1 file: got %v, want unsupported-version error", err)
+	}
+}
+
+func TestStoreUnderBudget(t *testing.T) {
+	g := randomStoreGraph(t, 2000, 12000, 6)
+	if st, err := StoreUnderBudget(g, 0); err != nil || st != Store(g) {
+		t.Fatalf("unconstrained budget: got %v repr, err %v", st.ReprName(), err)
+	}
+	if st, err := StoreUnderBudget(g, g.MemBytes()); err != nil || st.ReprName() != "plain" {
+		t.Fatalf("roomy budget: got %s, err %v", st.ReprName(), err)
+	}
+	c := CompressGraph(g)
+	if st, err := StoreUnderBudget(g, g.MemBytes()-1); err != nil || st.ReprName() != "compressed" {
+		t.Fatalf("tight budget: got %s, err %v", st.ReprName(), err)
+	}
+	if st, err := StoreUnderBudget(g, c.MemBytes()-1); err == nil || st.ReprName() != "compressed" {
+		t.Fatalf("impossible budget: got %s, err %v — want compressed with error", st.ReprName(), err)
+	}
+}
+
+func TestReadEdgeListStreamsLongLines(t *testing.T) {
+	// One line far beyond any scanner token limit: 400k edges, no newlines.
+	var buf bytes.Buffer
+	n := 2000
+	for i := 0; i < 400000; i++ {
+		fmtInt(&buf, uint64(i%n))
+		buf.WriteByte(' ')
+		fmtInt(&buf, uint64((i+7)%n))
+		buf.WriteByte(' ')
+	}
+	g, err := ReadEdgeList(&buf, Undirected)
+	if err != nil {
+		t.Fatalf("ReadEdgeList on a single %d-byte line: %v", buf.Len(), err)
+	}
+	if g.NumVertices() != n {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), n)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtInt(buf *bytes.Buffer, x uint64) {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + x%10)
+		x /= 10
+		if x == 0 {
+			break
+		}
+	}
+	buf.Write(tmp[i:])
+}
+
+func TestReadEdgeListDanglingEndpoint(t *testing.T) {
+	_, err := ReadEdgeList(bytes.NewReader([]byte("0 1\n2")), Undirected)
+	if err == nil {
+		t.Fatal("odd token count parsed silently")
+	}
+}
+
+// FuzzVarintAdjacency fuzzes both directions of the varint/delta codec:
+// encoded lists round-trip exactly, and the decoder, fed arbitrary bytes,
+// never reads past its section and never accepts a malformed stream as a
+// full-length list of the wrong width.
+func FuzzVarintAdjacency(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00}, uint16(3))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}, uint16(1))
+	f.Add([]byte{0x80}, uint16(1))
+	f.Add([]byte{}, uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, degRaw uint16) {
+		deg := int(degRaw%512) + 1
+		// Direction 1: decode arbitrary bytes — must stay in bounds and,
+		// on success, consume only bytes it reports.
+		list, n, ok := decodeDeltaList(data, deg, nil)
+		if n < 0 || n > len(data) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(data))
+		}
+		if ok {
+			if len(list) != deg {
+				t.Fatalf("ok decode returned %d elements, want %d", len(list), deg)
+			}
+			for i := 1; i < deg; i++ {
+				if list[i] <= list[i-1] {
+					t.Fatalf("decoded list not strictly increasing at %d", i)
+				}
+			}
+			// Direction 2: re-encode decodes back to the same list. (The
+			// bytes themselves may shrink — the decoder tolerates
+			// non-canonical varints with trailing zero continuations, the
+			// encoder never emits them.)
+			re := appendDeltaList(nil, list)
+			if len(re) > n {
+				t.Fatalf("canonical re-encode (%d bytes) longer than accepted input (%d)", len(re), n)
+			}
+			got2, n2, ok2 := decodeDeltaList(re, deg, nil)
+			if !ok2 || n2 != len(re) {
+				t.Fatalf("re-encoded list failed to decode")
+			}
+			for i := range list {
+				if got2[i] != list[i] {
+					t.Fatalf("re-encode round-trip mismatch at %d", i)
+				}
+			}
+		}
+		// Direction 3: round-trip a synthesized strictly-increasing list
+		// derived from the fuzz bytes.
+		syn := make([]V, 0, len(data))
+		prev := uint64(0)
+		for _, b := range data {
+			next := prev + uint64(b) + 1
+			if next >= 1<<32 {
+				break
+			}
+			syn = append(syn, V(next))
+			prev = next
+		}
+		enc := appendDeltaList(nil, syn)
+		got, n2, ok2 := decodeDeltaList(enc, len(syn), nil)
+		if !ok2 || n2 != len(enc) {
+			t.Fatalf("round-trip decode failed (ok=%v, consumed %d of %d)", ok2, n2, len(enc))
+		}
+		for i := range syn {
+			if got[i] != syn[i] {
+				t.Fatalf("round-trip mismatch at %d: %d != %d", i, got[i], syn[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package graph
+
+// Varint/delta adjacency codec. An adjacency list a[0] < a[1] < ... <
+// a[d-1] is stored as LEB128-style unsigned varints: a[0] first, then the
+// gaps a[i]-a[i-1]-1 (lists are strictly increasing, so subtracting one
+// from each gap shaves a byte off dense runs — consecutive neighbours
+// encode as a single 0x00). Each byte carries 7 payload bits, high bit set
+// on continuation; values are V (uint32), so an element is 1–5 bytes.
+//
+// The codec is deliberately hand-rolled rather than encoding/binary's
+// Uvarint: decodeList is on the engine's per-fetch path, and a fused
+// bounds-checked loop with no per-element function call is what keeps the
+// compressed decode at 0 allocs/op and competitive with a memcpy of the
+// plain image.
+
+// appendUvarint appends the varint encoding of x to dst.
+func appendUvarint(dst []byte, x uint32) []byte {
+	for x >= 0x80 {
+		dst = append(dst, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(dst, byte(x))
+}
+
+// appendDeltaList appends the varint/delta encoding of the strictly
+// increasing list a to dst.
+func appendDeltaList(dst []byte, a []V) []byte {
+	if len(a) == 0 {
+		return dst
+	}
+	dst = appendUvarint(dst, a[0])
+	prev := a[0]
+	for _, v := range a[1:] {
+		dst = appendUvarint(dst, v-prev-1)
+		prev = v
+	}
+	return dst
+}
+
+// decodeDeltaList decodes deg elements from data into buf, which is grown
+// if needed, and returns the decoded list plus the number of bytes
+// consumed. ok is false if data is malformed: truncated mid-element, a
+// varint wider than 32 bits, or a delta that overflows V. The decoder never
+// reads past len(data) — data is exactly the caller's section, and a
+// corrupt length must fail loud, not read a neighbour's bytes.
+func decodeDeltaList(data []byte, deg int, buf []V) (list []V, n int, ok bool) {
+	if cap(buf) < deg {
+		buf = make([]V, deg)
+	}
+	buf = buf[:deg]
+	prev := uint32(0)
+	pos := 0
+	for i := 0; i < deg; i++ {
+		var x uint32
+		var shift uint
+		for {
+			if pos >= len(data) || shift > 28 {
+				return nil, pos, false
+			}
+			b := data[pos]
+			pos++
+			if shift == 28 && b > 0x0f {
+				return nil, pos, false // >32 significant bits
+			}
+			x |= uint32(b&0x7f) << shift
+			if b < 0x80 {
+				break
+			}
+			shift += 7
+		}
+		if i == 0 {
+			prev = x
+		} else {
+			next := prev + x + 1
+			if next <= prev { // wrapped past MaxUint32
+				return nil, pos, false
+			}
+			prev = next
+		}
+		buf[i] = prev
+	}
+	return buf, pos, true
+}

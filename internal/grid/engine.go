@@ -59,7 +59,7 @@ type Result struct {
 // block once with a single one-sided get. No rank synchronizes with any
 // other between setup and finish — the 2D engine keeps the paper's
 // fully-asynchronous discipline, only the distribution changes.
-func Run(g *graph.Graph, opt Options) (*Result, error) {
+func Run(g graph.Store, opt Options) (*Result, error) {
 	if g.Kind() != graph.Undirected {
 		return nil, fmt.Errorf("grid: 2D engine requires an undirected graph, got %v", g.Kind())
 	}
@@ -210,7 +210,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 }
 
 // MustRun is Run for known-valid options; it panics on error.
-func MustRun(g *graph.Graph, opt Options) *Result {
+func MustRun(g graph.Store, opt Options) *Result {
 	r, err := Run(g, opt)
 	if err != nil {
 		panic(fmt.Sprintf("grid: %v", err))

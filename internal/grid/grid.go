@@ -92,13 +92,15 @@ func (b *Block) RowOf(v graph.V) []graph.V {
 }
 
 // Extract cuts block (rowChunk, colChunk) of g's adjacency matrix.
-func (gr *Grid) Extract(g *graph.Graph, rowChunk, colChunk int) *Block {
+func (gr *Grid) Extract(g graph.Store, rowChunk, colChunk int) *Block {
 	rLo, rHi := gr.Chunk(rowChunk)
 	cLo, cHi := gr.Chunk(colChunk)
 	b := &Block{RowLo: rLo, RowHi: rHi, ColLo: cLo, ColHi: cHi}
 	b.Offsets = make([]uint64, rHi-rLo+1)
+	var buf []graph.V
 	for r := rLo; r < rHi; r++ {
-		for _, w := range g.Adj(graph.V(r)) {
+		buf = g.AdjInto(graph.V(r), buf)
+		for _, w := range buf {
 			if int(w) >= cLo && int(w) < cHi {
 				b.Cols = append(b.Cols, w)
 			}

@@ -20,15 +20,22 @@ import (
 // FuzzIntersectKernels enforce it.
 //
 // A Scratch is single-goroutine state, like the rank it belongs to.
-// Inputs must be strictly increasing (adjacency lists are sorted sets)
-// and must not be mutated while stamped.
+// Inputs must be strictly increasing (adjacency lists are sorted sets).
+// Repeat pivots are recognized by slice identity (address + length), so a
+// caller that overwrites a previously passed buffer in place — the
+// compressed-locals engines decode into reused buffers — must Unstamp
+// before the overwrite, or the memo may serve the old list's stamp.
 type Scratch struct {
-	// words is the stamp-set bitmap, one bit per vertex id. stamped
-	// remembers the currently stamped list so it can be cleared in
-	// O(|stamped|) and so repeat pivots are recognized by identity
-	// (same first element address and length).
-	words   []uint64
-	stamped []graph.V
+	// words is the stamp-set bitmap, one bit per vertex id. stamped is a
+	// scratch-owned copy of the stamped ids, so the stamp can be cleared
+	// in O(|stamped|) even if the caller's list has since been overwritten
+	// (decode-buffer reuse does exactly that); stampPtr/stampLen record the
+	// caller list's identity so repeat pivots are recognized without a
+	// content compare.
+	words    []uint64
+	stamped  []graph.V
+	stampPtr *graph.V
+	stampLen int
 
 	stack []fingerFrame
 }
@@ -81,7 +88,10 @@ func sameList(x []graph.V, ptr *graph.V, n int) bool {
 
 // Stamp publishes list into the bitmap (clearing any previous stamp).
 // The grid engine uses it directly as its sparse accumulator; Count
-// invokes it through the reuse heuristic.
+// invokes it through the reuse heuristic. The ids are copied into
+// scratch-owned storage: a caller that later overwrites the list (reused
+// decode buffers do) can stale the identity memo at worst, never the
+// bitmap — Unstamp clears exactly the bits that were set.
 func (s *Scratch) Stamp(list []graph.V) {
 	s.Unstamp()
 	if len(list) == 0 {
@@ -93,7 +103,8 @@ func (s *Scratch) Stamp(list []graph.V) {
 	for _, v := range list {
 		s.words[v>>6] |= 1 << (v & 63)
 	}
-	s.stamped = list
+	s.stamped = append(s.stamped[:0], list...)
+	s.stampPtr, s.stampLen = &list[0], len(list)
 }
 
 // Unstamp clears the current stamp in O(|stamped|).
@@ -101,7 +112,8 @@ func (s *Scratch) Unstamp() {
 	for _, v := range s.stamped {
 		s.words[v>>6] &^= 1 << (v & 63)
 	}
-	s.stamped = nil
+	s.stamped = s.stamped[:0]
+	s.stampPtr, s.stampLen = nil, 0
 }
 
 // Has reports whether v is in the stamped set.
@@ -166,9 +178,9 @@ func (s *Scratch) probeElements(b []graph.V, dst []graph.V) []graph.V {
 // the branch-free merge, whose exit positions carry the charge.
 func (s *Scratch) hostSSI(a, b []graph.V) (count, ops int) {
 	switch {
-	case sameList(a, s.stampedPtr(), len(s.stamped)):
+	case sameList(a, s.stampPtr, s.stampLen):
 		count = s.probeCount(b)
-	case sameList(b, s.stampedPtr(), len(s.stamped)):
+	case sameList(b, s.stampPtr, s.stampLen):
 		count = s.probeCount(a)
 	case len(a) >= stampMinLen:
 		s.Stamp(a)
@@ -179,13 +191,6 @@ func (s *Scratch) hostSSI(a, b []graph.V) (count, ops int) {
 		return count, iEnd + jEnd - count
 	}
 	return count, ssiOps(a, b, count)
-}
-
-func (s *Scratch) stampedPtr() *graph.V {
-	if len(s.stamped) == 0 {
-		return nil
-	}
-	return &s.stamped[0]
 }
 
 // Count returns (|a ∩ b|, modeled ops), bit-identical to the reference
@@ -238,9 +243,9 @@ func (s *Scratch) Elements(method Method, a, b []graph.V, dst []graph.V) ([]grap
 	}
 	before := len(dst)
 	switch {
-	case sameList(a, s.stampedPtr(), len(s.stamped)):
+	case sameList(a, s.stampPtr, s.stampLen):
 		dst = s.probeElements(b, dst)
-	case sameList(b, s.stampedPtr(), len(s.stamped)):
+	case sameList(b, s.stampPtr, s.stampLen):
 		dst = s.probeElements(a, dst)
 	case len(a) >= stampMinLen:
 		s.Stamp(a)

@@ -40,13 +40,13 @@ const delegationEntryOverhead = 16
 // budget is exhausted, and returns their replicated out-adjacency lists.
 // Each entry charges 4 bytes per neighbour plus a 16-byte header. Ties are
 // broken by vertex id so the selection is deterministic.
-func BuildDelegation(g *graph.Graph, budgetBytes int) *Delegation {
+func BuildDelegation(g graph.Store, budgetBytes int) *Delegation {
 	d := &Delegation{lists: make(map[graph.V][]graph.V)}
 	if budgetBytes <= 0 {
 		return d
 	}
 	n := g.NumVertices()
-	indeg := g.InDegrees()
+	indeg := storeInDegrees(g)
 	order := make([]graph.V, n)
 	for i := range order {
 		order[i] = graph.V(i)
@@ -69,10 +69,30 @@ func BuildDelegation(g *graph.Graph, budgetBytes int) *Delegation {
 			}
 			continue
 		}
-		d.lists[v] = g.Adj(v)
+		// AdjInto with a nil buffer aliases the CSR for plain stores and
+		// decodes a fresh owned copy for compressed ones; either way the
+		// replica is stable for the lifetime of the delegation.
+		d.lists[v] = g.AdjInto(v, nil)
 		d.bytes += cost
 	}
 	return d
+}
+
+// storeInDegrees computes per-vertex in-degrees for any Store; plain
+// graphs answer from their own (possibly cached) scan.
+func storeInDegrees(g graph.Store) []int {
+	if pg, ok := g.(*graph.Graph); ok {
+		return pg.InDegrees()
+	}
+	in := make([]int, g.NumVertices())
+	var buf []graph.V
+	for v := 0; v < len(in); v++ {
+		buf = g.AdjInto(graph.V(v), buf)
+		for _, u := range buf {
+			in[u]++
+		}
+	}
+	return in
 }
 
 // Lookup returns the replicated adjacency list of v, if v was delegated.

@@ -99,6 +99,70 @@ type Options struct {
 	// degradation ladder. Results are bit-identical to the fault-free
 	// run — faults cost simulated time, never correctness. nil = off.
 	Faults *fault.Spec
+
+	// Storage selects the host-side representation of the per-rank
+	// adjacency plane (see StorageMode). Purely host-side: the windows'
+	// byte images, charge tape and cache keys are pinned by the model
+	// plane, so every simulated result is bit-identical across modes
+	// (DESIGN.md §9); only host memory and host wall-clock differ.
+	Storage StorageMode
+	// MemBudgetBytes caps the host bytes the extracted per-rank CSRs may
+	// occupy under StorageAuto: when the plain layout would overshoot it,
+	// the engine stores adjacency varint/delta-compressed instead.
+	// 0 means no budget (plain). Ignored outside StorageAuto.
+	MemBudgetBytes int64
+}
+
+// StorageMode selects how the engine stores the per-rank adjacency lists
+// on the host. The simulated machine is oblivious to the choice: windows
+// keep their plain-image byte geometry regardless (rma.CompressedVertices).
+type StorageMode uint8
+
+const (
+	// StorageAuto picks the cheapest representation that fits
+	// Options.MemBudgetBytes — plain when no budget is set.
+	StorageAuto StorageMode = iota
+	// StoragePlain forces plain CSR locals (aliased window views,
+	// zero decode cost).
+	StoragePlain
+	// StorageCompressed forces varint/delta-compressed locals: ~2-3×
+	// less host memory for the adjacency plane, one bounded decode per
+	// fetched list.
+	StorageCompressed
+)
+
+func (m StorageMode) String() string {
+	switch m {
+	case StorageAuto:
+		return "auto"
+	case StoragePlain:
+		return "plain"
+	case StorageCompressed:
+		return "compressed"
+	default:
+		return "unknown"
+	}
+}
+
+// extractLocals builds every rank's LocalCSR in the representation the
+// options select. Auto mode estimates the plain footprint — 4 bytes per
+// arc of adjacency plus 24 per vertex of offsets and (start,end) pairs —
+// and falls back to compressed when a budget is set and plain would
+// overshoot it.
+func extractLocals(g graph.Store, pt *part.Partition, storage StorageMode, budget int64) []*part.LocalCSR {
+	switch storage {
+	case StoragePlain:
+		return part.ExtractAll(g, pt)
+	case StorageCompressed:
+		return part.ExtractAllCompressed(g, pt)
+	}
+	if budget > 0 {
+		plain := 4*int64(g.NumArcs()) + 24*int64(g.NumVertices())
+		if plain > budget {
+			return part.ExtractAllCompressed(g, pt)
+		}
+	}
+	return part.ExtractAll(g, pt)
 }
 
 // configureCharges applies the diagnostic charge-plane options to a world.
@@ -280,7 +344,7 @@ func (res *Result) CommFraction() float64 {
 // vertices reading remote adjacency lists with paired one-sided gets —
 // optionally through CLaMPI caches. No rank ever synchronizes with another
 // during the computation.
-func Run(g *graph.Graph, opt Options) (*Result, error) {
+func Run(g graph.Store, opt Options) (*Result, error) {
 	return RunCtx(context.Background(), g, opt)
 }
 
@@ -291,12 +355,15 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 // and a fail-fast crash-stop fault returns its *fault.CrashError. Callers
 // that keep the graph loaded across queries should build the Snapshot once
 // and call its RunCtx directly; this entry point rebuilds it per run.
-func RunCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
+func RunCtx(ctx context.Context, g graph.Store, opt Options) (*Result, error) {
 	opt = opt.withDefaults(g.NumVertices())
 	if opt.Ranks < 1 {
 		return nil, fmt.Errorf("lcc: invalid rank count %d", opt.Ranks)
 	}
-	snap, err := NewSnapshot(g, opt.Ranks, opt.Scheme, opt.DelegateBytes)
+	snap, err := NewSnapshotOpts(g, SnapshotOptions{
+		Ranks: opt.Ranks, Scheme: opt.Scheme, DelegateBytes: opt.DelegateBytes,
+		Storage: opt.Storage, MemBudgetBytes: opt.MemBudgetBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -328,18 +395,30 @@ func makeGraphWindows(comm *rma.Comm, locals []*part.LocalCSR) (wOff, wAdj *rma.
 }
 
 // windowsFromPairs is makeGraphWindows with the pair arrays precomputed —
-// the snapshot path reuses them across runs.
+// the snapshot path reuses them across runs. Compressed locals get a
+// CompressedVertices adjacency window: same name, same byte geometry, same
+// charges and cache keys — only the host-side backing store differs.
 func windowsFromPairs(comm *rma.Comm, locals []*part.LocalCSR, pairs [][]uint64) (wOff, wAdj *rma.Window) {
 	p := comm.NumRanks()
 	// Replicas of a slot (the 1.5D engine passes fewer locals than ranks)
 	// share one pairs array, like they share the CSR storage itself.
 	offs := make([][]uint64, p)
-	adjs := make([][]graph.V, p)
 	for r := 0; r < p; r++ {
 		offs[r] = pairs[r%len(locals)]
+	}
+	wOff = comm.CreateUint64Window("offsets", offs)
+	if locals[0].Compressed() {
+		comps := make([]*graph.CompressedAdj, p)
+		for r := 0; r < p; r++ {
+			comps[r] = locals[r%len(locals)].Comp
+		}
+		return wOff, comm.CreateCompressedVertexWindow("adjacencies", comps)
+	}
+	adjs := make([][]graph.V, p)
+	for r := 0; r < p; r++ {
 		adjs[r] = locals[r%len(locals)].Adj
 	}
-	return comm.CreateUint64Window("offsets", offs), comm.CreateVertexWindow("adjacencies", adjs)
+	return wOff, comm.CreateVertexWindow("adjacencies", adjs)
 }
 
 // offsetPairs lays the rank's offsets out as (start,end) pairs, the window
@@ -422,6 +501,54 @@ type worker struct {
 	ringHead, ringLen int
 	scanLi, scanJ     int
 	fetchA, fetchB    fetch
+
+	// Compressed-locals decode state. compLoc/compWin are resolved once
+	// at construction so the per-edge paths branch on a flag, not an
+	// interface. Each consumer of an owned list keeps its own reuse
+	// buffer, so decoded runs stay valid across the pipeline stages that
+	// interleave them; all of it is dormant for plain locals, where the
+	// accessors return aliased CSR views. The memo indices amortize the
+	// decode to once per owned vertex — both the ring scan and the visit
+	// side walk local indices in CSR order.
+	compLoc   bool      // lc stores adjacency varint/delta-compressed
+	compWin   bool      // wAdj is a CompressedVertices window
+	scanDec   []graph.V // refillRing's staged owned list
+	scanDecLi int
+	ownDec    []graph.V // visit-side adjI (run/runPush/runSlice/jaccard)
+	ownDecLi  int
+}
+
+// scanAdj returns the owned list the ring scan is staging, decoding it at
+// most once per owned vertex (scanLi advances monotonically, and a refill
+// that resumes mid-list hits the memo).
+func (w *worker) scanAdj() []graph.V {
+	if !w.compLoc {
+		return w.lc.AdjOf(w.scanLi)
+	}
+	if w.scanDecLi != w.scanLi {
+		w.scanDec = w.lc.AdjInto(w.scanLi, w.scanDec)
+		w.scanDecLi = w.scanLi
+	}
+	return w.scanDec
+}
+
+// adjOwned returns owned vertex li's list for the visit side. forEachEdge
+// delivers a vertex's edges consecutively, so the memo amortizes the
+// compressed decode to once per owned vertex — the same asymptotics as the
+// plain-CSR alias it replaces.
+func (w *worker) adjOwned(li int) []graph.V {
+	if !w.compLoc {
+		return w.lc.AdjOf(li)
+	}
+	if w.ownDecLi != li {
+		// The previous owned list may be the scratch's stamped pivot, and
+		// it is about to be overwritten in place; drop the stamp while its
+		// content is still intact (Scratch's identity-memo contract).
+		w.its.Unstamp()
+		w.ownDec = w.lc.AdjInto(li, w.ownDec)
+		w.ownDecLi = li
+	}
+	return w.ownDec
 }
 
 // pipeEdge is one staged (owned vertex, neighbour) pair of the lookahead
@@ -437,7 +564,7 @@ type pipeEdge struct {
 func (w *worker) refillRing() {
 	nLocal := w.lc.NumLocal()
 	for w.scanLi < nLocal {
-		adj := w.lc.AdjOf(w.scanLi)
+		adj := w.scanAdj()
 		for w.scanJ < len(adj) {
 			vj := adj[w.scanJ]
 			w.scanJ++
@@ -475,6 +602,9 @@ func newWorker(r *rma.Rank, kind graph.Kind, pt *part.Partition, lc *part.LocalC
 	w := &worker{r: r, kind: kind, pt: pt, lc: lc, wOff: wOff, wAdj: wAdj, opt: opt}
 	w.resolve = resolve
 	w.slot = r.ID()
+	w.compLoc = lc.Compressed()
+	w.compWin = wAdj.Kind() == rma.CompressedVertices
+	w.scanDecLi, w.ownDecLi = -1, -1
 	w.its = intersect.GetScratch()
 	r.LockAll(wOff)
 	r.LockAll(wAdj)
@@ -525,6 +655,13 @@ type fetch struct {
 	offR, adjR bool
 	offC       *clampi.Request
 	adjC       *clampi.Request
+
+	// dec is the slot's decode buffer for compressed adjacency: local
+	// fetches and inline cache hits decode into it instead of aliasing
+	// CSR/window storage. Per-slot ownership makes the pipeline safe —
+	// the next decode into this slot happens only after the current
+	// edge's visit — and reuse keeps the steady state allocation-free.
+	dec []graph.V
 }
 
 // start issues the first get (or resolves a local list immediately).
@@ -540,8 +677,14 @@ func (w *worker) start(f *fetch, vj graph.V) {
 	if slot == w.slot {
 		f.local = true
 		w.localReads++
-		f.list = w.lc.AdjOf(li)
-		// Local DRAM read of the list.
+		if w.compLoc {
+			f.dec = w.lc.AdjInto(li, f.dec)
+			f.list = f.dec
+		} else {
+			f.list = w.lc.AdjOf(li)
+		}
+		// Local DRAM read of the list (the plain-image bytes: the model
+		// never sees the host representation).
 		w.r.ChargeLocalRead(4 * len(f.list))
 		return
 	}
@@ -609,7 +752,12 @@ func (w *worker) mid(f *fetch) {
 	// request at all; scores only matter on insertion, so the policies
 	// below join in only on the miss path (plus the recency refresh).
 	if w.cAdj.TryGet(f.owner, f.adjOff, f.adjSize) {
-		f.list = w.wAdj.ViewVertices(f.owner, f.adjOff, f.adjSize)
+		if w.compWin {
+			f.dec = w.wAdj.ReadVertices(f.owner, f.adjOff, f.adjSize, f.dec)
+			f.list = f.dec
+		} else {
+			f.list = w.wAdj.ViewVertices(f.owner, f.adjOff, f.adjSize)
+		}
 		if w.opt.AdjScorePolicy == ScoreDegreeRecency {
 			w.seq++
 			w.cAdj.SetScore(f.owner, f.adjOff, f.adjSize, float64(deg)*(1+float64(w.seq)*1e-7))
@@ -751,7 +899,7 @@ func (w *worker) run(lccOut []float64) int64 {
 	perVertexT := make([]int64, nLocal)
 
 	w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
-		adjI := w.lc.AdjOf(li)
+		adjI := w.adjOwned(li)
 		if w.kind == graph.Undirected {
 			adjJ = intersect.UpperSlice(adjJ, vj)
 		}
@@ -763,7 +911,7 @@ func (w *worker) run(lccOut []float64) int64 {
 
 	for li := 0; li < nLocal; li++ {
 		v := w.pt.VertexAt(w.r.ID(), li)
-		d := len(w.lc.AdjOf(li))
+		d := w.lc.DegreeOf(li)
 		lccOut[v] = Score(w.kind, perVertexT[li], d)
 		sumT += perVertexT[li]
 		w.r.Compute(2)

@@ -27,6 +27,13 @@ type fetchHarness struct {
 // selects the CLaMPI-wrapped worker (C_offsets + C_adj, ScoreDegree — the
 // golden cached configuration's policy).
 func newFetchHarness(tb testing.TB, caching bool) *fetchHarness {
+	return newFetchHarnessStorage(tb, caching, StoragePlain)
+}
+
+// newFetchHarnessStorage is newFetchHarness with the locals representation
+// selected explicitly: StorageCompressed exercises the varint/delta decode
+// on every flavor of the fetch plane.
+func newFetchHarnessStorage(tb testing.TB, caching bool, storage StorageMode) *fetchHarness {
 	tb.Helper()
 	rng := rand.New(rand.NewPCG(11, 13))
 	const n = 256
@@ -35,7 +42,7 @@ func newFetchHarness(tb testing.TB, caching bool) *fetchHarness {
 		edges[i] = graph.Edge{Src: graph.V(rng.IntN(n)), Dst: graph.V(rng.IntN(n))}
 	}
 	g := graph.MustBuild(graph.Undirected, n, edges)
-	opt := Options{Ranks: 2, DoubleBuffer: true}
+	opt := Options{Ranks: 2, DoubleBuffer: true, Storage: storage}
 	if caching {
 		opt.Caching = true
 		opt.OffsetsCacheBytes = 1 << 14
@@ -47,7 +54,7 @@ func newFetchHarness(tb testing.TB, caching bool) *fetchHarness {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	locals := part.ExtractAll(g, pt)
+	locals := extractLocals(g, pt, storage, 0)
 	comm := rma.NewCommWorkers(opt.Ranks, opt.Model, opt.Workers)
 	wOff, wAdj := makeGraphWindows(comm, locals)
 	w := newWorker(comm.Rank(0), g.Kind(), pt, locals[0], wOff, wAdj, buildResolve(pt), opt)
@@ -160,6 +167,51 @@ func TestLookaheadPipelineAllocFree(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestCompressedDecodeAllocFree pins the compressed-locals decode path at
+// zero steady-state heap allocations across every flavor that reaches it:
+// the local fetch (decode into the slot's dec buffer), the remote two-get
+// pipeline (decode into the caller-owned request's vbuf at issue), the
+// inline cache hit (ReadVertices into the slot buffer), and the full
+// lookahead walk — ring-scan decode, fetch-slot decode, and the visit
+// side's adjOwned memo all reusing their warm buffers.
+func TestCompressedDecodeAllocFree(t *testing.T) {
+	cases := []struct {
+		name    string
+		caching bool
+		target  func(h *fetchHarness) graph.V
+	}{
+		{"local", false, func(h *fetchHarness) graph.V { return h.local }},
+		{"remote-miss", false, func(h *fetchHarness) graph.V { return h.remote }},
+		{"cached-hit", true, func(h *fetchHarness) graph.V { return h.remote }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			h := newFetchHarnessStorage(t, tc.caching, StorageCompressed)
+			if !h.w.compLoc || h.w.wAdj.Kind() != rma.CompressedVertices {
+				t.Fatal("harness did not build compressed locals")
+			}
+			vj := tc.target(h)
+			h.fetchOnce(vj) // warm decode buffers / populate caches
+			if allocs := testing.AllocsPerRun(100, func() { h.fetchOnce(vj) }); allocs > 0 {
+				t.Errorf("compressed %s fetch allocates %.1f objects per op, want 0", tc.name, allocs)
+			}
+		})
+	}
+	t.Run("lookahead-walk", func(t *testing.T) {
+		h := newFetchHarnessStorage(t, false, StorageCompressed)
+		walk := func() {
+			h.w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
+				_ = h.w.adjOwned(li) // the visit side's decode memo
+			})
+		}
+		walk() // warm every reuse buffer along the ring
+		if allocs := testing.AllocsPerRun(5, walk); allocs > 0 {
+			t.Errorf("compressed lookahead walk allocates %.1f objects per walk, want 0", allocs)
+		}
+	})
 }
 
 // TestFaultPlaneDisabledAllocFree pins the cost of the disabled fault

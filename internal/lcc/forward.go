@@ -27,23 +27,24 @@ type Orientation struct {
 }
 
 // Orient builds the degree-ordered orientation of an undirected graph.
-func Orient(g *graph.Graph) (*Orientation, error) {
+func Orient(g graph.Store) (*Orientation, error) {
 	if g.Kind() != graph.Undirected {
 		return nil, fmt.Errorf("lcc: Orient requires an undirected graph, got %v", g.Kind())
 	}
 	n := g.NumVertices()
 	o := &Orientation{out: make([][]graph.V, n), n: n}
+	var buf []graph.V
 	for u := 0; u < n; u++ {
-		adj := g.Adj(graph.V(u))
-		du := len(adj)
+		buf = g.AdjInto(graph.V(u), buf)
+		du := len(buf)
 		var nbrs []graph.V
-		for _, v := range adj {
+		for _, v := range buf {
 			dv := g.OutDegree(v)
 			if du < dv || (du == dv && graph.V(u) < v) {
 				nbrs = append(nbrs, v)
 			}
 		}
-		// adj is sorted by id and filtering preserves order.
+		// buf is sorted by id and filtering preserves order.
 		o.out[u] = nbrs
 	}
 	return o, nil

@@ -30,7 +30,7 @@ type JaccardResult struct {
 
 // RunJaccard computes the per-edge Jaccard similarity with the same fully
 // asynchronous distributed engine as RunLCC.
-func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
+func RunJaccard(g graph.Store, opt Options) (*JaccardResult, error) {
 	return RunJaccardCtx(context.Background(), g, opt)
 }
 
@@ -38,9 +38,12 @@ func RunJaccard(g *graph.Graph, opt Options) (*JaccardResult, error) {
 // cancellation, panic-isolation and crash-stop contract as RunCtx. The
 // setup rides the Snapshot path, so arc-balanced (BlockArcs) partitions
 // now work for Jaccard too.
-func RunJaccardCtx(ctx context.Context, g *graph.Graph, opt Options) (*JaccardResult, error) {
+func RunJaccardCtx(ctx context.Context, g graph.Store, opt Options) (*JaccardResult, error) {
 	opt = opt.withDefaults(g.NumVertices())
-	snap, err := NewSnapshot(g, opt.Ranks, opt.Scheme, opt.DelegateBytes)
+	snap, err := NewSnapshotOpts(g, SnapshotOptions{
+		Ranks: opt.Ranks, Scheme: opt.Scheme, DelegateBytes: opt.DelegateBytes,
+		Storage: opt.Storage, MemBudgetBytes: opt.MemBudgetBytes,
+	})
 	if err != nil {
 		return nil, err
 	}

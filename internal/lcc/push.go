@@ -113,7 +113,7 @@ const maxOutstandingAccumulates = 4096
 // requires an undirected graph: the once-per-triangle discovery rule
 // totally orders corners, which has no meaning for the directed Eq. (1)
 // numerator. Results (LCC and Triangles) are bit-identical to Run's.
-func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
+func RunPush(g graph.Store, opt PushOptions) (*Result, error) {
 	return RunPushCtx(context.Background(), g, opt)
 }
 
@@ -121,7 +121,7 @@ func RunPush(g *graph.Graph, opt PushOptions) (*Result, error) {
 // panic-isolation and crash-stop contract as RunCtx. The push engine's
 // single fence is a cancellation point like every barrier: a canceled run
 // wakes the ranks parked in the rendezvous and unwinds them.
-func RunPushCtx(ctx context.Context, g *graph.Graph, opt PushOptions) (*Result, error) {
+func RunPushCtx(ctx context.Context, g graph.Store, opt PushOptions) (*Result, error) {
 	if g.Kind() != graph.Undirected {
 		return nil, fmt.Errorf("lcc: push engine requires an undirected graph (directed LCC has no smallest-corner discovery rule)")
 	}
@@ -134,7 +134,7 @@ func RunPushCtx(ctx context.Context, g *graph.Graph, opt PushOptions) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	locals := part.ExtractAll(g, pt)
+	locals := extractLocals(g, pt, opt.Storage, opt.MemBudgetBytes)
 
 	// The graph windows are typed and read-only; the triangle-counter
 	// window stays a writable byte window — it is the one region peers
@@ -223,7 +223,7 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 	}
 	var common []graph.V
 	w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
-		adjI := w.lc.AdjOf(li)
+		adjI := w.adjOwned(li)
 		var ops int
 		common, ops = w.its.Elements(w.opt.Method, adjI, adjJ, common[:0])
 		w.r.Compute(ops + 4)
@@ -258,7 +258,7 @@ func (w *worker) runPush(lccOut []float64, wTri *rma.Window, bar *rma.Barrier, a
 	for li := 0; li < nLocal; li++ {
 		t := int64(perVertexT[li] + pushed[li])
 		v := w.pt.VertexAt(w.r.ID(), li)
-		d := len(w.lc.AdjOf(li))
+		d := w.lc.DegreeOf(li)
 		lccOut[v] = Score(w.kind, t, d)
 		sumT += t
 		w.r.Compute(2)

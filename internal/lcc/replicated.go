@@ -45,13 +45,13 @@ type ReplicatedOptions struct {
 // RunReplicated executes LCC over the replicated-groups distribution.
 // Results are bit-identical to Run's; only the communication pattern and
 // the per-rank memory differ.
-func RunReplicated(g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
+func RunReplicated(g graph.Store, opt ReplicatedOptions) (*Result, error) {
 	return RunReplicatedCtx(context.Background(), g, opt)
 }
 
 // RunReplicatedCtx is RunReplicated under supervision, with the same
 // cancellation, panic-isolation and crash-stop contract as RunCtx.
-func RunReplicatedCtx(ctx context.Context, g *graph.Graph, opt ReplicatedOptions) (*Result, error) {
+func RunReplicatedCtx(ctx context.Context, g graph.Store, opt ReplicatedOptions) (*Result, error) {
 	n := g.NumVertices()
 	opt.Options = opt.Options.withDefaults(n)
 	c := opt.Replication
@@ -66,7 +66,7 @@ func RunReplicatedCtx(ctx context.Context, g *graph.Graph, opt ReplicatedOptions
 	if err != nil {
 		return nil, err
 	}
-	slots := part.ExtractAll(g, pt)
+	slots := extractLocals(g, pt, opt.Storage, opt.MemBudgetBytes)
 
 	// Rank r = group·q + slot exposes partition `slot` (makeGraphWindows
 	// wraps the slot index modulo len(slots)). The per-rank window sizes
@@ -119,7 +119,7 @@ func (w *worker) runSlice(lccOut []float64, slot, phase, c int) int64 {
 	w.edgeFilter = func(li int, vj graph.V) bool { return li%c == phase }
 
 	w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
-		adjI := w.lc.AdjOf(li)
+		adjI := w.adjOwned(li)
 		if w.kind == graph.Undirected {
 			adjJ = intersect.UpperSlice(adjJ, vj)
 		}
@@ -131,7 +131,7 @@ func (w *worker) runSlice(lccOut []float64, slot, phase, c int) int64 {
 	var sumT int64
 	for li := phase; li < nLocal; li += c {
 		v := w.pt.VertexAt(slot, li)
-		d := len(w.lc.AdjOf(li))
+		d := w.lc.DegreeOf(li)
 		lccOut[v] = Score(w.kind, perVertexT[li], d)
 		sumT += perVertexT[li]
 		w.r.Compute(2)
@@ -141,7 +141,7 @@ func (w *worker) runSlice(lccOut []float64, slot, phase, c int) int64 {
 
 // ReplicaWindowBytes reports the per-rank window memory of a replicated
 // run with the given parameters — the cost side of the 2.5D trade.
-func ReplicaWindowBytes(g *graph.Graph, ranks, replication int) (int64, error) {
+func ReplicaWindowBytes(g graph.Store, ranks, replication int) (int64, error) {
 	if replication < 1 || ranks%replication != 0 {
 		return 0, fmt.Errorf("lcc: replication factor %d does not divide %d ranks", replication, ranks)
 	}

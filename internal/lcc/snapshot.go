@@ -22,10 +22,13 @@ import (
 // windows from the same pair arrays makeGraphWindows would compute, so a
 // run through a snapshot is bit-identical to the corresponding lcc.Run.
 type Snapshot struct {
-	g             *graph.Graph
+	src           graph.Store
+	kind          graph.Kind
+	n             int
 	ranks         int
 	scheme        part.Scheme
 	delegateBytes int
+	storage       StorageMode
 
 	pt      *part.Partition
 	locals  []*part.LocalCSR
@@ -34,31 +37,56 @@ type Snapshot struct {
 	deleg   *Delegation
 }
 
+// SnapshotOptions are the per-graph half of Options: everything the
+// snapshot pins for all queries executed on it.
+type SnapshotOptions struct {
+	// Ranks is the number of computing nodes p; 0 selects 1.
+	Ranks int
+	// Scheme is the 1D vertex distribution; Block is the paper's default.
+	Scheme part.Scheme
+	// DelegateBytes is the static-delegation budget per rank; 0 = off.
+	DelegateBytes int
+	// Storage selects the host-side representation of the per-rank
+	// adjacency plane; see StorageMode. Host-side only — results are
+	// bit-identical across modes.
+	Storage StorageMode
+	// MemBudgetBytes is the StorageAuto budget; see Options.
+	MemBudgetBytes int64
+}
+
 // NewSnapshot partitions g over the given rank count and precomputes every
 // per-graph table of the engine setup. ranks == 0 selects 1. The snapshot
 // pins the distribution: queries executed on it inherit its rank count,
 // scheme and delegation budget regardless of what their Options say.
-func NewSnapshot(g *graph.Graph, ranks int, scheme part.Scheme, delegateBytes int) (*Snapshot, error) {
-	if ranks == 0 {
-		ranks = 1
+func NewSnapshot(g graph.Store, ranks int, scheme part.Scheme, delegateBytes int) (*Snapshot, error) {
+	return NewSnapshotOpts(g, SnapshotOptions{Ranks: ranks, Scheme: scheme, DelegateBytes: delegateBytes})
+}
+
+// NewSnapshotOpts is NewSnapshot with the full per-graph option set,
+// including the storage mode the per-rank CSRs are extracted in.
+func NewSnapshotOpts(g graph.Store, so SnapshotOptions) (*Snapshot, error) {
+	if so.Ranks == 0 {
+		so.Ranks = 1
 	}
-	if ranks < 1 {
-		return nil, fmt.Errorf("lcc: invalid rank count %d", ranks)
+	if so.Ranks < 1 {
+		return nil, fmt.Errorf("lcc: invalid rank count %d", so.Ranks)
 	}
-	pt, err := part.Build(scheme, g, ranks)
+	pt, err := part.Build(so.Scheme, g, so.Ranks)
 	if err != nil {
 		return nil, err
 	}
-	locals := part.ExtractAll(g, pt)
+	locals := extractLocals(g, pt, so.Storage, so.MemBudgetBytes)
 	pairs := make([][]uint64, len(locals))
 	for s, lc := range locals {
 		pairs[s] = offsetPairs(lc)
 	}
 	return &Snapshot{
-		g: g, ranks: ranks, scheme: scheme, delegateBytes: delegateBytes,
-		pt: pt, locals: locals, pairs: pairs,
+		src: g, kind: g.Kind(), n: g.NumVertices(),
+		ranks: so.Ranks, scheme: so.Scheme, delegateBytes: so.DelegateBytes,
+		storage: so.Storage,
+		pt:      pt, locals: locals, pairs: pairs,
 		resolve: buildResolve(pt),
-		deleg:   BuildDelegation(g, delegateBytes),
+		deleg:   BuildDelegation(g, so.DelegateBytes),
 	}, nil
 }
 
@@ -71,8 +99,26 @@ func LoadSnapshot(name string, ranks int, scheme part.Scheme, delegateBytes int)
 	return NewSnapshot(g, ranks, scheme, delegateBytes)
 }
 
-// Graph returns the snapshot's graph.
-func (s *Snapshot) Graph() *graph.Graph { return s.g }
+// Graph returns the snapshot's source graph store.
+func (s *Snapshot) Graph() graph.Store { return s.src }
+
+// LocalBytes reports the host bytes the extracted per-rank adjacency
+// planes occupy — the quantity the storage budget governs.
+func (s *Snapshot) LocalBytes() int64 {
+	var b int64
+	for _, lc := range s.locals {
+		b += lc.AdjMemBytes() + 8*int64(len(lc.Offsets))
+	}
+	return b
+}
+
+// StorageRepr names the representation the per-rank CSRs ended up in.
+func (s *Snapshot) StorageRepr() string {
+	if len(s.locals) > 0 && s.locals[0].Compressed() {
+		return "compressed"
+	}
+	return "plain"
+}
 
 // Ranks returns the pinned rank count p.
 func (s *Snapshot) Ranks() int { return s.ranks }
@@ -85,7 +131,8 @@ func (s *Snapshot) Scheme() part.Scheme { return s.scheme }
 // the usual defaults.
 func (s *Snapshot) options(opt Options) Options {
 	opt.Ranks, opt.Scheme, opt.DelegateBytes = s.ranks, s.scheme, s.delegateBytes
-	return opt.withDefaults(s.g.NumVertices())
+	opt.Storage = s.storage
+	return opt.withDefaults(s.n)
 }
 
 // windows exposes the snapshot's partitions in a fresh communicator,
@@ -104,7 +151,7 @@ func (s *Snapshot) windows(comm *rma.Comm) (wOff, wAdj *rma.Window) {
 // the caller can simply run again.
 func (s *Snapshot) RunCtx(ctx context.Context, opt Options) (*Result, error) {
 	opt = s.options(opt)
-	n := s.g.NumVertices()
+	n := s.n
 	comm := rma.NewCommWorkers(s.ranks, opt.Model, opt.Workers)
 	opt.configureCharges(comm)
 	wOff, wAdj := s.windows(comm)
@@ -114,7 +161,7 @@ func (s *Snapshot) RunCtx(ctx context.Context, opt Options) (*Result, error) {
 	stats := make([]RankStats, s.ranks)
 
 	ranks, err := comm.RunCtx(ctx, func(r *rma.Rank) {
-		w := newWorker(r, s.g.Kind(), s.pt, s.locals[r.ID()], wOff, wAdj, s.resolve, opt)
+		w := newWorker(r, s.kind, s.pt, s.locals[r.ID()], wOff, wAdj, s.resolve, opt)
 		w.deleg = s.deleg
 		// The deferred close repools the scratch and closes the epochs on
 		// the cancel/panic unwind path; the explicit close keeps the
@@ -135,7 +182,7 @@ func (s *Snapshot) RunCtx(ctx context.Context, opt Options) (*Result, error) {
 	for _, t := range triOut {
 		res.SumT += t
 	}
-	res.Triangles = TriangleCount(s.g.Kind(), res.SumT)
+	res.Triangles = TriangleCount(s.kind, res.SumT)
 	return res, nil
 }
 
@@ -147,26 +194,26 @@ func (s *Snapshot) RunJaccardCtx(ctx context.Context, opt Options) (*JaccardResu
 	opt.configureCharges(comm)
 	wOff, wAdj := s.windows(comm)
 
-	scores := make([]float64, s.g.NumArcs())
+	scores := make([]float64, s.src.NumArcs())
 	stats := make([]RankStats, s.ranks)
 
 	// Global arc index of each rank's first arc: offsets of preceding
-	// ranks' partitions sum up because Extract preserves CSR order.
+	// ranks' partitions sum up because Extract preserves CSR order. The
+	// last offset is the partition's arc count in any representation.
 	base := make([]uint64, s.ranks+1)
 	for r, lc := range s.locals {
-		base[r+1] = base[r] + uint64(len(lc.Adj))
+		base[r+1] = base[r] + lc.Offsets[lc.NumLocal()]
 	}
 
 	ranks, err := comm.RunCtx(ctx, func(r *rma.Rank) {
-		w := newWorker(r, s.g.Kind(), s.pt, s.locals[r.ID()], wOff, wAdj, s.resolve, opt)
+		w := newWorker(r, s.kind, s.pt, s.locals[r.ID()], wOff, wAdj, s.resolve, opt)
 		w.deleg = s.deleg
 		defer w.close()
-		lc := s.locals[r.ID()]
 		arc := base[r.ID()]
 		// forEachEdge visits arcs in exactly CSR order, so `arc`
 		// advances in lockstep.
 		w.forEachEdge(func(li int, vj graph.V, adjJ []graph.V) {
-			adjI := lc.AdjOf(li)
+			adjI := w.adjOwned(li)
 			inter, ops := w.its.Count(opt.Method, adjI, adjJ)
 			union := len(adjI) + len(adjJ) - inter
 			if union > 0 {

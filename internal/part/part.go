@@ -74,7 +74,7 @@ func New(scheme Scheme, n, p int) (*Partition, error) {
 // contiguous vertex ranges chosen so every rank holds as close to
 // NumArcs/p adjacency entries as contiguity allows (greedy prefix cut at
 // the target quota, the standard 1D arc-balancing heuristic).
-func NewArcBalanced(g *graph.Graph, p int) (*Partition, error) {
+func NewArcBalanced(g graph.Store, p int) (*Partition, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("part: need at least one rank, got %d", p)
 	}
@@ -105,7 +105,7 @@ func NewArcBalanced(g *graph.Graph, p int) (*Partition, error) {
 // Build constructs a partition of g's vertices under any scheme,
 // dispatching to NewArcBalanced when the scheme needs the degree sequence.
 // Engines use it so that Options.Scheme can select all three schemes.
-func Build(scheme Scheme, g *graph.Graph, p int) (*Partition, error) {
+func Build(scheme Scheme, g graph.Store, p int) (*Partition, error) {
 	if scheme == BlockArcs {
 		return NewArcBalanced(g, p)
 	}
@@ -210,15 +210,17 @@ func (pt *Partition) VertexAt(rank, local int) graph.V {
 // EdgeCut returns the fraction of arcs (u,v) whose endpoints live on
 // different ranks. The paper observes 95% cut for R-MAT S20 E24 on 8 ranks
 // and uses the cut fraction to explain why communication dominates.
-func EdgeCut(g *graph.Graph, pt *Partition) float64 {
+func EdgeCut(g graph.Store, pt *Partition) float64 {
 	arcs := g.NumArcs()
 	if arcs == 0 {
 		return 0
 	}
 	cut := 0
+	var buf []graph.V
 	for v := 0; v < g.NumVertices(); v++ {
 		ov := pt.Owner(graph.V(v))
-		for _, u := range g.Adj(graph.V(v)) {
+		buf = g.AdjInto(graph.V(v), buf)
+		for _, u := range buf {
 			if pt.Owner(u) != ov {
 				cut++
 			}
@@ -230,7 +232,7 @@ func EdgeCut(g *graph.Graph, pt *Partition) float64 {
 // Imbalance returns max_rank(arcs owned)/mean(arcs owned) — the load
 // imbalance the paper blames for Orkut's weaker scaling (§IV-D-2, up to 25%
 // runtime difference between processes).
-func Imbalance(g *graph.Graph, pt *Partition) float64 {
+func Imbalance(g graph.Store, pt *Partition) float64 {
 	arcs := make([]int, pt.p)
 	for v := 0; v < g.NumVertices(); v++ {
 		arcs[pt.Owner(graph.V(v))] += g.OutDegree(graph.V(v))
@@ -258,13 +260,18 @@ type LocalCSR struct {
 	Rank    int
 	Part    *Partition
 	Offsets []uint64  // length Size(rank)+1
-	Adj     []graph.V // concatenated adjacency lists, global ids
+	Adj     []graph.V // concatenated adjacency lists, global ids (nil when compressed)
+	// Comp holds the varint/delta-compressed adjacency plane when the rank's
+	// lists are stored compressed (Adj is nil then). Offsets stays plain —
+	// it backs the offsets window, whose byte image is model-visible and
+	// pinned regardless of how adjacency is stored host-side.
+	Comp *graph.CompressedAdj
 }
 
 // Extract builds rank's LocalCSR from the full graph. In a real deployment
 // each node reads only its chunk from disk (Fig. 3 step 1); here the
-// in-memory graph plays the role of the shared file.
-func Extract(g *graph.Graph, pt *Partition, rank int) *LocalCSR {
+// in-memory store plays the role of the shared file.
+func Extract(g graph.Store, pt *Partition, rank int) *LocalCSR {
 	size := pt.Size(rank)
 	offsets := make([]uint64, size+1)
 	total := 0
@@ -272,16 +279,34 @@ func Extract(g *graph.Graph, pt *Partition, rank int) *LocalCSR {
 		total += g.OutDegree(pt.VertexAt(rank, i))
 	}
 	adj := make([]graph.V, 0, total)
+	var buf []graph.V
 	for i := 0; i < size; i++ {
-		v := pt.VertexAt(rank, i)
-		adj = append(adj, g.Adj(v)...)
+		buf = g.AdjInto(pt.VertexAt(rank, i), buf)
+		adj = append(adj, buf...)
 		offsets[i+1] = uint64(len(adj))
 	}
 	return &LocalCSR{Rank: rank, Part: pt, Offsets: offsets, Adj: adj}
 }
 
+// ExtractCompressed builds rank's LocalCSR with varint/delta-compressed
+// adjacency, encoding straight from the source store without materializing
+// the plain local lists. The decoded lists are bit-identical to Extract's,
+// so everything downstream of the decode — partitions, windows, charges —
+// is too.
+func ExtractCompressed(g graph.Store, pt *Partition, rank int) *LocalCSR {
+	size := pt.Size(rank)
+	offsets := make([]uint64, size+1)
+	for i := 0; i < size; i++ {
+		offsets[i+1] = offsets[i] + uint64(g.OutDegree(pt.VertexAt(rank, i)))
+	}
+	comp := graph.NewCompressedAdj(offsets, func(i int, buf []graph.V) []graph.V {
+		return g.AdjInto(pt.VertexAt(rank, i), buf)
+	})
+	return &LocalCSR{Rank: rank, Part: pt, Offsets: offsets, Comp: comp}
+}
+
 // ExtractAll builds every rank's LocalCSR.
-func ExtractAll(g *graph.Graph, pt *Partition) []*LocalCSR {
+func ExtractAll(g graph.Store, pt *Partition) []*LocalCSR {
 	out := make([]*LocalCSR, pt.NumRanks())
 	for r := range out {
 		out[r] = Extract(g, pt, r)
@@ -289,9 +314,50 @@ func ExtractAll(g *graph.Graph, pt *Partition) []*LocalCSR {
 	return out
 }
 
-// AdjOf returns the adjacency list of the rank's local-th vertex.
+// ExtractAllCompressed builds every rank's LocalCSR in compressed form.
+func ExtractAllCompressed(g graph.Store, pt *Partition) []*LocalCSR {
+	out := make([]*LocalCSR, pt.NumRanks())
+	for r := range out {
+		out[r] = ExtractCompressed(g, pt, r)
+	}
+	return out
+}
+
+// Compressed reports whether the rank's adjacency is stored compressed.
+func (lc *LocalCSR) Compressed() bool { return lc.Comp != nil }
+
+// AdjOf returns the adjacency list of the rank's local-th vertex as an
+// aliased view. It is only available on plain locals; compressed callers
+// must use AdjInto (a silent decode-and-allocate here would hide exactly
+// the per-access cost the compressed form trades away).
 func (lc *LocalCSR) AdjOf(local int) []graph.V {
+	if lc.Comp != nil {
+		panic("part: AdjOf on a compressed LocalCSR; use AdjInto")
+	}
 	return lc.Adj[lc.Offsets[local]:lc.Offsets[local+1]]
+}
+
+// AdjInto returns the adjacency list of the rank's local-th vertex: an
+// aliased view for plain locals, a decode into buf for compressed ones.
+func (lc *LocalCSR) AdjInto(local int, buf []graph.V) []graph.V {
+	if lc.Comp != nil {
+		return lc.Comp.DecodeList(local, buf)
+	}
+	return lc.Adj[lc.Offsets[local]:lc.Offsets[local+1]]
+}
+
+// DegreeOf returns the degree of the local-th vertex without decoding.
+func (lc *LocalCSR) DegreeOf(local int) int {
+	return int(lc.Offsets[local+1] - lc.Offsets[local])
+}
+
+// AdjMemBytes returns the resident bytes of the adjacency plane (offsets
+// excluded): 4 per arc when plain, the encoded footprint when compressed.
+func (lc *LocalCSR) AdjMemBytes() int64 {
+	if lc.Comp != nil {
+		return lc.Comp.MemBytes()
+	}
+	return int64(len(lc.Adj)) * 4
 }
 
 // NumLocal returns the number of vertices owned by this rank.

@@ -82,6 +82,15 @@ const (
 	// adjacency arrays of Fig. 3); Get returns an aliased []graph.V view
 	// via Request.Vertices. Offsets and sizes remain byte-addressed.
 	ReadOnlyVertices
+	// CompressedVertices exposes immutable vertex lists stored host-side as
+	// varint/delta-compressed runs (graph.CompressedAdj). The window's
+	// byte geometry is the PLAIN image — SizeAt, offsets, sizes, and
+	// therefore every charge and cache key are identical to an equivalent
+	// ReadOnlyVertices window; compression is invisible to the model plane
+	// (DESIGN.md §9). Gets must address whole vertex runs and decode into
+	// request-owned storage: Request.Vertices returns a buffer that is
+	// recycled with the request, not a window alias.
+	CompressedVertices
 )
 
 func (k WindowKind) String() string {
@@ -94,6 +103,8 @@ func (k WindowKind) String() string {
 		return "readonly-uint64s"
 	case ReadOnlyVertices:
 		return "readonly-vertices"
+	case CompressedVertices:
+		return "compressed-vertices"
 	default:
 		return fmt.Sprintf("WindowKind(%d)", uint8(k))
 	}
@@ -108,9 +119,10 @@ type Window struct {
 	name string
 	comm *Comm
 	kind WindowKind
-	loc  [][]byte    // WritableBytes / ReadOnlyBytes
-	locU [][]uint64  // ReadOnlyUint64s
-	locV [][]graph.V // ReadOnlyVertices
+	loc  [][]byte               // WritableBytes / ReadOnlyBytes
+	locU [][]uint64             // ReadOnlyUint64s
+	locV [][]graph.V            // ReadOnlyVertices
+	locZ []*graph.CompressedAdj // CompressedVertices
 }
 
 func (c *Comm) register(w *Window, nLocal int) *Window {
@@ -152,6 +164,15 @@ func (c *Comm) CreateVertexWindow(name string, local [][]graph.V) *Window {
 	return c.register(&Window{name: name, comm: c, kind: ReadOnlyVertices, locV: local}, len(local))
 }
 
+// CreateCompressedVertexWindow creates a read-only window over
+// varint/delta-compressed vertex lists. Byte addressing follows each
+// region's plain image (4 bytes per vertex entry), so the simulated wire
+// format — and with it every charge, counter, and cache key — matches an
+// uncompressed vertex window bit for bit.
+func (c *Comm) CreateCompressedVertexWindow(name string, local []*graph.CompressedAdj) *Window {
+	return c.register(&Window{name: name, comm: c, kind: CompressedVertices, locZ: local}, len(local))
+}
+
 // Name returns the window's debug name.
 func (w *Window) Name() string { return w.name }
 
@@ -168,6 +189,8 @@ func (w *Window) SizeAt(rank int) int {
 		return 8 * len(w.locU[rank])
 	case ReadOnlyVertices:
 		return 4 * len(w.locV[rank])
+	case CompressedVertices:
+		return w.locZ[rank].PlainBytes()
 	default:
 		return len(w.loc[rank])
 	}
@@ -207,6 +230,19 @@ func (w *Window) ViewVertices(target, offset, size int) []graph.V {
 		panic(fmt.Sprintf("rma: misaligned vertex view [%d:+%d) on %q", offset, size, w.name))
 	}
 	return w.locV[target][offset/4 : (offset+size)/4 : (offset+size)/4]
+}
+
+// ReadVertices reads a byte range of a vertex window independent of its
+// storage: an aliased view for ReadOnlyVertices, a decode into buf (grown
+// only if too small) for CompressedVertices — where the range must cover
+// exactly one whole vertex run. It is the representation-agnostic
+// counterpart of ViewVertices for callers (the engines' inline cache-hit
+// path) that can supply their own buffer.
+func (w *Window) ReadVertices(target, offset, size int, buf []graph.V) []graph.V {
+	if w.kind == CompressedVertices {
+		return w.locZ[target].DecodeAt(offset, size, buf)
+	}
+	return w.ViewVertices(target, offset, size)
 }
 
 // Counters aggregates a rank's communication activity; the evaluation
@@ -427,8 +463,9 @@ type Request struct {
 	kind       reqKind   // operation class that issued this request
 	data       []byte    // byte windows: snapshot (writable) or view (read-only)
 	u64        []uint64  // ReadOnlyUint64s windows: aliased view
-	verts      []graph.V // ReadOnlyVertices windows: aliased view
+	verts      []graph.V // ReadOnlyVertices: aliased view; CompressedVertices: decoded into vbuf
 	buf        []byte    // owned snapshot storage, reused across pool cycles
+	vbuf       []graph.V // owned decode storage (CompressedVertices), reused across pool cycles
 	completeAt float64   // simulated completion time
 	done       bool
 	autoFree   bool // released while pending; recycle at completion
@@ -545,9 +582,10 @@ func (q *Request) Uint64s() []uint64 {
 	return q.u64
 }
 
-// Vertices returns the typed view read by a completed Get on a
-// ReadOnlyVertices window. The view aliases the window region and remains
-// valid after Release.
+// Vertices returns the typed view read by a completed Get on a vertex
+// window. Over ReadOnlyVertices the view aliases the window region and
+// remains valid after Release; over CompressedVertices it is request-owned
+// decode storage, valid only until the request is recycled or reused.
 func (q *Request) Vertices() []graph.V {
 	if !q.done {
 		panic("rma: Vertices() before flush; RMA reads complete only at flush")
@@ -619,6 +657,9 @@ func (q *Request) resolve(w *Window, target, offset, size int) {
 		q.u64 = w.ViewUint64s(target, offset, size)
 	case ReadOnlyVertices:
 		q.verts = w.ViewVertices(target, offset, size)
+	case CompressedVertices:
+		q.verts = w.locZ[target].DecodeAt(offset, size, q.vbuf)
+		q.vbuf = q.verts
 	}
 }
 

@@ -120,7 +120,7 @@ type responseBatch []response
 func (b responseBatch) wireSize() int { return 8 * len(b) }
 
 // Run executes TriC on g with p ranks over the simulated BSP world.
-func Run(g *graph.Graph, opt Options) (*Result, error) {
+func Run(g graph.Store, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
 	pt, err := part.New(part.Block, n, opt.Ranks)
@@ -325,7 +325,7 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 }
 
 // MustRun is Run for known-valid options; it panics on error.
-func MustRun(g *graph.Graph, opt Options) *Result {
+func MustRun(g graph.Store, opt Options) *Result {
 	r, err := Run(g, opt)
 	if err != nil {
 		panic(fmt.Sprintf("tric: %v", err))
