@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt check bench bench-serve bench-scale benchdiff serve-smoke stress pprof fuzz
+.PHONY: all build test vet fmt check bench bench-serve bench-scale benchdiff serve-smoke serve-restart-smoke stress pprof fuzz
 
 all: build
 
@@ -48,6 +48,14 @@ benchdiff:
 # exits — the end-to-end serving-layer check CI runs.
 serve-smoke:
 	$(GO) run ./cmd/lccd -smoke
+
+# serve-restart-smoke is the crash-recovery lane: it boots a real lccd
+# daemon with a state dir, loads fb-sim and takes a golden reading, kills
+# the daemon with SIGKILL (no drain — the crash-stop case), restarts it,
+# and asserts the instance recovers from its manifest and the same query
+# returns bit-identical SimTime/Triangles/ScoreBits.
+serve-restart-smoke:
+	$(GO) run ./cmd/lccd -restart-smoke
 
 # stress hammers the serving layer's lifecycle machinery under the race
 # detector: repeated cancellation, panic isolation and transition-edge

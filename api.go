@@ -456,8 +456,12 @@ func NewSnapshot(g GraphStore, ranks int, scheme Scheme, delegateBytes int) (*Sn
 
 // The supervised serving layer (internal/serve, cmd/lccd): Instances own
 // a Snapshot and move through loading → ready → busy → unhealthy →
-// exited; a Supervisor manages them by name. Runs carry deadlines,
-// cancellation, panic isolation and admission control.
+// exited, plus parked (snapshot evicted, config retained, transparently
+// rebuilt on the next query); a Supervisor manages them by name, enforces
+// a global memory budget by LRU parking, and — given a manifest store —
+// persists instance configs so a daemon restart (even kill -9) recovers
+// the fleet. Runs carry deadlines, cancellation, panic isolation,
+// admission control and bounded priority queueing.
 type (
 	// ServeInstance is one loaded graph serving supervised queries.
 	ServeInstance = serve.Instance
@@ -469,6 +473,13 @@ type (
 	ServeResult = serve.QueryResult
 	// ServeSupervisor is the named-instance registry behind cmd/lccd.
 	ServeSupervisor = serve.Supervisor
+	// ServeManifest is the durable record of one loaded instance.
+	ServeManifest = serve.Manifest
+	// ServeManifestStore persists instance manifests in a state directory.
+	ServeManifestStore = serve.ManifestStore
+	// ServeQueueTimeoutError carries the measured wait of a run whose
+	// deadline-in-queue expired (wraps ErrServeQueueTimeout).
+	ServeQueueTimeoutError = serve.QueueTimeoutError
 )
 
 // NewServeInstance creates an instance in the loading state; Start loads
@@ -480,6 +491,12 @@ func NewServeInstance(name string, cfg ServeConfig) *ServeInstance {
 // NewServeSupervisor creates an empty instance registry.
 func NewServeSupervisor() *ServeSupervisor { return serve.NewSupervisor() }
 
+// NewServeManifestStore opens (creating if needed) a manifest state
+// directory; hand it to ServeSupervisor.SetManifestStore for durability.
+func NewServeManifestStore(dir string) (*ServeManifestStore, error) {
+	return serve.NewManifestStore(dir)
+}
+
 // Typed serving errors (errors.Is targets).
 var (
 	ErrServeAlreadyRunning = serve.ErrAlreadyRunning
@@ -488,6 +505,13 @@ var (
 	ErrServeUnhealthy      = serve.ErrUnhealthy
 	ErrServeBusy           = serve.ErrBusy
 	ErrServeUnknown        = serve.ErrUnknownInstance
+	// ErrServeQueueTimeout rejects a queued run whose deadline-in-queue
+	// expired before a slot freed.
+	ErrServeQueueTimeout = serve.ErrQueueTimeout
+	// ErrServeManifestCorrupt / ErrServeManifestVersion classify manifests
+	// recovery skips.
+	ErrServeManifestCorrupt = serve.ErrManifestCorrupt
+	ErrServeManifestVersion = serve.ErrManifestVersion
 )
 
 // --- caching ----------------------------------------------------------------

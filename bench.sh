@@ -15,11 +15,12 @@
 # (Fig7, Fig9, ...) are excluded: they take minutes and measure modeled
 # time, not host performance.
 #
-# BENCH_MODE=serve switches to the serving-layer sustained-QPS benchmark
-# (internal/serve) and tags the record "mode":"serve". Serve records
-# measure a different quantity — saturated per-query latency through the
-# supervision plane, not substrate hot paths — so benchdiff refuses to
-# diff records across modes.
+# BENCH_MODE=serve switches to the serving-layer benchmarks (internal/
+# serve): sustained QPS at saturation plus the queued-overload regime (2×
+# clients over run slots, overflow absorbed by the admission queue), and
+# tags the record "mode":"serve". Serve records measure a different
+# quantity — per-query latency through the supervision plane, not
+# substrate hot paths — so benchdiff refuses to diff records across modes.
 #
 # BENCH_MODE=scale delegates to cmd/scalebench: it materializes a
 # scale-series dataset (default rmat-s21-ef256, ~100× the golden suite's
@@ -44,7 +45,7 @@ micro)
     pkgs='. ./internal/lcc'
     ;;
 serve)
-    pattern='^BenchmarkServeSustainedQPS$'
+    pattern='^(BenchmarkServeSustainedQPS$|BenchmarkServeQueuedOverload$)'
     pkgs='./internal/serve'
     ;;
 scale)

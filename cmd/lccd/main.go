@@ -3,24 +3,39 @@
 // serves supervised LCC/Jaccard queries against them over a local
 // HTTP+JSON API. Runs carry deadlines, cancellation unwinds the simulated
 // ranks cleanly, a worker panic fails the run but never the process, and
-// admission control bounds concurrent runs per instance.
+// admission control bounds concurrent runs per instance — overflow queues
+// (bounded, priority-ordered) when the instance allows it.
+//
+// With -state-dir the daemon is durable: every loaded instance persists a
+// versioned, checksummed manifest, and a restart — graceful or kill -9 —
+// recovers the fleet from the manifests (lazily by default: instances
+// come back parked and rebuild their snapshot on first query). With
+// -mem-budget the supervisor parks idle instances LRU when total resident
+// snapshot bytes overshoot the budget.
 //
 // Usage:
 //
 //	lccd -addr 127.0.0.1:8090
-//	lccd -smoke        # self-contained smoke run: load, query, drain, exit
+//	lccd -state-dir /var/lib/lccd            # durable: manifests + crash recovery
+//	lccd -state-dir dir -recover eager       # rebuild all snapshots at boot
+//	lccd -mem-budget 2147483648              # park idle instances past 2 GiB
+//	lccd -smoke            # self-contained smoke run: load, query, drain, exit
+//	lccd -restart-smoke    # crash-recovery smoke: boot, load, kill -9, restart, verify
 //
 // API (JSON bodies, JSON replies):
 //
-//	POST /v1/load   {"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2}
-//	POST /v1/run    {"instance":"fb","engine":"lcc","method":"hybrid","caching":true,"timeout_ms":5000}
+//	POST /v1/load   {"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2,"queue_depth":8}
+//	POST /v1/run    {"instance":"fb","engine":"lcc","method":"hybrid","caching":true,
+//	                 "timeout_ms":5000,"priority":1,"queue_timeout_ms":2000}
 //	POST /v1/stop   {"instance":"fb"}
 //	GET  /v1/ps
 //	GET  /v1/health
 //
-// Typed serve errors map to statuses: 429 busy, 404 unknown instance,
-// 410 exited, 503 loading/unhealthy, 504 deadline or cancellation, 500
-// isolated panic. SIGTERM/SIGINT drains in-flight runs before exit.
+// Typed serve errors map to statuses: 429 busy/queue-overflow (with
+// Retry-After), 404 unknown instance, 410 exited, 503 loading/unhealthy,
+// 504 deadline, cancellation or queue timeout (the JSON body carries the
+// queue wait), 500 isolated panic. SIGTERM/SIGINT drains in-flight runs
+// before exit; manifests survive the drain.
 package main
 
 import (
@@ -33,7 +48,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -56,15 +73,56 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lccd", flag.ContinueOnError)
 	var (
-		addr  = fs.String("addr", "127.0.0.1:8090", "listen address for the HTTP API")
-		drain = fs.Duration("drain", 30*time.Second, "how long a shutdown waits for in-flight runs")
-		smoke = fs.Bool("smoke", false, "start on an ephemeral port, load fb-sim, run one query, drain, exit")
+		addr         = fs.String("addr", "127.0.0.1:8090", "listen address for the HTTP API")
+		drain        = fs.Duration("drain", 30*time.Second, "how long a shutdown waits for in-flight runs")
+		stateDir     = fs.String("state-dir", "", "directory for instance manifests; enables restart recovery")
+		recoverMode  = fs.String("recover", "lazy", "manifest recovery mode: lazy (parked, rebuild on first query) or eager")
+		memBudget    = fs.Int64("mem-budget", 0, "total resident snapshot bytes before idle instances are parked LRU (0 = unbounded)")
+		smoke        = fs.Bool("smoke", false, "start on an ephemeral port, load fb-sim, run one query, drain, exit")
+		restartSmoke = fs.Bool("restart-smoke", false, "crash-recovery smoke: boot with a state dir, load, kill -9, restart, verify pinned bits")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *restartSmoke {
+		return runRestartSmoke(out)
+	}
 
 	srv := newServer()
+	if *memBudget > 0 {
+		srv.sup.SetMemBudget(*memBudget)
+	}
+	if *stateDir != "" {
+		ms, err := serve.NewManifestStore(*stateDir)
+		if err != nil {
+			return fmt.Errorf("state dir: %w", err)
+		}
+		srv.stateDir = *stateDir
+		srv.sup.SetManifestStore(ms)
+		eager := false
+		switch *recoverMode {
+		case "lazy":
+		case "eager":
+			eager = true
+		default:
+			return fmt.Errorf("unknown -recover mode %q (want lazy or eager)", *recoverMode)
+		}
+		rep := srv.sup.Recover(eager)
+		for _, me := range rep.Skipped {
+			fmt.Fprintf(out, "lccd: skipping manifest: %v\n", me)
+		}
+		for _, name := range rep.Failed {
+			fmt.Fprintf(out, "lccd: recovered instance %q failed to rebuild (see /v1/ps)\n", name)
+		}
+		if len(rep.Restored) > 0 {
+			mode := "parked"
+			if eager {
+				mode = "ready"
+			}
+			fmt.Fprintf(out, "lccd: recovered %d instance(s) from %s (%s): %s\n",
+				len(rep.Restored), *stateDir, mode, strings.Join(rep.Restored, ", "))
+		}
+	}
 	if *smoke {
 		return srv.smoke(out, *drain)
 	}
@@ -74,13 +132,15 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "lccd: serving on http://%s\n", ln.Addr())
+	srv.writeAddrFile(ln.Addr().String())
 	return srv.serve(ln, out, *drain)
 }
 
 // server binds the supervisor to the HTTP surface.
 type server struct {
-	sup  *serve.Supervisor
-	http *http.Server
+	sup      *serve.Supervisor
+	http     *http.Server
+	stateDir string
 }
 
 func newServer() *server {
@@ -95,9 +155,20 @@ func newServer() *server {
 	return s
 }
 
+// writeAddrFile records the bound address in the state dir so ops tooling
+// (and the restart smoke) can find a daemon that bound an ephemeral port.
+// Best-effort: no state dir, no file.
+func (s *server) writeAddrFile(addr string) {
+	if s.stateDir == "" {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(s.stateDir, "lccd.addr"), []byte(addr+"\n"), 0o644)
+}
+
 // serve runs the HTTP server until SIGTERM/SIGINT, then drains: the
-// supervisor stops admitting runs and waits for in-flight ones, then the
-// HTTP server shuts down.
+// supervisor stops admitting runs, fences the admission queues and waits
+// for in-flight ones, then the HTTP server shuts down. Manifests survive
+// the drain — a restarted daemon recovers the same fleet.
 func (s *server) serve(ln net.Listener, out io.Writer, drain time.Duration) error {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
@@ -126,13 +197,16 @@ func (s *server) serve(ln net.Listener, out io.Writer, drain time.Duration) erro
 
 // loadRequest is the POST /v1/load body.
 type loadRequest struct {
-	Name          string `json:"name"`
-	Dataset       string `json:"dataset"`
-	Ranks         int    `json:"ranks"`
-	Scheme        string `json:"scheme"`
-	DelegateBytes int    `json:"delegate_bytes"`
-	MaxConcurrent int    `json:"max_concurrent"`
-	TimeoutMS     int64  `json:"default_timeout_ms"`
+	Name           string `json:"name"`
+	Dataset        string `json:"dataset"`
+	Ranks          int    `json:"ranks"`
+	Scheme         string `json:"scheme"`
+	DelegateBytes  int    `json:"delegate_bytes"`
+	Storage        string `json:"storage"`
+	MemBudgetBytes int64  `json:"mem_budget_bytes"`
+	MaxConcurrent  int    `json:"max_concurrent"`
+	QueueDepth     int    `json:"queue_depth"`
+	TimeoutMS      int64  `json:"default_timeout_ms"`
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -145,7 +219,12 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("load needs name and dataset"))
 		return
 	}
-	scheme, err := parseScheme(req.Scheme)
+	scheme, err := part.ParseScheme(req.Scheme)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	storage, err := lcc.ParseStorageMode(req.Storage)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -155,30 +234,36 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		Ranks:          req.Ranks,
 		Scheme:         scheme,
 		DelegateBytes:  req.DelegateBytes,
+		Storage:        storage,
+		MemBudgetBytes: req.MemBudgetBytes,
 		MaxConcurrent:  req.MaxConcurrent,
+		QueueDepth:     req.QueueDepth,
 		DefaultTimeout: time.Duration(req.TimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeServeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, inst.Info())
 }
 
 // runRequest is the POST /v1/run body. Distribution comes from the
-// instance's snapshot; the query owns method, caching, workers and faults.
+// instance's snapshot; the query owns method, caching, workers, faults,
+// priority and queue deadline.
 type runRequest struct {
-	Instance     string `json:"instance"`
-	Engine       string `json:"engine"`
-	Method       string `json:"method"`
-	Workers      int    `json:"workers"`
-	Caching      bool   `json:"caching"`
-	CacheOffsets int    `json:"cache_offsets_bytes"`
-	CacheAdj     int    `json:"cache_adj_bytes"`
-	DegreeScores bool   `json:"degree_scores"`
-	NoOverlap    bool   `json:"no_overlap"`
-	Faults       string `json:"faults"`
-	TimeoutMS    int64  `json:"timeout_ms"`
+	Instance       string `json:"instance"`
+	Engine         string `json:"engine"`
+	Method         string `json:"method"`
+	Workers        int    `json:"workers"`
+	Caching        bool   `json:"caching"`
+	CacheOffsets   int    `json:"cache_offsets_bytes"`
+	CacheAdj       int    `json:"cache_adj_bytes"`
+	DegreeScores   bool   `json:"degree_scores"`
+	NoOverlap      bool   `json:"no_overlap"`
+	Faults         string `json:"faults"`
+	TimeoutMS      int64  `json:"timeout_ms"`
+	Priority       int    `json:"priority"`
+	QueueTimeoutMS int64  `json:"queue_timeout_ms"`
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -211,13 +296,15 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	q := serve.Query{
-		Engine:  req.Engine,
-		Options: opt,
-		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		Engine:       req.Engine,
+		Options:      opt,
+		Timeout:      time.Duration(req.TimeoutMS) * time.Millisecond,
+		Priority:     req.Priority,
+		QueueTimeout: time.Duration(req.QueueTimeoutMS) * time.Millisecond,
 	}
 	res, err := s.sup.Run(r.Context(), req.Instance, q)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeServeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -232,7 +319,7 @@ func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sup.Stop(req.Instance); err != nil {
-		writeError(w, statusFor(err), err)
+		writeServeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"instance": req.Instance, "state": "exited"})
@@ -267,13 +354,37 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, serve.ErrAlreadyRunning):
 		return http.StatusConflict
-	case errors.Is(err, sched.ErrRunCanceled):
+	case errors.Is(err, serve.ErrQueueTimeout), errors.Is(err, sched.ErrRunCanceled):
 		return http.StatusGatewayTimeout
 	case errors.As(err, &pe):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// errorBody is the JSON error reply. QueueWaitMS reports how long a
+// queue-timed-out run waited before the 504.
+type errorBody struct {
+	Error       string `json:"error"`
+	QueueWaitMS int64  `json:"queue_wait_ms,omitempty"`
+}
+
+// writeServeError maps a typed serve error onto its status and protocol
+// extras: 429 responses carry Retry-After (busy is transient by
+// definition — the queue or a slot frees as runs drain), and a queue
+// timeout's 504 body records the measured wait.
+func writeServeError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	body := errorBody{Error: err.Error()}
+	var qe *serve.QueueTimeoutError
+	if errors.As(err, &qe) {
+		body.QueueWaitMS = qe.Wait.Milliseconds()
+	}
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -285,20 +396,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
-}
-
-func parseScheme(s string) (part.Scheme, error) {
-	switch s {
-	case "", "block":
-		return part.Block, nil
-	case "cyclic":
-		return part.Cyclic, nil
-	case "blockarcs", "block-arcs":
-		return part.BlockArcs, nil
-	default:
-		return part.Block, fmt.Errorf("unknown scheme %q", s)
-	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }
 
 func parseMethod(s string) intersect.Method {
@@ -342,7 +440,7 @@ func (s *server) smoke(out io.Writer, drain time.Duration) error {
 		return m, nil
 	}
 
-	if _, err := post("/v1/load", `{"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2}`, http.StatusOK); err != nil {
+	if _, err := post("/v1/load", `{"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2,"queue_depth":4}`, http.StatusOK); err != nil {
 		return err
 	}
 	res, err := post("/v1/run", `{"instance":"fb","method":"hybrid","timeout_ms":60000}`, http.StatusOK)
@@ -374,5 +472,147 @@ func (s *server) smoke(out io.Writer, drain time.Duration) error {
 		return err
 	}
 	fmt.Fprintln(out, "lccd smoke: ok")
+	return nil
+}
+
+// smokeResult is the typed decode of a /v1/run reply: score_bits must
+// round-trip as a uint64 (a float64 decode would lose the low bits of the
+// checksum and defeat the bit-identity assertion).
+type smokeResult struct {
+	SimTime   float64 `json:"sim_time_ns"`
+	Triangles int64   `json:"triangles"`
+	SumT      int64   `json:"sum_t"`
+	ScoreBits uint64  `json:"score_bits"`
+}
+
+// runRestartSmoke is the crash-recovery lane (make serve-restart-smoke):
+// it re-execs this binary as a real daemon with a state dir, loads fb-sim
+// and records a golden query, SIGKILLs the daemon — no drain, no goodbye,
+// the crash-stop case — restarts it, and asserts /v1/ps still knows the
+// instance (recovered parked from its manifest) and that the same query
+// returns bit-identical SimTime/Triangles/ScoreBits through the
+// transparent reload.
+func runRestartSmoke(out io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "lccd-restart-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	addrFile := filepath.Join(dir, "lccd.addr")
+
+	boot := func() (*exec.Cmd, string, error) {
+		_ = os.Remove(addrFile)
+		cmd := exec.Command(exe, "-addr", "127.0.0.1:0", "-state-dir", dir)
+		cmd.Stdout, cmd.Stderr = out, out
+		if err := cmd.Start(); err != nil {
+			return nil, "", err
+		}
+		for i := 0; i < 200; i++ {
+			if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+				return cmd, "http://" + strings.TrimSpace(string(raw)), nil
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, "", errors.New("restart smoke: daemon did not write its address file")
+	}
+
+	post := func(base, path, body string) (*http.Response, error) {
+		return http.Post(base+path, "application/json", strings.NewReader(body))
+	}
+	runQuery := func(base string) (*smokeResult, error) {
+		resp, err := post(base, "/v1/run", `{"instance":"fb","method":"hybrid","timeout_ms":120000}`)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			return nil, fmt.Errorf("run: status %d: %s", resp.StatusCode, raw)
+		}
+		var res smokeResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return nil, err
+		}
+		return &res, nil
+	}
+
+	// Boot 1: load the instance and take the pre-crash golden reading.
+	d1, base1, err := boot()
+	if err != nil {
+		return err
+	}
+	resp, err := post(base1, "/v1/load", `{"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2,"queue_depth":4}`)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: status %d", resp.StatusCode)
+	}
+	before, err := runQuery(base1)
+	if err != nil {
+		return err
+	}
+	if before.Triangles == 0 {
+		return errors.New("restart smoke: pre-crash run returned no triangles")
+	}
+	fmt.Fprintf(out, "lccd restart-smoke: pre-crash: triangles=%d score_bits=%#x\n", before.Triangles, before.ScoreBits)
+
+	// Crash-stop: SIGKILL, no drain. The manifest on disk is now the only
+	// record the instance ever existed.
+	if err := d1.Process.Kill(); err != nil {
+		return err
+	}
+	_ = d1.Wait()
+
+	// Boot 2: recover from the state dir and verify the fleet and the bits.
+	d2, base2, err := boot()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		_ = d2.Process.Signal(syscall.SIGTERM)
+		_ = d2.Wait()
+	}()
+	psResp, err := http.Get(base2 + "/v1/ps")
+	if err != nil {
+		return err
+	}
+	var infos []struct {
+		Name  string `json:"name"`
+		State string `json:"state"`
+	}
+	err = json.NewDecoder(psResp.Body).Decode(&infos)
+	psResp.Body.Close()
+	if err != nil {
+		return err
+	}
+	found := ""
+	for _, info := range infos {
+		if info.Name == "fb" {
+			found = info.State
+		}
+	}
+	if found == "" {
+		return fmt.Errorf("restart smoke: ps after restart does not list instance fb: %v", infos)
+	}
+	fmt.Fprintf(out, "lccd restart-smoke: recovered: fb state=%s\n", found)
+
+	after, err := runQuery(base2)
+	if err != nil {
+		return err
+	}
+	if *after != *before {
+		return fmt.Errorf("restart smoke: results drifted across crash recovery:\n  before %+v\n  after  %+v", *before, *after)
+	}
+	fmt.Fprintf(out, "lccd restart-smoke: post-restart bits identical: triangles=%d score_bits=%#x\n", after.Triangles, after.ScoreBits)
+	fmt.Fprintln(out, "lccd restart-smoke: ok")
 	return nil
 }

@@ -37,7 +37,8 @@
 //     plus the A1–A13 ablations
 //   - internal/serve — the supervised serving layer: long-lived instances
 //     over a shared graph snapshot, with run deadlines, cancellation,
-//     panic isolation and admission control (DESIGN.md §8)
+//     panic isolation, priority admission queueing, memory-budgeted LRU
+//     parking and manifest-backed restart recovery (DESIGN.md §8)
 //
 // Quick start:
 //
@@ -78,17 +79,22 @@
 //		Timeout: 30 * time.Second,
 //	})
 //
-//	$ go run ./cmd/lccd &
-//	$ curl -d '{"name":"fb","dataset":"fb-sim","ranks":8}' localhost:8090/v1/load
-//	$ curl -d '{"instance":"fb","method":"hybrid","timeout_ms":30000}' localhost:8090/v1/run
+//	$ go run ./cmd/lccd -state-dir /var/lib/lccd &
+//	$ curl -d '{"name":"fb","dataset":"fb-sim","ranks":8,"queue_depth":8}' localhost:8090/v1/load
+//	$ curl -d '{"instance":"fb","method":"hybrid","timeout_ms":30000,"priority":1}' localhost:8090/v1/run
 //	$ curl localhost:8090/v1/health
+//	$ kill -9 %1 && go run ./cmd/lccd -state-dir /var/lib/lccd &  # fleet recovers
+//	$ curl localhost:8090/v1/ps   # instance is back (parked), first query reloads it
 //
 // A run canceled by its context or deadline unwinds the simulated ranks
 // at their next checkpoint (errors.Is(err, repro.ErrRunCanceled)); an
 // engine-goroutine panic becomes a typed *repro.PanicError that fails the
 // run, flips the instance unhealthy and leaves the process serving; the
 // next query after either reproduces the golden pins bit for bit
-// (DESIGN.md §8).
+// (DESIGN.md §8). With a queue (ServeConfig.QueueDepth), overload waits
+// bounded by ServeQuery.Priority/QueueTimeout instead of bouncing; with a
+// state dir, instances persist checksummed manifests and survive daemon
+// restarts — including kill -9 — with bit-identical results.
 //
 // Simulated ranks execute on real goroutines under a deterministic
 // multicore scheduler (internal/sched): Workers bounds how many run

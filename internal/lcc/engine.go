@@ -144,6 +144,21 @@ func (m StorageMode) String() string {
 	}
 }
 
+// ParseStorageMode is the inverse of StorageMode.String. The empty string
+// selects StorageAuto.
+func ParseStorageMode(s string) (StorageMode, error) {
+	switch s {
+	case "", "auto":
+		return StorageAuto, nil
+	case "plain":
+		return StoragePlain, nil
+	case "compressed":
+		return StorageCompressed, nil
+	default:
+		return StorageAuto, fmt.Errorf("lcc: unknown storage mode %q", s)
+	}
+}
+
 // extractLocals builds every rank's LocalCSR in the representation the
 // options select. Auto mode estimates the plain footprint — 4 bytes per
 // arc of adjacency plus 24 per vertex of offsets and (start,end) pairs —

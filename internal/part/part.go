@@ -45,6 +45,22 @@ func (s Scheme) String() string {
 	}
 }
 
+// ParseScheme is the inverse of Scheme.String, accepting the spellings the
+// tooling uses ("blockarcs" is an alias for "block-arcs"). The empty
+// string selects the paper's default, Block.
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "", "block":
+		return Block, nil
+	case "cyclic":
+		return Cyclic, nil
+	case "blockarcs", "block-arcs":
+		return BlockArcs, nil
+	default:
+		return Block, fmt.Errorf("part: unknown scheme %q", s)
+	}
+}
+
 // Partition maps the vertex set {0..n-1} onto p ranks under a Scheme.
 type Partition struct {
 	scheme Scheme

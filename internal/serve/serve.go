@@ -9,8 +9,9 @@
 // queries share the snapshot and nothing else; results are bit-identical
 // to the corresponding one-shot lcc.Run.
 //
-// The instance moves through loading → ready → busy → unhealthy → exited
-// under a per-instance lock. Runs are supervised end to end:
+// The instance moves through loading → ready → busy → unhealthy → exited,
+// plus the parked state (snapshot evicted, config retained) under a
+// per-instance lock. Runs are supervised end to end:
 //
 //   - Deadlines and cancellation: the run context threads through
 //     rma.Comm.RunCtx into the scheduler; ranks observe cancellation at
@@ -24,11 +25,19 @@
 //     to unhealthy, its snapshot is discarded (Reload rebuilds it), the
 //     per-rank scratch state is repooled by the engine's deferred close,
 //     and the process lives.
-//   - Admission control: at most Config.MaxConcurrent runs are admitted
-//     per instance; overflow returns ErrBusy immediately.
+//   - Admission control and queueing: at most Config.MaxConcurrent runs
+//     execute; with Config.QueueDepth > 0 overflow parks in a bounded
+//     priority queue (queue.go) instead of bouncing, and only overflow
+//     past the queue bound returns ErrBusy.
+//   - Parking: an idle instance's snapshot can be evicted (Park) under a
+//     supervisor memory budget; the instance transparently rebuilds it on
+//     the next query. A parked instance costs configuration bytes, not
+//     graph bytes.
 //
-// A Supervisor manages named instances and is the backing store of the
-// lccd server (cmd/lccd).
+// A Supervisor manages named instances, enforces the global memory budget
+// via LRU parking, and — when given a ManifestStore — persists each
+// instance's manifest so a daemon restart (even kill -9) recovers the
+// fleet. It is the backing store of the lccd server (cmd/lccd).
 package serve
 
 import (
@@ -37,6 +46,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/gen"
@@ -55,6 +65,8 @@ import (
 //	ready   ⇄ busy       (run admitted / last run drains)
 //	busy    → unhealthy  (a run panics)
 //	unhealthy → loading  (Reload)
+//	ready   → parked     (Park: snapshot evicted, config retained)
+//	parked  → loading    (next query or Reload rebuilds the snapshot)
 //	any     → exited     (Stop; terminal)
 type State int32
 
@@ -64,6 +76,7 @@ const (
 	StateBusy
 	StateUnhealthy
 	StateExited
+	StateParked
 )
 
 func (s State) String() string {
@@ -78,6 +91,8 @@ func (s State) String() string {
 		return "unhealthy"
 	case StateExited:
 		return "exited"
+	case StateParked:
+		return "parked"
 	default:
 		return "unknown"
 	}
@@ -97,8 +112,11 @@ var (
 	// Reload restores service.
 	ErrUnhealthy = errors.New("serve: instance unhealthy")
 	// ErrBusy is the admission-control overflow: MaxConcurrent runs are
-	// already in flight.
+	// in flight and the admission queue (if any) is full.
 	ErrBusy = errors.New("serve: instance busy")
+	// ErrQueueTimeout rejects a queued run whose deadline-in-queue
+	// expired before a slot freed; see QueueTimeoutError for the wait.
+	ErrQueueTimeout = errors.New("serve: queue deadline expired")
 	// ErrUnknownInstance is returned by the Supervisor for names it does
 	// not hold.
 	ErrUnknownInstance = errors.New("serve: unknown instance")
@@ -110,6 +128,8 @@ type Config struct {
 	// nil.
 	Dataset string
 	// Graph, when non-nil, is served directly instead of loading Dataset.
+	// Direct-graph instances are not durable: they cannot be rebuilt from
+	// a manifest, so the supervisor neither persists nor parks them.
 	Graph *graph.Graph
 
 	// Ranks, Scheme and DelegateBytes pin the snapshot's distribution
@@ -119,8 +139,19 @@ type Config struct {
 	Scheme        part.Scheme
 	DelegateBytes int
 
-	// MaxConcurrent bounds admitted runs; 0 selects 1.
+	// Storage selects the host-side representation of the snapshot's
+	// per-rank adjacency plane (lcc.StorageMode); MemBudgetBytes is the
+	// StorageAuto budget. Host-side only — results are bit-identical
+	// across modes (DESIGN.md §9).
+	Storage        lcc.StorageMode
+	MemBudgetBytes int64
+
+	// MaxConcurrent bounds executing runs; 0 selects 1.
 	MaxConcurrent int
+	// QueueDepth bounds the admission queue holding runs past
+	// MaxConcurrent. 0 disables queueing: overflow returns ErrBusy
+	// immediately, the pre-queue behavior.
+	QueueDepth int
 	// DefaultTimeout applies to runs whose Query sets none; 0 = no
 	// deadline.
 	DefaultTimeout time.Duration
@@ -129,11 +160,16 @@ type Config struct {
 // Counters aggregates an instance's served-run outcomes.
 type Counters struct {
 	Served   int64 // runs completed with results
-	Canceled int64 // runs unwound by cancellation or deadline
+	Canceled int64 // runs unwound by cancellation or deadline (queued or executing)
 	Panicked int64 // runs that died on an engine panic
 	Failed   int64 // runs that returned any other error
-	Rejected int64 // admissions refused with ErrBusy
+	Rejected int64 // admissions refused (ErrBusy overflow or a queue fence)
+	TimedOut int64 // queued runs whose deadline-in-queue expired
 }
+
+// useTick is the global recency clock behind LRU parking: every admission
+// stamps its instance, and the supervisor evicts the smallest stamp.
+var useTick atomic.Uint64
 
 // Instance is one loaded graph serving queries. Create with NewInstance,
 // bring up with Start; all methods are safe for concurrent use.
@@ -141,14 +177,24 @@ type Instance struct {
 	name string
 	cfg  Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond // signaled whenever active drops or state changes
-	state   State
-	started bool
-	active  int
-	snap    *lcc.Snapshot
-	failure error // what flipped unhealthy (load error or *sched.PanicError)
-	ctr     Counters
+	// onResident, when set (by the Supervisor, before Start), observes
+	// every successful snapshot load — initial, Reload and unpark — so
+	// the global memory budget can be (re-)enforced. Called outside the
+	// instance lock.
+	onResident func(*Instance)
+
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled whenever active drops or state changes
+	state     State
+	started   bool
+	everReady bool // true once a load has succeeded; gates wait-vs-reject on loading
+	active    int
+	queue     waiterQueue
+	seq       uint64 // admission sequence; FIFO tiebreak within a priority
+	lastUsed  uint64 // useTick stamp of the latest admission or load
+	snap      *lcc.Snapshot
+	failure   error // what flipped unhealthy (load error or *sched.PanicError)
+	ctr       Counters
 }
 
 // NewInstance creates an instance in the loading state. Start loads it.
@@ -159,8 +205,22 @@ func NewInstance(name string, cfg Config) *Instance {
 	if cfg.Ranks == 0 {
 		cfg.Ranks = 1
 	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
 	inst := &Instance{name: name, cfg: cfg, state: StateLoading}
 	inst.cond = sync.NewCond(&inst.mu)
+	return inst
+}
+
+// newParkedInstance creates an instance directly in the parked state — the
+// lazy recovery path: the manifest proves a load once succeeded, so the
+// first query (or an explicit Reload) rebuilds the snapshot on demand.
+func newParkedInstance(name string, cfg Config) *Instance {
+	inst := NewInstance(name, cfg)
+	inst.started = true
+	inst.everReady = true
+	inst.state = StateParked
 	return inst
 }
 
@@ -189,6 +249,21 @@ func (inst *Instance) Counters() Counters {
 	return inst.ctr
 }
 
+// MemBytes reports the resident host bytes of the instance's snapshot
+// adjacency plane — the quantity the supervisor's memory budget governs.
+// A parked (or not-yet-loaded) instance reports 0.
+func (inst *Instance) MemBytes() int64 {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.snap == nil {
+		return 0
+	}
+	return inst.snap.LocalBytes()
+}
+
+// touchLocked stamps the instance as most recently used. Caller holds mu.
+func (inst *Instance) touchLocked() { inst.lastUsed = useTick.Add(1) }
+
 // Start loads the instance's graph and snapshot and moves it to ready. A
 // second Start returns ErrAlreadyRunning; Start after Stop returns
 // ErrInstanceExited. On a load failure the instance is unhealthy with the
@@ -205,19 +280,39 @@ func (inst *Instance) Start() error {
 	}
 	inst.started = true
 	inst.mu.Unlock()
-	return inst.load()
+	return inst.loadAndNote()
+}
+
+// loadAndNote is load plus the residency hook: a successful load may push
+// total resident bytes past the supervisor's budget, so the supervisor
+// gets to park someone (outside the instance lock — the hook may park
+// *other* instances, never this one).
+func (inst *Instance) loadAndNote() error {
+	if err := inst.load(); err != nil {
+		return err
+	}
+	if inst.onResident != nil {
+		inst.onResident(inst)
+	}
+	return nil
 }
 
 // load builds the snapshot outside the lock and installs it under it.
 func (inst *Instance) load() error {
-	g := inst.cfg.Graph
+	var g graph.Store = inst.cfg.Graph
 	var err error
-	if g == nil {
+	if inst.cfg.Graph == nil {
 		g, err = gen.Load(inst.cfg.Dataset)
 	}
 	var snap *lcc.Snapshot
 	if err == nil {
-		snap, err = lcc.NewSnapshot(g, inst.cfg.Ranks, inst.cfg.Scheme, inst.cfg.DelegateBytes)
+		snap, err = lcc.NewSnapshotOpts(g, lcc.SnapshotOptions{
+			Ranks:          inst.cfg.Ranks,
+			Scheme:         inst.cfg.Scheme,
+			DelegateBytes:  inst.cfg.DelegateBytes,
+			Storage:        inst.cfg.Storage,
+			MemBudgetBytes: inst.cfg.MemBudgetBytes,
+		})
 	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
@@ -228,18 +323,22 @@ func (inst *Instance) load() error {
 	if err != nil {
 		inst.state = StateUnhealthy
 		inst.failure = err
+		inst.flushQueueLocked(fmt.Errorf("%w (cause: %v)", ErrUnhealthy, err))
 		inst.cond.Broadcast()
 		return err
 	}
 	inst.snap, inst.failure = snap, nil
 	inst.state = StateReady
+	inst.everReady = true
+	inst.touchLocked()
 	inst.cond.Broadcast()
 	return nil
 }
 
 // Reload rebuilds the snapshot and restores service — the recovery path
-// out of unhealthy. It refuses while runs are in flight (ErrBusy), before
-// Start (ErrNotReady) and after Stop (ErrInstanceExited).
+// out of unhealthy and the eager path out of parked. It refuses while
+// runs are in flight or queued (ErrBusy), before Start (ErrNotReady) and
+// after Stop (ErrInstanceExited).
 func (inst *Instance) Reload() error {
 	inst.mu.Lock()
 	switch {
@@ -249,18 +348,45 @@ func (inst *Instance) Reload() error {
 	case !inst.started:
 		inst.mu.Unlock()
 		return ErrNotReady
-	case inst.active > 0:
+	case inst.active > 0 || inst.queue.Len() > 0:
 		inst.mu.Unlock()
 		return ErrBusy
 	}
 	inst.state = StateLoading
 	inst.snap = nil
 	inst.mu.Unlock()
-	return inst.load()
+	return inst.loadAndNote()
+}
+
+// Park evicts the snapshot of an idle instance while keeping it
+// registered and serveable: the state flips to parked, the snapshot is
+// released to the collector, and the next query (or Reload) transparently
+// rebuilds it from the instance config via the dataset registry and its
+// disk cache. Busy or queued instances refuse with ErrBusy — parking
+// never cancels work — and only a ready instance parks (ErrNotReady
+// otherwise). Parking an already parked instance is a no-op.
+func (inst *Instance) Park() error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	switch {
+	case inst.state == StateExited:
+		return ErrInstanceExited
+	case inst.state == StateParked:
+		return nil
+	case inst.state == StateBusy || inst.active > 0 || inst.queue.Len() > 0:
+		return ErrBusy
+	case inst.state != StateReady:
+		return ErrNotReady
+	}
+	inst.state = StateParked
+	inst.snap = nil
+	inst.cond.Broadcast()
+	return nil
 }
 
 // Stop moves the instance to the terminal exited state. New runs are
-// rejected with ErrInstanceExited; runs already in flight complete
+// rejected with ErrInstanceExited, queued runs are fenced out with the
+// same error before in-flight runs drain; runs already executing complete
 // against the snapshot they captured (Quiesce waits for them). A second
 // Stop returns ErrInstanceExited.
 func (inst *Instance) Stop() error {
@@ -271,12 +397,14 @@ func (inst *Instance) Stop() error {
 	}
 	inst.state = StateExited
 	inst.snap = nil
+	inst.flushQueueLocked(ErrInstanceExited)
 	inst.cond.Broadcast()
 	return nil
 }
 
-// Quiesce blocks until no run is in flight or ctx expires — the drain
-// half of a graceful shutdown (call Stop first to fence new admissions).
+// Quiesce blocks until no run is in flight or queued, or ctx expires —
+// the drain half of a graceful shutdown (call Stop first to fence new
+// admissions and flush the queue).
 func (inst *Instance) Quiesce(ctx context.Context) error {
 	done := make(chan struct{})
 	defer close(done)
@@ -291,7 +419,7 @@ func (inst *Instance) Quiesce(ctx context.Context) error {
 	}()
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
-	for inst.active > 0 && ctx.Err() == nil {
+	for (inst.active > 0 || inst.queue.Len() > 0) && ctx.Err() == nil {
 		inst.cond.Wait()
 	}
 	return ctx.Err()
@@ -309,6 +437,14 @@ type Query struct {
 	// Timeout bounds the run; 0 applies the instance default, negative
 	// disables the deadline even when the instance has one.
 	Timeout time.Duration
+	// Priority orders queued admissions: higher runs first, FIFO within
+	// a priority. Ignored when a slot is free or queueing is off.
+	Priority int
+	// QueueTimeout bounds the time this run may wait in the admission
+	// queue; past it the run fails with ErrQueueTimeout (the error is a
+	// *QueueTimeoutError carrying the measured wait). 0 = wait as long
+	// as the context allows.
+	QueueTimeout time.Duration
 }
 
 // QueryResult summarizes one completed run.
@@ -320,6 +456,7 @@ type QueryResult struct {
 	ScoreBits uint64        `json:"score_bits"` // checksum of the score vector (see ScoreBits)
 	HitRate   float64       `json:"hit_rate,omitempty"`
 	Wall      time.Duration `json:"wall_ns"`
+	QueueWait time.Duration `json:"queue_wait_ns,omitempty"` // time spent in the admission queue
 
 	// Full engine results for in-process callers; elided on the wire.
 	LCC     *lcc.Result        `json:"-"`
@@ -337,14 +474,17 @@ func ScoreBits(scores []float64) uint64 {
 }
 
 // Run executes one supervised query. The error is one of the typed
-// admission errors (ErrNotReady, ErrUnhealthy, ErrInstanceExited,
-// ErrBusy), a cancellation (wraps sched.ErrRunCanceled), a panic
-// conversion (*sched.PanicError — the instance is unhealthy afterwards),
-// or an engine error (e.g. *fault.CrashError in fail-fast mode, which
-// leaves the instance serving: a deterministic simulated crash is a run
-// outcome, not an instance failure).
+// admission errors (ErrNotReady, ErrUnhealthy, ErrInstanceExited, ErrBusy
+// on queue overflow, ErrQueueTimeout past the deadline-in-queue), a
+// cancellation (wraps sched.ErrRunCanceled, or the context cause when
+// canceled while queued), a panic conversion (*sched.PanicError — the
+// instance is unhealthy afterwards), or an engine error (e.g.
+// *fault.CrashError in fail-fast mode, which leaves the instance serving:
+// a deterministic simulated crash is a run outcome, not an instance
+// failure). A query against a parked instance transparently reloads the
+// snapshot first.
 func (inst *Instance) Run(ctx context.Context, q Query) (*QueryResult, error) {
-	snap, err := inst.admit()
+	snap, queueWait, err := inst.admit(ctx, q)
 	if err != nil {
 		return nil, err
 	}
@@ -364,34 +504,73 @@ func (inst *Instance) Run(ctx context.Context, q Query) (*QueryResult, error) {
 		return nil, err
 	}
 	res.Wall = time.Since(start)
+	res.QueueWait = queueWait
 	return res, nil
 }
 
-// admit applies the lifecycle and admission checks and claims a run slot.
-func (inst *Instance) admit() (*lcc.Snapshot, error) {
+// admit applies the lifecycle and admission checks and claims a run slot,
+// unparking, waiting on an in-flight reload, or queueing as the state and
+// config dictate. On success it returns the snapshot to run against and
+// the time spent queued.
+func (inst *Instance) admit(ctx context.Context, q Query) (*lcc.Snapshot, time.Duration, error) {
 	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	switch inst.state {
-	case StateLoading:
-		return nil, ErrNotReady
-	case StateUnhealthy:
-		return nil, fmt.Errorf("%w (cause: %v)", ErrUnhealthy, inst.failure)
-	case StateExited:
-		return nil, ErrInstanceExited
+	for {
+		switch inst.state {
+		case StateParked:
+			// Transparent unpark: the first query flips the instance to
+			// loading and rebuilds the snapshot; concurrent queries take
+			// the loading branch below and wait for it.
+			inst.state = StateLoading
+			inst.mu.Unlock()
+			if err := inst.loadAndNote(); err != nil {
+				return nil, 0, err
+			}
+			inst.mu.Lock()
+			continue
+		case StateLoading:
+			if !inst.everReady {
+				// Initial load: rejecting is the contract (ErrNotReady);
+				// only reloads of a previously serving instance are
+				// waited out.
+				inst.mu.Unlock()
+				return nil, 0, ErrNotReady
+			}
+			inst.cond.Wait()
+			continue
+		case StateUnhealthy:
+			err := fmt.Errorf("%w (cause: %v)", ErrUnhealthy, inst.failure)
+			inst.mu.Unlock()
+			return nil, 0, err
+		case StateExited:
+			inst.mu.Unlock()
+			return nil, 0, ErrInstanceExited
+		}
+		// Ready or busy: claim a slot, queue, or reject.
+		if inst.active < inst.cfg.MaxConcurrent {
+			inst.active++
+			inst.state = StateBusy
+			inst.touchLocked()
+			snap := inst.snap
+			inst.mu.Unlock()
+			return snap, 0, nil
+		}
+		if inst.cfg.QueueDepth <= 0 || inst.queue.Len() >= inst.cfg.QueueDepth {
+			inst.ctr.Rejected++
+			inst.mu.Unlock()
+			return nil, 0, ErrBusy
+		}
+		out, err := inst.enqueueLocked(q, ctx.Done(), func() error { return context.Cause(ctx) })
+		if err != nil {
+			return nil, 0, err
+		}
+		return out.snap, out.wait, nil
 	}
-	if inst.active >= inst.cfg.MaxConcurrent {
-		inst.ctr.Rejected++
-		return nil, ErrBusy
-	}
-	inst.active++
-	inst.state = StateBusy
-	return inst.snap, nil
 }
 
 // finish releases the run slot and applies the outcome to the lifecycle:
-// panics flip the instance unhealthy and discard the snapshot; every
-// other outcome leaves it serving, returning to ready once the last
-// in-flight run drains.
+// panics flip the instance unhealthy, discard the snapshot and fence the
+// queue; every other outcome leaves it serving, granting freed slots to
+// queued runs and returning to ready once the last in-flight run drains.
 func (inst *Instance) finish(err error) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
@@ -408,10 +587,12 @@ func (inst *Instance) finish(err error) {
 			inst.state = StateUnhealthy
 			inst.failure = err
 			inst.snap = nil
+			inst.flushQueueLocked(fmt.Errorf("%w (cause: %v)", ErrUnhealthy, err))
 		}
 	default:
 		inst.ctr.Failed++
 	}
+	inst.grantLocked()
 	if inst.state == StateBusy && inst.active == 0 {
 		inst.state = StateReady
 	}
@@ -459,6 +640,8 @@ type InstanceInfo struct {
 	Vertices int      `json:"vertices,omitempty"`
 	Arcs     int64    `json:"arcs,omitempty"`
 	Active   int      `json:"active"`
+	Queued   int      `json:"queued"`
+	MemBytes int64    `json:"mem_bytes,omitempty"`
 	Failure  string   `json:"failure,omitempty"`
 	Counters Counters `json:"counters"`
 }
@@ -473,15 +656,30 @@ func (inst *Instance) Info() InstanceInfo {
 		State:    inst.state.String(),
 		Ranks:    inst.cfg.Ranks,
 		Active:   inst.active,
+		Queued:   inst.queue.Len(),
 		Counters: inst.ctr,
 	}
 	if inst.snap != nil {
 		g := inst.snap.Graph()
 		info.Vertices = g.NumVertices()
 		info.Arcs = int64(g.NumArcs())
+		info.MemBytes = inst.snap.LocalBytes()
 	}
 	if inst.failure != nil {
 		info.Failure = inst.failure.Error()
 	}
 	return info
+}
+
+// residency reports the eviction-relevant view of the instance under its
+// lock: whether a snapshot is resident, whether the instance is idle
+// (parkable), its recency stamp and its resident bytes.
+func (inst *Instance) residency() (resident, idle bool, lastUsed uint64, bytes int64) {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.snap == nil {
+		return false, false, inst.lastUsed, 0
+	}
+	idle = inst.state == StateReady && inst.active == 0 && inst.queue.Len() == 0
+	return true, idle, inst.lastUsed, inst.snap.LocalBytes()
 }

@@ -2,30 +2,74 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 )
 
 // Supervisor manages named instances: the registry behind the lccd
-// server's load/run/stop/ps surface. All methods are safe for concurrent
-// use; per-run supervision (deadlines, cancellation, panic isolation,
-// admission) lives in the instances themselves.
+// server's load/run/stop/ps surface. Beyond the registry it owns the two
+// fleet-level robustness mechanisms (DESIGN.md §8):
+//
+//   - Memory budgeting: SetMemBudget bounds the total resident snapshot
+//     bytes across all instances. A load (or unpark) that overshoots the
+//     budget parks idle instances in LRU order — never busy or queued
+//     ones — so overload degrades to reload latency instead of OOM.
+//   - Manifest persistence: with SetManifestStore, every durable
+//     instance's config is checksummed to the state directory on load and
+//     removed on explicit stop. Recover replays the manifests after a
+//     daemon restart — including a kill -9 — restoring the fleet lazily
+//     (parked, rebuilt on first query) or eagerly.
+//
+// All methods are safe for concurrent use; per-run supervision
+// (deadlines, cancellation, panic isolation, queueing) lives in the
+// instances themselves.
 type Supervisor struct {
 	mu        sync.Mutex
 	instances map[string]*Instance
+	manifests *ManifestStore // nil = no persistence
+	memBudget int64          // 0 = unbounded
+	parks     int64          // instances parked by budget enforcement
 }
 
-// NewSupervisor creates an empty registry.
+// NewSupervisor creates an empty registry with no memory budget and no
+// manifest persistence.
 func NewSupervisor() *Supervisor {
 	return &Supervisor{instances: make(map[string]*Instance)}
+}
+
+// SetManifestStore enables manifest persistence: subsequent loads persist
+// their config to the store, stops remove it, and Recover replays it.
+// Call before serving traffic.
+func (s *Supervisor) SetManifestStore(ms *ManifestStore) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.manifests = ms
+}
+
+// SetMemBudget bounds the total resident snapshot bytes across all
+// instances; 0 removes the bound. Enforcement is by LRU parking of idle
+// instances on each load/unpark (see EnsureBudget).
+func (s *Supervisor) SetMemBudget(bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.memBudget = bytes
+}
+
+// Parks reports how many times budget enforcement parked an instance.
+func (s *Supervisor) Parks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.parks
 }
 
 // Load creates, registers and starts an instance under name. A live
 // instance already holding the name is an error (ErrAlreadyRunning); an
 // exited one is replaced. On a load failure the instance stays registered
 // in its unhealthy state — ps and health report the cause — and the error
-// is returned alongside it.
+// is returned alongside it. A successful load persists the instance's
+// manifest (when a store is set) and enforces the memory budget.
 func (s *Supervisor) Load(name string, cfg Config) (*Instance, error) {
 	s.mu.Lock()
 	if old, ok := s.instances[name]; ok && old.State() != StateExited {
@@ -33,12 +77,142 @@ func (s *Supervisor) Load(name string, cfg Config) (*Instance, error) {
 		return nil, fmt.Errorf("serve: instance %q: %w", name, ErrAlreadyRunning)
 	}
 	inst := NewInstance(name, cfg)
+	inst.onResident = s.noteResident
 	s.instances[name] = inst
 	s.mu.Unlock()
 	if err := inst.Start(); err != nil {
 		return inst, err
 	}
+	s.persistManifest(inst)
 	return inst, nil
+}
+
+// persistManifest saves the instance's manifest when persistence is on
+// and the instance is durable (dataset-backed). Best-effort by contract:
+// a full disk degrades recovery, not serving.
+func (s *Supervisor) persistManifest(inst *Instance) {
+	s.mu.Lock()
+	ms := s.manifests
+	s.mu.Unlock()
+	if ms == nil {
+		return
+	}
+	if m, ok := manifestFor(inst.Name(), inst.cfg); ok {
+		_ = ms.Save(m)
+	}
+}
+
+// noteResident is the instances' residency hook: after any successful
+// load (initial, Reload, unpark) the newly resident bytes may overshoot
+// the budget, so enforcement runs with the loading instance exempt — the
+// query that triggered the load must win, every other idle instance is a
+// parking candidate.
+func (s *Supervisor) noteResident(inst *Instance) {
+	s.EnsureBudget(inst)
+}
+
+// EnsureBudget enforces the memory budget now: while total resident
+// snapshot bytes exceed it, the least-recently-used idle instance is
+// parked (its manifest already persists, so it stays recoverable and
+// serveable). Busy, queued, loading and exclude instances are never
+// parked; when nothing is evictable the fleet is allowed to overshoot —
+// parking running work would be worse than the memory pressure.
+func (s *Supervisor) EnsureBudget(exclude *Instance) {
+	s.mu.Lock()
+	budget := s.memBudget
+	insts := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	s.mu.Unlock()
+	if budget <= 0 {
+		return
+	}
+	for {
+		type candidate struct {
+			inst     *Instance
+			lastUsed uint64
+		}
+		var (
+			total int64
+			cands []candidate
+		)
+		for _, inst := range insts {
+			resident, idle, lastUsed, bytes := inst.residency()
+			if !resident {
+				continue
+			}
+			total += bytes
+			if idle && inst != exclude {
+				cands = append(cands, candidate{inst, lastUsed})
+			}
+		}
+		if total <= budget || len(cands) == 0 {
+			return
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].lastUsed < cands[j].lastUsed })
+		// Park the coldest candidate; a race with a fresh admission makes
+		// Park return ErrBusy, which simply moves on to the next round.
+		if err := cands[0].inst.Park(); err == nil {
+			s.mu.Lock()
+			s.parks++
+			s.mu.Unlock()
+		}
+	}
+}
+
+// RecoveryReport summarizes one Recover pass: which instances were
+// restored (and how) and which manifests were skipped, loudly, with their
+// typed errors.
+type RecoveryReport struct {
+	Restored []string         // instance names restored from manifests
+	Failed   []string         // manifests that loaded but whose instance failed to start (eager only)
+	Skipped  []*ManifestError // unreadable manifests: corrupt or version-skewed
+}
+
+// Recover replays the manifest store after a daemon restart, restoring
+// every persisted instance. eager rebuilds each snapshot immediately (a
+// failing build leaves that instance registered unhealthy, in Failed);
+// lazy (the default daemon mode) registers instances parked, so the first
+// query against each rebuilds its snapshot on demand. Corrupt or
+// version-skewed manifests are skipped with typed errors in the report —
+// never fatal — and names already registered live are left untouched.
+func (s *Supervisor) Recover(eager bool) RecoveryReport {
+	s.mu.Lock()
+	ms := s.manifests
+	s.mu.Unlock()
+	var rep RecoveryReport
+	if ms == nil {
+		return rep
+	}
+	manifests, skipped := ms.LoadAll()
+	rep.Skipped = skipped
+	for _, m := range manifests {
+		cfg, err := m.config()
+		if err != nil {
+			rep.Skipped = append(rep.Skipped, &ManifestError{
+				Path: ms.Path(m.Name), Reason: err.Error(), Err: ErrManifestCorrupt,
+			})
+			continue
+		}
+		s.mu.Lock()
+		if old, ok := s.instances[m.Name]; ok && old.State() != StateExited {
+			s.mu.Unlock()
+			continue
+		}
+		inst := newParkedInstance(m.Name, cfg)
+		inst.onResident = s.noteResident
+		s.instances[m.Name] = inst
+		s.mu.Unlock()
+		if eager {
+			if err := inst.Reload(); err != nil {
+				rep.Failed = append(rep.Failed, m.Name)
+				continue
+			}
+		}
+		rep.Restored = append(rep.Restored, m.Name)
+	}
+	return rep
 }
 
 // Get returns the named instance or ErrUnknownInstance.
@@ -61,14 +235,25 @@ func (s *Supervisor) Run(ctx context.Context, name string, q Query) (*QueryResul
 	return inst.Run(ctx, q)
 }
 
-// Stop moves the named instance to exited. The instance stays listed so
-// its terminal state remains observable.
+// Stop moves the named instance to exited and removes its manifest: an
+// explicit stop is a statement the instance should not return, so it is
+// the one transition that forgets durable state. The instance stays
+// listed so its terminal state remains observable.
 func (s *Supervisor) Stop(name string) error {
 	inst, err := s.Get(name)
 	if err != nil {
 		return err
 	}
-	return inst.Stop()
+	if err := inst.Stop(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	ms := s.manifests
+	s.mu.Unlock()
+	if ms != nil {
+		_ = ms.Remove(name)
+	}
+	return nil
 }
 
 // List reports every registered instance, sorted by name.
@@ -87,8 +272,9 @@ func (s *Supervisor) List() []InstanceInfo {
 	return infos
 }
 
-// Healthy reports whether every non-exited instance is serving (ready or
-// busy) — the health-endpoint predicate.
+// Healthy reports whether every non-exited instance is serving (ready,
+// busy, or parked — a parked instance serves via transparent reload) —
+// the health-endpoint predicate.
 func (s *Supervisor) Healthy() bool {
 	for _, info := range s.List() {
 		if info.State == StateLoading.String() || info.State == StateUnhealthy.String() {
@@ -98,9 +284,13 @@ func (s *Supervisor) Healthy() bool {
 	return true
 }
 
-// Shutdown drains the registry: every instance stops admitting runs, then
-// in-flight runs are awaited until ctx expires. The first deadline error
-// is returned; instances are stopped regardless.
+// Shutdown drains the registry: every instance stops admitting runs and
+// fences its queue, then in-flight runs are awaited until ctx expires.
+// All per-instance drain failures are collected and joined (errors.Join),
+// each naming its instance, so a multi-instance drain failure reports
+// every stuck instance rather than the first; instances are stopped
+// regardless. Manifests are retained — a drained daemon restarts into the
+// same fleet.
 func (s *Supervisor) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	insts := make([]*Instance, 0, len(s.instances))
@@ -109,14 +299,15 @@ func (s *Supervisor) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	for _, inst := range insts {
-		// Fence admissions first so the quiesce below can only shrink.
+		// Fence admissions and flush queues first so the quiesce below
+		// can only shrink.
 		_ = inst.Stop() // already-exited instances are fine
 	}
-	var firstErr error
+	var errs []error
 	for _, inst := range insts {
-		if err := inst.Quiesce(ctx); err != nil && firstErr == nil {
-			firstErr = err
+		if err := inst.Quiesce(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("instance %q: %w", inst.Name(), err))
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
