@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet fmt check bench bench-serve bench-scale benchdiff serve-smoke serve-restart-smoke stress pprof fuzz
+.PHONY: all build test vet fmt check bench bench-serve bench-scale benchdiff serve-smoke serve-restart-smoke chaos-smoke stress pprof fuzz
 
 all: build
 
@@ -56,6 +56,14 @@ serve-smoke:
 # returns bit-identical SimTime/Triangles/ScoreBits.
 serve-restart-smoke:
 	$(GO) run ./cmd/lccd -restart-smoke
+
+# chaos-smoke is the self-healing lane (DESIGN.md §10): a seeded campaign
+# of kill/restart, manifest and graph-cache corruption, request storms and
+# wedge-induced stalls against a real re-exec'd lccd daemon. After every
+# cycle the daemon must answer, every rejection must carry a typed reason,
+# and the golden query must return bit-identical pinned results.
+chaos-smoke:
+	$(GO) run ./cmd/lccd -chaos-smoke
 
 # stress hammers the serving layer's lifecycle machinery under the race
 # detector: repeated cancellation, panic isolation and transition-edge

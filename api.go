@@ -480,6 +480,22 @@ type (
 	// ServeQueueTimeoutError carries the measured wait of a run whose
 	// deadline-in-queue expired (wraps ErrServeQueueTimeout).
 	ServeQueueTimeoutError = serve.QueueTimeoutError
+	// ServeStallError is the run watchdog's diagnostic: per-rank progress
+	// counters and worker stacks at the moment a run was force-canceled
+	// for making no progress (wraps ErrServeStalled).
+	ServeStallError = serve.StallError
+	// ServeScrubError names the instance, rank and section whose resident
+	// checksum failed verification (wraps ErrServeQuarantined).
+	ServeScrubError = serve.ScrubError
+	// ServeShedError is a structured global-admission rejection: run cap
+	// (wraps ErrServeServerBusy) or memory brownout (ErrServeBrownout).
+	ServeShedError = serve.ShedError
+	// ServeScrubber is the background integrity-scrubbing loop
+	// (ServeSupervisor.StartScrubber).
+	ServeScrubber = serve.Scrubber
+	// IntegrityError is a snapshot checksum mismatch: rank, section,
+	// wanted and observed CRC-32C.
+	IntegrityError = lcc.IntegrityError
 )
 
 // NewServeInstance creates an instance in the loading state; Start loads
@@ -512,6 +528,18 @@ var (
 	// recovery skips.
 	ErrServeManifestCorrupt = serve.ErrManifestCorrupt
 	ErrServeManifestVersion = serve.ErrManifestVersion
+	// ErrServeStalled marks a run the watchdog force-canceled for lack of
+	// progress (check before ErrRunCanceled — a stall unwinds through the
+	// cancellation plane).
+	ErrServeStalled = serve.ErrStalled
+	// ErrServeQuarantined marks an instance whose resident snapshot
+	// failed integrity verification; the scrubber auto-reloads it.
+	ErrServeQuarantined = serve.ErrQuarantined
+	// ErrServeServerBusy / ErrServeBrownout are the server-wide shedding
+	// sentinels: fleet run cap reached, memory over budget with nothing
+	// evictable.
+	ErrServeServerBusy = serve.ErrServerBusy
+	ErrServeBrownout   = serve.ErrBrownout
 )
 
 // --- caching ----------------------------------------------------------------

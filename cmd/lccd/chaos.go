@@ -1,0 +1,479 @@
+package main
+
+// The daemon chaos harness (-chaos-smoke): a seeded, randomized campaign
+// against a REAL daemon — this binary re-exec'd, serving real HTTP, with
+// a real state directory and a real graph disk cache — rather than an
+// in-process supervisor. Each cycle draws one hazard from the schedule:
+//
+//   - kill-restart: SIGKILL (no drain, no goodbye) and reboot from the
+//     state dir; the fleet must recover and the golden query must return
+//     bit-identical results through the transparent reload.
+//   - manifest corruption: flip a random byte in a random .lcm file,
+//     then kill-restart; the daemon must boot (corrupt manifests are
+//     skipped loudly, never fatal) and the instance is re-loaded if the
+//     corrupted manifest was its only record.
+//   - cache corruption: flip a random byte in a random .lcg graph-cache
+//     file, then kill-restart; the rebuild must treat the damaged file
+//     as a cache miss and regenerate, still producing golden bits.
+//   - storm: concurrent golden queries, tiny-deadline queries, loads and
+//     stops of a second instance, and ps polls, all at once; afterwards
+//     the instance's Served counter must have moved by exactly the
+//     number of 200 replies observed (no lost or duplicated runs).
+//   - wedge-stall: a query carrying a wedge fault parks one rank
+//     forever; the run watchdog must force-cancel it with a typed 500
+//     "stalled", and stop + reload must restore golden service.
+//
+// Standing invariants, checked every cycle: the daemon answers /v1/ps;
+// every successful run is bit-identical to the first golden reading; and
+// every rejection carries a machine-readable nonempty "reason" — chaos
+// may degrade service, never un-type it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// chaosRNG is a splitmix64 stream: the same seed always replays the same
+// campaign, which is what makes a chaos failure debuggable.
+type chaosRNG struct{ s uint64 }
+
+func (r *chaosRNG) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (r *chaosRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// chaosHarness owns one campaign: the re-exec'd daemon, its state and
+// cache directories, and the golden reading every recovery is checked
+// against.
+type chaosHarness struct {
+	out      io.Writer
+	exe      string
+	stateDir string
+	cacheDir string
+	daemon   *exec.Cmd
+	base     string
+	golden   *smokeResult
+	client   *http.Client
+}
+
+func runChaosSmoke(out io.Writer, cycles int, seed uint64) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	stateDir, err := os.MkdirTemp("", "lccd-chaos-state-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(stateDir)
+	cacheDir, err := os.MkdirTemp("", "lccd-chaos-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cacheDir)
+
+	h := &chaosHarness{
+		out: out, exe: exe, stateDir: stateDir, cacheDir: cacheDir,
+		client: &http.Client{Timeout: 3 * time.Minute},
+	}
+	defer h.stopDaemon()
+
+	if err := h.boot(); err != nil {
+		return err
+	}
+	if err := h.loadFB(); err != nil {
+		return err
+	}
+	golden, err := h.runGolden()
+	if err != nil {
+		return fmt.Errorf("chaos: golden reading: %w", err)
+	}
+	h.golden = golden
+	fmt.Fprintf(out, "lccd chaos: golden: triangles=%d score_bits=%#x\n", golden.Triangles, golden.ScoreBits)
+
+	rng := &chaosRNG{s: seed}
+	for cycle := 0; cycle < cycles; cycle++ {
+		var err error
+		var action string
+		switch rng.intn(5) {
+		case 0:
+			action, err = "kill-restart", h.cycleKillRestart()
+		case 1:
+			action, err = "manifest-corrupt", h.cycleCorrupt(rng, h.stateDir, ".lcm")
+		case 2:
+			action, err = "cache-corrupt", h.cycleCorrupt(rng, h.cacheDir, ".lcg")
+		case 3:
+			action, err = "storm", h.cycleStorm(rng)
+		case 4:
+			action, err = "wedge-stall", h.cycleWedgeStall()
+		}
+		if err != nil {
+			return fmt.Errorf("chaos cycle %d (%s, seed %d): %w", cycle, action, seed, err)
+		}
+		if _, err := h.ps(); err != nil {
+			return fmt.Errorf("chaos cycle %d (%s): daemon unresponsive after cycle: %w", cycle, action, err)
+		}
+		fmt.Fprintf(out, "lccd chaos: cycle %d/%d ok (%s)\n", cycle+1, cycles, action)
+	}
+
+	// Final verification and a clean goodbye.
+	res, err := h.runGolden()
+	if err != nil {
+		return fmt.Errorf("chaos: final golden query: %w", err)
+	}
+	if *res != *h.golden {
+		return fmt.Errorf("chaos: final bits drifted:\n  golden %+v\n  final  %+v", *h.golden, *res)
+	}
+	fmt.Fprintf(out, "lccd chaos: %d cycles, zero invariant violations\n", cycles)
+	return nil
+}
+
+// boot starts (or restarts) the daemon on an ephemeral port with the
+// campaign's state dir, graph cache, run cap and a fast background
+// scrubber, and waits for its address file.
+func (h *chaosHarness) boot() error {
+	addrFile := filepath.Join(h.stateDir, "lccd.addr")
+	_ = os.Remove(addrFile)
+	cmd := exec.Command(h.exe,
+		"-addr", "127.0.0.1:0",
+		"-state-dir", h.stateDir,
+		"-run-cap", "8",
+		"-scrub-period", "100ms",
+	)
+	cmd.Env = append(os.Environ(), "LCC_GRAPH_CACHE="+h.cacheDir)
+	cmd.Stdout, cmd.Stderr = h.out, h.out
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	for i := 0; i < 400; i++ {
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			h.daemon = cmd
+			h.base = "http://" + strings.TrimSpace(string(raw))
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	return errors.New("chaos: daemon did not write its address file")
+}
+
+// kill SIGKILLs the daemon — the crash-stop case, no drain.
+func (h *chaosHarness) kill() {
+	if h.daemon != nil {
+		_ = h.daemon.Process.Kill()
+		_ = h.daemon.Wait()
+		h.daemon = nil
+	}
+}
+
+// stopDaemon is the graceful teardown at campaign end.
+func (h *chaosHarness) stopDaemon() {
+	if h.daemon != nil {
+		_ = h.daemon.Process.Signal(syscall.SIGTERM)
+		_ = h.daemon.Wait()
+		h.daemon = nil
+	}
+}
+
+// post sends one JSON request and decodes the reply, whatever its
+// status; the caller asserts on status and body.
+func (h *chaosHarness) post(path, body string) (int, map[string]any, error) {
+	resp, err := h.client.Post(h.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return resp.StatusCode, nil, fmt.Errorf("%s: status %d: undecodable body: %w", path, resp.StatusCode, err)
+	}
+	return resp.StatusCode, m, nil
+}
+
+// checkTyped enforces the every-rejection-is-typed invariant: any
+// non-2xx reply must carry a nonempty machine-readable reason.
+func checkTyped(path string, status int, m map[string]any) error {
+	if status >= 200 && status < 300 {
+		return nil
+	}
+	reason, _ := m["reason"].(string)
+	if reason == "" {
+		return fmt.Errorf("%s: untyped rejection: status %d body %v", path, status, m)
+	}
+	return nil
+}
+
+// loadFB loads the golden instance: fb-sim over 4 ranks with queueing
+// and a stall watchdog, the same shape the pinned tests use. A 409
+// (already running) is fine on re-load paths.
+func (h *chaosHarness) loadFB() error {
+	status, m, err := h.post("/v1/load",
+		`{"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2,"queue_depth":4,"stall_timeout_ms":2000}`)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK && status != http.StatusConflict {
+		return fmt.Errorf("load fb: status %d: %v", status, m)
+	}
+	return nil
+}
+
+// runGolden runs the pinned query and checks it against the campaign
+// golden (when one is recorded yet).
+func (h *chaosHarness) runGolden() (*smokeResult, error) {
+	resp, err := h.client.Post(h.base+"/v1/run", "application/json",
+		strings.NewReader(`{"instance":"fb","method":"hybrid","timeout_ms":120000}`))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("golden run: status %d: %s", resp.StatusCode, raw)
+	}
+	var res smokeResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, err
+	}
+	if h.golden != nil && res != *h.golden {
+		return nil, fmt.Errorf("bits drifted from golden:\n  golden %+v\n  got    %+v", *h.golden, res)
+	}
+	return &res, nil
+}
+
+// ps fetches and decodes /v1/ps.
+func (h *chaosHarness) ps() (*psView, error) {
+	resp, err := h.client.Get(h.base + "/v1/ps")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var ps psView
+	if err := json.NewDecoder(resp.Body).Decode(&ps); err != nil {
+		return nil, err
+	}
+	return &ps, nil
+}
+
+// recoverFB makes the golden instance serveable again after a restart:
+// if the manifest survived, fb is already recovered (parked) and the
+// load 409s; if the manifest was the corruption victim, fb is gone and
+// the load recreates it. Either way the golden query must then pin.
+func (h *chaosHarness) recoverFB() error {
+	if err := h.loadFB(); err != nil {
+		return err
+	}
+	_, err := h.runGolden()
+	return err
+}
+
+// cycleKillRestart is the plain crash-stop drill.
+func (h *chaosHarness) cycleKillRestart() error {
+	h.kill()
+	if err := h.boot(); err != nil {
+		return err
+	}
+	return h.recoverFB()
+}
+
+// cycleCorrupt flips one random byte in one random file with the given
+// extension, then kill-restarts: the daemon must boot regardless, and
+// golden service must be restored (skip-loudly for manifests, cache-miss
+// regeneration for graph cache files).
+func (h *chaosHarness) cycleCorrupt(rng *chaosRNG, dir, ext string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var victims []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ext) {
+			victims = append(victims, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(victims) > 0 {
+		victim := victims[rng.intn(len(victims))]
+		raw, err := os.ReadFile(victim)
+		if err != nil {
+			return err
+		}
+		if len(raw) > 0 {
+			raw[rng.intn(len(raw))] ^= 1 << uint(rng.intn(8))
+			if err := os.WriteFile(victim, raw, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return h.cycleKillRestart()
+}
+
+// cycleWedgeStall sends a run whose fault schedule parks rank 0 forever
+// at its 40th issue point. The watchdog must force-cancel it as a typed
+// 500 "stalled"; the instance is then unhealthy by design, and stop +
+// re-load must restore golden service.
+func (h *chaosHarness) cycleWedgeStall() error {
+	status, m, err := h.post("/v1/run",
+		`{"instance":"fb","method":"hybrid","faults":"wedge=0:40","timeout_ms":120000}`)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusInternalServerError {
+		return fmt.Errorf("wedged run: status %d (want 500): %v", status, m)
+	}
+	if reason, _ := m["reason"].(string); reason != "stalled" {
+		return fmt.Errorf("wedged run: reason %q (want stalled): %v", reason, m)
+	}
+	// The stall flipped fb unhealthy; recovery over the API is stop+load.
+	if status, m, err := h.post("/v1/stop", `{"instance":"fb"}`); err != nil {
+		return err
+	} else if status != http.StatusOK {
+		return fmt.Errorf("stop after stall: status %d: %v", status, m)
+	}
+	return h.recoverFB()
+}
+
+// cycleStorm fires concurrent traffic — golden queries, tiny-deadline
+// queries, loads/stops of a second instance, ps polls — and then settles
+// the books: every reply typed, every 200 bit-identical, and fb's Served
+// counter moved by exactly the number of 200 run replies (no lost or
+// duplicated runs).
+func (h *chaosHarness) cycleStorm(rng *chaosRNG) error {
+	before, err := h.ps()
+	if err != nil {
+		return err
+	}
+	servedBefore := int64(-1)
+	for _, inst := range before.Instances {
+		if inst.Name == "fb" {
+			servedBefore = inst.Counters.Served
+		}
+	}
+	if servedBefore < 0 {
+		return errors.New("storm: fb missing from ps")
+	}
+
+	const shots = 10
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		ok200    int64
+		failures []error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		failures = append(failures, err)
+		mu.Unlock()
+	}
+	for i := 0; i < shots; i++ {
+		kind := rng.intn(4)
+		wg.Add(1)
+		go func(kind int) {
+			defer wg.Done()
+			switch kind {
+			case 0: // golden query: 200 with golden bits, or typed overflow
+				resp, err := h.client.Post(h.base+"/v1/run", "application/json",
+					strings.NewReader(`{"instance":"fb","method":"hybrid","timeout_ms":120000}`))
+				if err != nil {
+					fail(err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					var res smokeResult
+					if err := json.Unmarshal(raw, &res); err != nil {
+						fail(fmt.Errorf("storm run decode: %w", err))
+						return
+					}
+					if res != *h.golden {
+						fail(fmt.Errorf("storm run bits drifted: %+v", res))
+						return
+					}
+					mu.Lock()
+					ok200++
+					mu.Unlock()
+					return
+				}
+				var m map[string]any
+				_ = json.Unmarshal(raw, &m)
+				if err := checkTyped("/v1/run", resp.StatusCode, m); err != nil {
+					fail(err)
+				}
+			case 1: // tiny deadline: 200 (if it squeaked through) or typed 4xx/5xx
+				status, m, err := h.post("/v1/run",
+					`{"instance":"fb","method":"hybrid","timeout_ms":1}`)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if status == http.StatusOK {
+					mu.Lock()
+					ok200++
+					mu.Unlock()
+					return
+				}
+				if err := checkTyped("/v1/run", status, m); err != nil {
+					fail(err)
+				}
+			case 2: // load/stop churn on a second instance
+				status, m, err := h.post("/v1/load",
+					`{"name":"fb2","dataset":"fb-sim","ranks":2,"max_concurrent":1,"stall_timeout_ms":2000}`)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := checkTyped("/v1/load", status, m); err != nil {
+					fail(err)
+					return
+				}
+				status, m, err = h.post("/v1/stop", `{"instance":"fb2"}`)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := checkTyped("/v1/stop", status, m); err != nil {
+					fail(err)
+				}
+			case 3: // observer
+				if _, err := h.ps(); err != nil {
+					fail(err)
+				}
+			}
+		}(kind)
+	}
+	wg.Wait()
+	if len(failures) > 0 {
+		return errors.Join(failures...)
+	}
+
+	after, err := h.ps()
+	if err != nil {
+		return err
+	}
+	servedAfter := int64(-1)
+	for _, inst := range after.Instances {
+		if inst.Name == "fb" {
+			servedAfter = inst.Counters.Served
+		}
+	}
+	if got := servedAfter - servedBefore; got != ok200 {
+		return fmt.Errorf("storm: served counter moved %d, but %d runs returned 200 — lost or duplicated runs", got, ok200)
+	}
+	return nil
+}

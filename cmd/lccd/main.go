@@ -19,22 +19,31 @@
 //	lccd -state-dir /var/lib/lccd            # durable: manifests + crash recovery
 //	lccd -state-dir dir -recover eager       # rebuild all snapshots at boot
 //	lccd -mem-budget 2147483648              # park idle instances past 2 GiB
+//	lccd -run-cap 16                         # shed runs past 16 in flight fleet-wide
+//	lccd -scrub-period 1m                    # background snapshot integrity scrubbing
 //	lccd -smoke            # self-contained smoke run: load, query, drain, exit
 //	lccd -restart-smoke    # crash-recovery smoke: boot, load, kill -9, restart, verify
+//	lccd -chaos-smoke      # seeded chaos campaign: kill/corrupt/storm a real daemon
 //
 // API (JSON bodies, JSON replies):
 //
-//	POST /v1/load   {"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2,"queue_depth":8}
+//	POST /v1/load   {"name":"fb","dataset":"fb-sim","ranks":4,"max_concurrent":2,"queue_depth":8,
+//	                 "stall_timeout_ms":60000}
 //	POST /v1/run    {"instance":"fb","engine":"lcc","method":"hybrid","caching":true,
 //	                 "timeout_ms":5000,"priority":1,"queue_timeout_ms":2000}
 //	POST /v1/stop   {"instance":"fb"}
 //	GET  /v1/ps
 //	GET  /v1/health
 //
-// Typed serve errors map to statuses: 429 busy/queue-overflow (with
-// Retry-After), 404 unknown instance, 410 exited, 503 loading/unhealthy,
+// Typed serve errors map to statuses, and every error body carries a
+// machine-readable "reason" code alongside the message: 429
+// busy/queue-overflow or the server-wide run cap (with Retry-After), 404
+// unknown instance, 410 exited, 503 loading/unhealthy/memory-brownout,
 // 504 deadline, cancellation or queue timeout (the JSON body carries the
-// queue wait), 500 isolated panic. SIGTERM/SIGINT drains in-flight runs
+// queue wait), 500 isolated panic or a watchdog-detected stall, 413
+// oversized request body. A client timeout_ms (or Request-Timeout
+// header, in seconds) becomes the run context's deadline, so queue wait
+// and execution share one budget. SIGTERM/SIGINT drains in-flight runs
 // before exit; manifests survive the drain.
 package main
 
@@ -51,6 +60,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -78,8 +88,14 @@ func run(args []string, out io.Writer) error {
 		stateDir     = fs.String("state-dir", "", "directory for instance manifests; enables restart recovery")
 		recoverMode  = fs.String("recover", "lazy", "manifest recovery mode: lazy (parked, rebuild on first query) or eager")
 		memBudget    = fs.Int64("mem-budget", 0, "total resident snapshot bytes before idle instances are parked LRU (0 = unbounded)")
+		runCap       = fs.Int("run-cap", 0, "server-wide cap on supervised runs in flight; past it runs shed with 429 (0 = unbounded)")
+		scrubPeriod  = fs.Duration("scrub-period", 0, "background snapshot integrity-scrub period, jittered ±25% (0 = off)")
+		scrubSeed    = fs.Uint64("scrub-seed", 1, "seed for the scrub period jitter")
 		smoke        = fs.Bool("smoke", false, "start on an ephemeral port, load fb-sim, run one query, drain, exit")
 		restartSmoke = fs.Bool("restart-smoke", false, "crash-recovery smoke: boot with a state dir, load, kill -9, restart, verify pinned bits")
+		chaosSmoke   = fs.Bool("chaos-smoke", false, "seeded chaos campaign against a real re-exec'd daemon: kill -9, corrupt state, storm, verify bits")
+		chaosCycles  = fs.Int("chaos-cycles", 20, "number of chaos campaign cycles")
+		chaosSeed    = fs.Uint64("chaos-seed", 1, "seed for the chaos campaign schedule")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,10 +103,19 @@ func run(args []string, out io.Writer) error {
 	if *restartSmoke {
 		return runRestartSmoke(out)
 	}
+	if *chaosSmoke {
+		return runChaosSmoke(out, *chaosCycles, *chaosSeed)
+	}
 
 	srv := newServer()
 	if *memBudget > 0 {
 		srv.sup.SetMemBudget(*memBudget)
+	}
+	if *runCap > 0 {
+		srv.sup.SetRunCap(*runCap)
+	}
+	if *scrubPeriod > 0 {
+		srv.scrubber = srv.sup.StartScrubber(*scrubPeriod, *scrubSeed)
 	}
 	if *stateDir != "" {
 		ms, err := serve.NewManifestStore(*stateDir)
@@ -136,11 +161,17 @@ func run(args []string, out io.Writer) error {
 	return srv.serve(ln, out, *drain)
 }
 
+// maxBodyBytes bounds request bodies: every API body is a small JSON
+// object, so anything past 1 MiB is a client bug or abuse and gets 413
+// instead of an unbounded read.
+const maxBodyBytes = 1 << 20
+
 // server binds the supervisor to the HTTP surface.
 type server struct {
 	sup      *serve.Supervisor
 	http     *http.Server
 	stateDir string
+	scrubber *serve.Scrubber
 }
 
 func newServer() *server {
@@ -151,7 +182,16 @@ func newServer() *server {
 	mux.HandleFunc("POST /v1/stop", s.handleStop)
 	mux.HandleFunc("GET /v1/ps", s.handlePS)
 	mux.HandleFunc("GET /v1/health", s.handleHealth)
-	s.http = &http.Server{Handler: mux}
+	s.http = &http.Server{
+		Handler: mux,
+		// Slow-client hardening: a peer that trickles headers or a body
+		// can no longer pin a connection goroutine forever. Handler
+		// execution (long runs) is NOT bounded here — run deadlines belong
+		// to the run context, not the socket.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	return s
 }
 
@@ -183,6 +223,9 @@ func (s *server) serve(ln net.Listener, out io.Writer, drain time.Duration) erro
 	case sig := <-stop:
 		fmt.Fprintf(out, "lccd: %v, draining (up to %v)\n", sig, drain)
 	}
+	if s.scrubber != nil {
+		s.scrubber.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := s.sup.Shutdown(ctx); err != nil {
@@ -207,26 +250,26 @@ type loadRequest struct {
 	MaxConcurrent  int    `json:"max_concurrent"`
 	QueueDepth     int    `json:"queue_depth"`
 	TimeoutMS      int64  `json:"default_timeout_ms"`
+	StallTimeoutMS int64  `json:"stall_timeout_ms"`
 }
 
 func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	var req loadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
 	if req.Name == "" || req.Dataset == "" {
-		writeError(w, http.StatusBadRequest, errors.New("load needs name and dataset"))
+		writeError(w, http.StatusBadRequest, "bad-request", errors.New("load needs name and dataset"))
 		return
 	}
 	scheme, err := part.ParseScheme(req.Scheme)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad-request", err)
 		return
 	}
 	storage, err := lcc.ParseStorageMode(req.Storage)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad-request", err)
 		return
 	}
 	inst, err := s.sup.Load(req.Name, serve.Config{
@@ -239,6 +282,7 @@ func (s *server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		MaxConcurrent:  req.MaxConcurrent,
 		QueueDepth:     req.QueueDepth,
 		DefaultTimeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		StallTimeout:   time.Duration(req.StallTimeoutMS) * time.Millisecond,
 	})
 	if err != nil {
 		writeServeError(w, err)
@@ -268,13 +312,12 @@ type runRequest struct {
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var req runRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
 	spec, err := fault.ParseSpec(req.Faults)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad-request", err)
 		return
 	}
 	opt := lcc.Options{
@@ -298,11 +341,28 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	q := serve.Query{
 		Engine:       req.Engine,
 		Options:      opt,
-		Timeout:      time.Duration(req.TimeoutMS) * time.Millisecond,
 		Priority:     req.Priority,
 		QueueTimeout: time.Duration(req.QueueTimeoutMS) * time.Millisecond,
 	}
-	res, err := s.sup.Run(r.Context(), req.Instance, q)
+	// Deadline propagation: the client's budget (timeout_ms, or a
+	// Request-Timeout header in seconds) becomes the run context's
+	// deadline, so time spent waiting in the admission queue and time
+	// executing draw from the same budget — a run that queued for most of
+	// its deadline doesn't then run for a full deadline more. Query.Timeout
+	// is disabled (-1) because the context now carries it; with no client
+	// budget the instance default applies as before.
+	ctx := r.Context()
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout == 0 {
+		timeout = headerTimeout(r)
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+		q.Timeout = -1
+	}
+	res, err := s.sup.Run(ctx, req.Instance, q)
 	if err != nil {
 		writeServeError(w, err)
 		return
@@ -310,12 +370,25 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, res)
 }
 
+// headerTimeout parses the Request-Timeout header (seconds, fractions
+// allowed) — the header form of the body's timeout_ms.
+func headerTimeout(r *http.Request) time.Duration {
+	h := r.Header.Get("Request-Timeout")
+	if h == "" {
+		return 0
+	}
+	secs, err := strconv.ParseFloat(h, 64)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
 func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Instance string `json:"instance"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if err := decodeBody(w, r, &req); err != nil {
 		return
 	}
 	if err := s.sup.Stop(req.Instance); err != nil {
@@ -325,8 +398,15 @@ func (s *server) handleStop(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"instance": req.Instance, "state": "exited"})
 }
 
+// psReply is the GET /v1/ps shape: the fleet-level server view (state
+// counts, global admission, scrub stats) plus the per-instance list.
+type psReply struct {
+	Server    serve.ServerInfo     `json:"server"`
+	Instances []serve.InstanceInfo `json:"instances"`
+}
+
 func (s *server) handlePS(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.sup.List())
+	writeJSON(w, http.StatusOK, psReply{Server: s.sup.ServerInfo(), Instances: s.sup.List()})
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -336,53 +416,104 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	writeJSON(w, status, map[string]any{
 		"healthy":   status == http.StatusOK,
+		"server":    s.sup.ServerInfo(),
 		"instances": s.sup.List(),
 	})
 }
 
-// statusFor maps typed serve/sched errors to HTTP statuses.
-func statusFor(err error) int {
+// decodeBody reads one bounded JSON body; on failure it writes the error
+// reply (413 when the MaxBytesReader bound tripped, 400 otherwise) and
+// returns non-nil so the handler just returns.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body-too-large", err)
+			return err
+		}
+		writeError(w, http.StatusBadRequest, "bad-request", err)
+		return err
+	}
+	return nil
+}
+
+// statusFor maps typed serve/sched errors to an HTTP status and a
+// machine-readable reason code. Ordering is contractual where errors
+// wrap each other: a *StallError unwinds through the cancellation plane,
+// so it matches ErrRunCanceled too and must be classified first; the
+// server-wide ErrServerBusy is checked before the per-instance ErrBusy
+// so a fleet-cap shed is distinguishable from one full queue.
+func statusFor(err error) (int, string) {
 	var pe *sched.PanicError
 	switch {
+	case errors.Is(err, serve.ErrStalled):
+		return http.StatusInternalServerError, "stalled"
+	case errors.Is(err, serve.ErrServerBusy):
+		return http.StatusTooManyRequests, "run-cap"
+	case errors.Is(err, serve.ErrBrownout):
+		return http.StatusServiceUnavailable, "memory-brownout"
 	case errors.Is(err, serve.ErrBusy):
-		return http.StatusTooManyRequests
+		return http.StatusTooManyRequests, "instance-busy"
 	case errors.Is(err, serve.ErrUnknownInstance):
-		return http.StatusNotFound
+		return http.StatusNotFound, "unknown-instance"
 	case errors.Is(err, serve.ErrInstanceExited):
-		return http.StatusGone
-	case errors.Is(err, serve.ErrNotReady), errors.Is(err, serve.ErrUnhealthy):
-		return http.StatusServiceUnavailable
+		return http.StatusGone, "instance-exited"
+	case errors.Is(err, serve.ErrNotReady):
+		return http.StatusServiceUnavailable, "not-ready"
+	case errors.Is(err, serve.ErrUnhealthy):
+		return http.StatusServiceUnavailable, "unhealthy"
 	case errors.Is(err, serve.ErrAlreadyRunning):
-		return http.StatusConflict
-	case errors.Is(err, serve.ErrQueueTimeout), errors.Is(err, sched.ErrRunCanceled):
-		return http.StatusGatewayTimeout
+		return http.StatusConflict, "already-running"
+	case errors.Is(err, serve.ErrQueueTimeout):
+		return http.StatusGatewayTimeout, "queue-timeout"
+	case errors.Is(err, sched.ErrRunCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, "canceled"
 	case errors.As(err, &pe):
-		return http.StatusInternalServerError
+		return http.StatusInternalServerError, "panic"
 	default:
-		return http.StatusBadRequest
+		return http.StatusBadRequest, "bad-request"
 	}
 }
 
-// errorBody is the JSON error reply. QueueWaitMS reports how long a
-// queue-timed-out run waited before the 504.
+// errorBody is the JSON error reply. Reason is always set — every
+// rejection is machine-classifiable without parsing the message.
+// QueueWaitMS reports how long a queue-timed-out run waited before the
+// 504; the shed fields carry the numbers behind a 429/503 shed decision.
 type errorBody struct {
 	Error       string `json:"error"`
+	Reason      string `json:"reason"`
 	QueueWaitMS int64  `json:"queue_wait_ms,omitempty"`
+
+	ActiveRuns    int   `json:"active_runs,omitempty"`
+	RunCap        int   `json:"run_cap,omitempty"`
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
+	BudgetBytes   int64 `json:"budget_bytes,omitempty"`
 }
 
 // writeServeError maps a typed serve error onto its status and protocol
 // extras: 429 responses carry Retry-After (busy is transient by
-// definition — the queue or a slot frees as runs drain), and a queue
-// timeout's 504 body records the measured wait.
+// definition — the queue or a slot frees as runs drain), a queue
+// timeout's 504 body records the measured wait, and a shed decision's
+// body carries the admission numbers that justified it.
 func writeServeError(w http.ResponseWriter, err error) {
-	status := statusFor(err)
+	status, reason := statusFor(err)
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
-	body := errorBody{Error: err.Error()}
+	body := errorBody{Error: err.Error(), Reason: reason}
 	var qe *serve.QueueTimeoutError
 	if errors.As(err, &qe) {
 		body.QueueWaitMS = qe.Wait.Milliseconds()
+	}
+	var she *serve.ShedError
+	if errors.As(err, &she) {
+		body.ActiveRuns = she.ActiveRuns
+		body.RunCap = she.RunCap
+		body.ResidentBytes = she.ResidentBytes
+		body.BudgetBytes = she.BudgetBytes
 	}
 	writeJSON(w, status, body)
 }
@@ -395,8 +526,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorBody{Error: err.Error()})
+func writeError(w http.ResponseWriter, status int, reason string, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error(), Reason: reason})
 }
 
 func parseMethod(s string) intersect.Method {
@@ -460,6 +591,14 @@ func (s *server) smoke(out io.Writer, drain time.Duration) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("health: status %d", resp.StatusCode)
 	}
+	// Body-bound hardening: an oversized request must bounce with a typed
+	// 413, not be read without limit.
+	huge := `{"instance":"fb","method":"` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	if m, err := post("/v1/run", huge, http.StatusRequestEntityTooLarge); err != nil {
+		return err
+	} else if m["reason"] != "body-too-large" {
+		return fmt.Errorf("oversized body: reason = %v, want body-too-large", m["reason"])
+	}
 	if _, err := post("/v1/stop", `{"instance":"fb"}`, http.StatusOK); err != nil {
 		return err
 	}
@@ -483,6 +622,21 @@ type smokeResult struct {
 	Triangles int64   `json:"triangles"`
 	SumT      int64   `json:"sum_t"`
 	ScoreBits uint64  `json:"score_bits"`
+}
+
+// psView is the typed client-side decode of GET /v1/ps, shared by the
+// restart smoke and the chaos harness.
+type psView struct {
+	Server struct {
+		States     map[string]int   `json:"states"`
+		ActiveRuns int              `json:"active_runs"`
+		Scrub      serve.ScrubStats `json:"scrub"`
+	} `json:"server"`
+	Instances []struct {
+		Name     string         `json:"name"`
+		State    string         `json:"state"`
+		Counters serve.Counters `json:"counters"`
+	} `json:"instances"`
 }
 
 // runRestartSmoke is the crash-recovery lane (make serve-restart-smoke):
@@ -585,25 +739,27 @@ func runRestartSmoke(out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var infos []struct {
-		Name  string `json:"name"`
-		State string `json:"state"`
-	}
-	err = json.NewDecoder(psResp.Body).Decode(&infos)
+	var ps psView
+	err = json.NewDecoder(psResp.Body).Decode(&ps)
 	psResp.Body.Close()
 	if err != nil {
 		return err
 	}
 	found := ""
-	for _, info := range infos {
+	for _, info := range ps.Instances {
 		if info.Name == "fb" {
 			found = info.State
 		}
 	}
 	if found == "" {
-		return fmt.Errorf("restart smoke: ps after restart does not list instance fb: %v", infos)
+		return fmt.Errorf("restart smoke: ps after restart does not list instance fb: %+v", ps.Instances)
 	}
-	fmt.Fprintf(out, "lccd restart-smoke: recovered: fb state=%s\n", found)
+	// The server block must agree: lazy recovery brings the fleet back
+	// parked, and the state counts are the ops-visible proof of it.
+	if got := ps.Server.States["parked"]; got != 1 {
+		return fmt.Errorf("restart smoke: server.states[parked] = %d, want 1 (states %v)", got, ps.Server.States)
+	}
+	fmt.Fprintf(out, "lccd restart-smoke: recovered: fb state=%s server states=%v\n", found, ps.Server.States)
 
 	after, err := runQuery(base2)
 	if err != nil {

@@ -38,7 +38,10 @@
 //   - internal/serve — the supervised serving layer: long-lived instances
 //     over a shared graph snapshot, with run deadlines, cancellation,
 //     panic isolation, priority admission queueing, memory-budgeted LRU
-//     parking and manifest-backed restart recovery (DESIGN.md §8)
+//     parking and manifest-backed restart recovery (DESIGN.md §8), plus
+//     the self-healing plane: background integrity scrubbing with a
+//     quarantine/auto-reload cycle, a per-run stall watchdog, and
+//     server-wide load shedding (DESIGN.md §10)
 //
 // Quick start:
 //
@@ -72,6 +75,7 @@
 //
 //	inst := repro.NewServeInstance("fb", repro.ServeConfig{
 //		Dataset: "fb-sim", Ranks: 8, MaxConcurrent: 2,
+//		StallTimeout: time.Minute, // watchdog: force-cancel wedged runs
 //	})
 //	_ = inst.Start()
 //	res, err := inst.Run(ctx, repro.ServeQuery{
@@ -95,6 +99,23 @@
 // bounded by ServeQuery.Priority/QueueTimeout instead of bouncing; with a
 // state dir, instances persist checksummed manifests and survive daemon
 // restarts — including kill -9 — with bit-identical results.
+//
+// The serving plane also heals itself (DESIGN.md §10). ServeConfig's
+// StallTimeout (stall_timeout_ms over HTTP) arms a per-run watchdog on a
+// scheduler-level progress counter: a run making no progress for the
+// full window is force-canceled with a typed *repro.ServeStallError
+// (errors.Is(err, repro.ErrServeStalled)) carrying per-rank progress and
+// goroutine stacks — distinct from a deadline, which stays
+// ErrRunCanceled. Snapshots carry per-rank CRC-32C sums; the daemon's
+// background scrubber (lccd -scrub-period) re-verifies idle instances
+// and, on a mismatch, quarantines and auto-reloads them so no query ever
+// computes over corrupt bits. Server-wide admission sheds overload with
+// typed reasons: a global run cap (lccd -run-cap, HTTP 429 "run-cap")
+// and a resident-memory brownout for new loads when the budget is
+// exhausted and nothing is evictable (HTTP 503 "memory-brownout").
+// `make chaos-smoke` drives a real daemon through seeded kill/corrupt/
+// storm/stall campaigns asserting none of this ever loses a run or
+// perturbs a pinned bit.
 //
 // Simulated ranks execute on real goroutines under a deterministic
 // multicore scheduler (internal/sched): Workers bounds how many run

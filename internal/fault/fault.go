@@ -146,6 +146,18 @@ type Spec struct {
 	CrashRecover   bool
 	CrashRestartNS float64 // modeled restart delay; default 5e6 ns
 
+	// WedgeAtOp arms the wedge class: rank WedgeRank parks forever at its
+	// WedgeAtOp-th remote one-sided operation (1-based; 0 disables the
+	// class). Unlike every other class there is no in-run recovery — the
+	// rank stops issuing operations and stops reaching checkpoints, so the
+	// run can only end through an external cancel (a caller deadline or
+	// the serve watchdog). This is the schedule for a host-side hang: a
+	// deadlocked lock, a stuck syscall, a livelocked progress engine. Like
+	// the crash-stop it is a scheduled event that fires exactly once at a
+	// deterministic op index.
+	WedgeAtOp int
+	WedgeRank int
+
 	// Retry bounds the recovery loops; zero value = defaults.
 	Retry RetryPolicy
 }
@@ -155,7 +167,8 @@ func (s Spec) Enabled() bool {
 	return s.GetFailPct > 0 || s.PutFailPct > 0 || s.AccFailPct > 0 ||
 		(s.SpikePct > 0 && s.SpikeNS > 0) ||
 		(s.StallPeriodOps > 0 && s.StallNS > 0) ||
-		s.DropPct > 0 || s.CacheFailPct > 0 || s.CrashAtOp > 0
+		s.DropPct > 0 || s.CacheFailPct > 0 || s.CrashAtOp > 0 ||
+		s.WedgeAtOp > 0
 }
 
 func (s Spec) withDefaults() Spec {
@@ -208,6 +221,7 @@ type Sched struct {
 	cacheOps uint64 // CLaMPI access index
 	msgs     uint64 // p2p send sequence
 	crashed  bool   // the crash-stop already fired (it fires once)
+	wedged   bool   // the wedge already fired (it fires once)
 }
 
 // New binds spec to a rank. nil spec, or one that cannot inject anything,
@@ -265,6 +279,7 @@ type Outcome struct {
 	spikeNS float64
 	stallNS float64
 	crashed bool
+	wedged  bool
 }
 
 // Op advances the rank's remote-op counter and decides the op's faults.
@@ -293,6 +308,11 @@ func (s *Sched) Op(cl Class) Outcome {
 		s.crashed = true
 		o.crashed = true
 	}
+	if s.spec.WedgeAtOp > 0 && !s.wedged && s.rank == s.spec.WedgeRank &&
+		op+1 == uint64(s.spec.WedgeAtOp) {
+		s.wedged = true
+		o.wedged = true
+	}
 	return o
 }
 
@@ -309,6 +329,10 @@ func (o Outcome) StallNS() float64 { return o.stallNS }
 
 // Crashed reports whether the crash-stop fires at this op.
 func (o Outcome) Crashed() bool { return o.crashed }
+
+// Wedged reports whether the wedge class fires at this op: the rank
+// parks forever and only an external cancel releases it.
+func (o Outcome) Wedged() bool { return o.wedged }
 
 // CrashRecovers reports the armed recovery mode: true re-executes from
 // the last barrier, false fails the run fast.
@@ -382,6 +406,9 @@ func (s *Sched) MsgDrops() int {
 //	                  re-executes from its last barrier (results are
 //	                  bit-identical to the fault-free run)
 //	restart=NS        modeled restart delay of a recovered crash
+//	wedge=R:OP        wedge: rank R parks forever at its OP-th remote op;
+//	                  only an external cancel (deadline, serve watchdog)
+//	                  ends the run
 //	retries=N timeout=NS backoff=BASE:MAX   retry policy
 //	chaos             the ChaosSpec preset (other keys still override)
 //
@@ -437,6 +464,13 @@ func ParseSpec(s string) (*Spec, error) {
 			spec.CrashRank, spec.CrashAtOp = int(rk), int(op)
 			spec.CrashRecover = k == "crashrecover"
 			if err == nil && (spec.CrashRank < 0 || spec.CrashAtOp < 1) {
+				return nil, fmt.Errorf("fault: %s=%s needs rank>=0 and op>=1", k, v)
+			}
+		case "wedge":
+			var rk, op float64
+			rk, op, err = pair()
+			spec.WedgeRank, spec.WedgeAtOp = int(rk), int(op)
+			if err == nil && (spec.WedgeRank < 0 || spec.WedgeAtOp < 1) {
 				return nil, fmt.Errorf("fault: %s=%s needs rank>=0 and op>=1", k, v)
 			}
 		default:
@@ -520,6 +554,9 @@ func (s Spec) String() string {
 		if s.CrashRestartNS > 0 {
 			fmt.Fprintf(&b, ",restart=%g", s.CrashRestartNS)
 		}
+	}
+	if s.WedgeAtOp > 0 {
+		fmt.Fprintf(&b, ",wedge=%d:%d", s.WedgeRank, s.WedgeAtOp)
 	}
 	return b.String()
 }

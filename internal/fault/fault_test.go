@@ -132,6 +132,14 @@ func TestParseSpec(t *testing.T) {
 	if s, err := ParseSpec("p=0.05"); err != nil || s.GetFailPct != 0.05 || s.DropPct != 0.05 {
 		t.Fatalf("p shorthand: %+v, %v", s, err)
 	}
+	if s, err := ParseSpec("seed=9,wedge=2:512"); err != nil || s.WedgeRank != 2 || s.WedgeAtOp != 512 {
+		t.Fatalf("wedge spec: %+v, %v", s, err)
+	}
+	if s, _ := ParseSpec("seed=9,wedge=2:512"); s != nil {
+		if s2, err := ParseSpec(s.String()); err != nil || *s2 != *s {
+			t.Fatalf("wedge String round trip: %+v, %v", s2, err)
+		}
+	}
 	if s, err := ParseSpec(""); s != nil || err != nil {
 		t.Fatalf("empty spec should be (nil, nil), got %v, %v", s, err)
 	}

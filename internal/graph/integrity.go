@@ -1,0 +1,58 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// In-memory integrity support for the compressed adjacency plane: the
+// serving layer's scrubber (internal/serve) re-checksums resident
+// snapshots to catch silent corruption, and CompressedAdj's backing
+// arrays are unexported — so the checksum walk lives here, next to the
+// representation it covers. The same Castagnoli polynomial as the binary
+// container (io.go) keeps the whole repo on one checksum discipline.
+
+// Checksum folds the compressed plane's entire resident state — encoded
+// stream plus both offset indexes — into the given CRC. A single flipped
+// bit anywhere changes the result: corruption of the index arrays is as
+// fatal to decoding as corruption of the stream itself.
+func (ca *CompressedAdj) Checksum(crc uint32, tab *crc32.Table) uint32 {
+	crc = crc32.Update(crc, tab, ca.data)
+	var buf [8192]byte
+	stage32 := func(s []uint32) {
+		n := 0
+		for _, v := range s {
+			binary.LittleEndian.PutUint32(buf[n:], v)
+			if n += 4; n == len(buf) {
+				crc = crc32.Update(crc, tab, buf[:n])
+				n = 0
+			}
+		}
+		crc = crc32.Update(crc, tab, buf[:n])
+	}
+	stage64 := func(s []uint64) {
+		n := 0
+		for _, v := range s {
+			binary.LittleEndian.PutUint64(buf[n:], v)
+			if n += 8; n == len(buf) {
+				crc = crc32.Update(crc, tab, buf[:n])
+				n = 0
+			}
+		}
+		crc = crc32.Update(crc, tab, buf[:n])
+	}
+	stage32(ca.po32)
+	stage64(ca.po64)
+	stage32(ca.bo32)
+	stage64(ca.bo64)
+	return crc
+}
+
+// CorruptForTest flips one bit of the encoded stream — the integrity
+// tests' and chaos harness's stand-in for a DRAM or wild-write fault.
+// Never call it on a plane a run may be decoding from.
+func (ca *CompressedAdj) CorruptForTest() {
+	if len(ca.data) > 0 {
+		ca.data[len(ca.data)/2] ^= 0x10
+	}
+}

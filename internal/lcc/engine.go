@@ -12,6 +12,7 @@ import (
 	"repro/internal/intersect"
 	"repro/internal/part"
 	"repro/internal/rma"
+	"repro/internal/sched"
 )
 
 // Options configure one distributed run (Algorithm 3 + §III-B caching).
@@ -99,6 +100,13 @@ type Options struct {
 	// degradation ladder. Results are bit-identical to the fault-free
 	// run — faults cost simulated time, never correctness. nil = off.
 	Faults *fault.Spec
+
+	// Progress, when set, receives out-of-band run-progress ticks
+	// (sched.Progress): one per masked checkpoint poll per rank, one per
+	// barrier round close. The serving layer's watchdog samples it to
+	// detect wedged runs. Host-side diagnostics only — arming it cannot
+	// perturb a simulated bit. nil = off.
+	Progress *sched.Progress
 
 	// Storage selects the host-side representation of the per-rank
 	// adjacency plane (see StorageMode). Purely host-side: the windows'
@@ -190,6 +198,9 @@ func (o Options) configureCharges(comm *rma.Comm) {
 	}
 	if o.Faults != nil {
 		comm.SetFaults(o.Faults)
+	}
+	if o.Progress != nil {
+		comm.SetProgress(o.Progress)
 	}
 }
 

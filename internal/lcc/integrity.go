@@ -1,0 +1,159 @@
+package lcc
+
+// Snapshot integrity: per-rank CRC-32C over the resident adjacency plane,
+// recorded once at build time and re-verifiable for the life of the
+// snapshot. The serving layer holds snapshots resident for hours serving
+// thousands of queries; a DRAM fault or wild write in that window would
+// otherwise corrupt results silently — the engines trust resident memory
+// completely, and a flipped adjacency bit just becomes a wrong triangle
+// count. The scrubber (serve.Scrubber) calls Verify on idle instances and
+// quarantines on mismatch.
+//
+// Coverage: each rank's offset table and adjacency plane (plain vertex
+// array, or the compressed stream plus both of its offset indexes), and
+// the global packed resolve table. All of it is immutable after build and
+// read on every query. The checksums themselves are host-side metadata:
+// the model plane never observes them, so recording or verifying them
+// cannot move a single simulated bit (the same invisibility contract as
+// the storage plane, DESIGN.md §9).
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/graph"
+)
+
+// Integrity section names, as reported by IntegrityError.
+const (
+	SectionOffsets   = "offsets"
+	SectionAdjacency = "adjacency"
+	SectionResolve   = "resolve"
+)
+
+var integrityCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// IntegrityError reports a checksum mismatch in a snapshot's resident
+// state: the rank and section whose bytes no longer match the build-time
+// CRC-32C. Rank is -1 for the global resolve table.
+type IntegrityError struct {
+	Rank    int
+	Section string
+	Want    uint32
+	Got     uint32
+}
+
+func (e *IntegrityError) Error() string {
+	if e.Rank < 0 {
+		return fmt.Sprintf("lcc: snapshot integrity: %s table checksum mismatch (want %08x, got %08x)",
+			e.Section, e.Want, e.Got)
+	}
+	return fmt.Sprintf("lcc: snapshot integrity: rank %d %s checksum mismatch (want %08x, got %08x)",
+		e.Rank, e.Section, e.Want, e.Got)
+}
+
+// rankSums is one rank's build-time checksums.
+type rankSums struct {
+	offsets uint32
+	adj     uint32
+}
+
+func checksumU64s(crc uint32, s []uint64, tab *crc32.Table) uint32 {
+	var buf [8192]byte
+	n := 0
+	for _, v := range s {
+		binary.LittleEndian.PutUint64(buf[n:], v)
+		if n += 8; n == len(buf) {
+			crc = crc32.Update(crc, tab, buf[:n])
+			n = 0
+		}
+	}
+	return crc32.Update(crc, tab, buf[:n])
+}
+
+func checksumVs(crc uint32, s []graph.V, tab *crc32.Table) uint32 {
+	var buf [8192]byte
+	n := 0
+	for _, v := range s {
+		binary.LittleEndian.PutUint32(buf[n:], uint32(v))
+		if n += 4; n == len(buf) {
+			crc = crc32.Update(crc, tab, buf[:n])
+			n = 0
+		}
+	}
+	return crc32.Update(crc, tab, buf[:n])
+}
+
+// computeSums records the build-time checksums of every rank's resident
+// tables plus the resolve table.
+func (s *Snapshot) computeSums() {
+	s.sums = make([]rankSums, len(s.locals))
+	for r, lc := range s.locals {
+		s.sums[r].offsets = checksumU64s(0, lc.Offsets, integrityCRC)
+		if lc.Comp != nil {
+			s.sums[r].adj = lc.Comp.Checksum(0, integrityCRC)
+		} else {
+			s.sums[r].adj = checksumVs(0, lc.Adj, integrityCRC)
+		}
+	}
+	s.resolveSum = checksumU64s(0, s.resolve, integrityCRC)
+}
+
+// Verify re-checksums the snapshot's resident state against the sums
+// recorded at build time and returns a *IntegrityError naming the first
+// mismatching (rank, section), or nil when every section still matches.
+// Safe to call concurrently with runs — everything covered is immutable,
+// Verify only reads — though the scrubber calls it on idle instances so a
+// detected fault can quarantine before the next query, not after.
+func (s *Snapshot) Verify() error {
+	for r, lc := range s.locals {
+		if got := checksumU64s(0, lc.Offsets, integrityCRC); got != s.sums[r].offsets {
+			return &IntegrityError{Rank: r, Section: SectionOffsets, Want: s.sums[r].offsets, Got: got}
+		}
+		var got uint32
+		if lc.Comp != nil {
+			got = lc.Comp.Checksum(0, integrityCRC)
+		} else {
+			got = checksumVs(0, lc.Adj, integrityCRC)
+		}
+		if got != s.sums[r].adj {
+			return &IntegrityError{Rank: r, Section: SectionAdjacency, Want: s.sums[r].adj, Got: got}
+		}
+	}
+	if got := checksumU64s(0, s.resolve, integrityCRC); got != s.resolveSum {
+		return &IntegrityError{Rank: -1, Section: SectionResolve, Want: s.resolveSum, Got: got}
+	}
+	return nil
+}
+
+// CorruptForTest flips one bit in the named section — rank < 0 with
+// SectionResolve targets the resolve table — so the integrity tests and
+// the chaos harness can stage the fault Verify exists to catch. Never
+// call it while a run is in flight on the snapshot.
+func (s *Snapshot) CorruptForTest(rank int, section string) error {
+	switch {
+	case section == SectionResolve:
+		if len(s.resolve) == 0 {
+			return fmt.Errorf("lcc: empty resolve table")
+		}
+		s.resolve[len(s.resolve)/2] ^= 1
+	case rank < 0 || rank >= len(s.locals):
+		return fmt.Errorf("lcc: rank %d out of range [0,%d)", rank, len(s.locals))
+	case section == SectionOffsets:
+		off := s.locals[rank].Offsets
+		off[len(off)/2] ^= 1
+	case section == SectionAdjacency:
+		lc := s.locals[rank]
+		if lc.Comp != nil {
+			lc.Comp.CorruptForTest()
+		} else if len(lc.Adj) > 0 {
+			lc.Adj[len(lc.Adj)/2] ^= 1
+		} else {
+			return fmt.Errorf("lcc: rank %d has no adjacency", rank)
+		}
+	default:
+		return fmt.Errorf("lcc: unknown section %q", section)
+	}
+	return nil
+}

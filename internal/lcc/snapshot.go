@@ -35,6 +35,11 @@ type Snapshot struct {
 	pairs   [][]uint64
 	resolve []uint64
 	deleg   *Delegation
+
+	// sums / resolveSum are the build-time CRC-32C of the resident tables
+	// (integrity.go); Verify re-checks them for the snapshot's lifetime.
+	sums       []rankSums
+	resolveSum uint32
 }
 
 // SnapshotOptions are the per-graph half of Options: everything the
@@ -80,14 +85,16 @@ func NewSnapshotOpts(g graph.Store, so SnapshotOptions) (*Snapshot, error) {
 	for s, lc := range locals {
 		pairs[s] = offsetPairs(lc)
 	}
-	return &Snapshot{
+	s := &Snapshot{
 		src: g, kind: g.Kind(), n: g.NumVertices(),
 		ranks: so.Ranks, scheme: so.Scheme, delegateBytes: so.DelegateBytes,
 		storage: so.Storage,
 		pt:      pt, locals: locals, pairs: pairs,
 		resolve: buildResolve(pt),
 		deleg:   BuildDelegation(g, so.DelegateBytes),
-	}, nil
+	}
+	s.computeSums()
+	return s, nil
 }
 
 // LoadSnapshot is NewSnapshot over a named dataset from the registry.

@@ -246,6 +246,9 @@ func (b *Barrier) Wait(r *Rank) {
 			b.doneT = b.maxT
 			b.arrived = 0
 			b.gen++
+			if r.prog != nil {
+				r.prog.BarrierTick()
+			}
 			b.cond.Broadcast()
 		} else {
 			for gen == b.gen && !pool.Canceled() {

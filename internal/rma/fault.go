@@ -31,6 +31,14 @@ import (
 // of one nil check per issue path.
 func (c *Comm) SetFaults(spec *fault.Spec) { c.faults = spec }
 
+// SetProgress installs a run-progress counter: every rank created after
+// the call ticks it on the masked checkpoint cadence, and barrier round
+// closes bump its generation. Like the charge-plane setters it must be
+// set before Run; nil (the default) costs the hot path one predictable
+// branch. The counter is host-side only — arming it cannot perturb a
+// simulated bit (see sched.Progress).
+func (c *Comm) SetProgress(p *sched.Progress) { c.prog = p }
+
 // Faults returns the world's installed fault schedule, nil if none.
 func (c *Comm) Faults() *fault.Spec { return c.faults }
 
@@ -47,6 +55,17 @@ func (r *Rank) injectFaults(cl fault.Class, size int) {
 	o := r.faults.Op(cl)
 	if o.Crashed() {
 		r.crashStop(o)
+	}
+	if o.Wedged() && r.running {
+		// The wedge class: this rank is stuck in host code and will never
+		// issue another operation or reach another checkpoint. Park until
+		// an external cancel (caller deadline, serve watchdog) unwinds the
+		// run; under an unsupervised run (no supervision to ever cancel)
+		// the park is a no-op (see sched). Yield semantics require a held
+		// worker slot, hence the r.running guard. No charge folds — a
+		// wedged run never completes, so there is no result whose clocks
+		// could observe it.
+		r.comm.pool.WedgeUntilCanceled()
 	}
 	if st := o.StallNS(); st > 0 {
 		r.charge(ChargeStall, 0, st, nil)

@@ -27,6 +27,12 @@ type Comm struct {
 	// construction (fault.go); nil leaves the plane off at zero cost.
 	faults *fault.Spec
 
+	// prog, when set, receives out-of-band run-progress ticks (sched
+	// .Progress): one per masked checkpoint poll per rank, one per barrier
+	// round close. Host-side diagnostics for the serve watchdog only —
+	// never observed by the simulated clocks.
+	prog *sched.Progress
+
 	mu      sync.Mutex
 	windows []*Window
 	byID    [][]*Rank // every Rank handle created, grouped by id (staged-op commit order)
@@ -325,6 +331,11 @@ type Rank struct {
 	// barrier — the recovery point a crash-stop re-executes from.
 	ckOps uint32
 	ckptT float64
+
+	// prog mirrors Comm.prog (bound at construction): the watchdog's
+	// progress counter, ticked on the same masked cadence as the
+	// cancellation poll. nil keeps the hot path at one predictable branch.
+	prog *sched.Progress
 }
 
 // checkpointMask throttles cancellation polling: one atomic load every
@@ -339,6 +350,9 @@ const checkpointMask = 0xff
 func (r *Rank) checkpoint() {
 	r.ckOps++
 	if r.ckOps&checkpointMask == 0 {
+		if r.prog != nil {
+			r.prog.Tick(r.id)
+		}
 		r.comm.pool.Checkpoint()
 	}
 }
@@ -360,6 +374,7 @@ func (c *Comm) Rank(id int) *Rank {
 	}
 	r.clock.SetNoise(c.model.Noise, id)
 	r.faults = fault.New(c.faults, id)
+	r.prog = c.prog
 	c.mu.Lock()
 	c.byID[id] = append(c.byID[id], r)
 	c.mu.Unlock()

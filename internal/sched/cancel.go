@@ -101,6 +101,11 @@ type runState struct {
 	// single-core host a short run can otherwise finish first).
 	ctx  context.Context
 	done <-chan struct{}
+	// wedge is closed exactly once when the run is canceled or aborted;
+	// WedgeUntilCanceled parks on it. Unlike the NotifyCancel hooks it
+	// needs no registration, so a wedged rank costs nothing when no rank
+	// wedges.
+	wedge chan struct{}
 }
 
 // NotifyCancel registers f to be invoked (once, on the canceling
@@ -148,6 +153,24 @@ func (p *Pool) Checkpoint() {
 	}
 }
 
+// WedgeUntilCanceled parks the calling rank body until the surrounding
+// run is canceled or aborted, then unwinds it through the normal
+// cancellation sentinel. It is the fault plane's wedge class (a rank
+// stuck in host code that never again reaches a checkpoint): the slot is
+// yielded first, so the wedged rank starves nobody — it is invisible to
+// the pool, to the other ranks, and to every simulated clock. Only an
+// external cancel (the serve watchdog, a caller deadline, run abort)
+// releases it. Under plain Run — no supervision, nothing will ever
+// cancel — it returns immediately rather than deadlock.
+func (p *Pool) WedgeUntilCanceled() {
+	rs := p.cur.Load()
+	if rs == nil {
+		return
+	}
+	p.Yield(func() { <-rs.wedge })
+	p.Checkpoint()
+}
+
 // cancel flips the run canceled (recording cause on the first call) and
 // fires the registered wakeup hooks.
 func (p *Pool) cancel(rs *runState, cause error) {
@@ -158,6 +181,7 @@ func (p *Pool) cancel(rs *runState, cause error) {
 	}
 	rs.cause = cause
 	rs.canceled.Store(true)
+	close(rs.wedge)
 	rs.mu.Unlock()
 	p.hookMu.Lock()
 	hooks := append([]func(){}, p.hooks...)
@@ -180,7 +204,7 @@ func (p *Pool) RunCtx(ctx context.Context, n int, body func(i int)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	rs := &runState{ctx: ctx, done: ctx.Done()}
+	rs := &runState{ctx: ctx, done: ctx.Done(), wedge: make(chan struct{})}
 	if !p.cur.CompareAndSwap(nil, rs) {
 		panic("sched: RunCtx on a pool whose run is still in flight")
 	}

@@ -1,0 +1,116 @@
+package sched
+
+// Run progress accounting for the serving plane's watchdog.
+//
+// A wedged run — a rank body stuck in host code that never reaches a
+// checkpoint — is invisible to the cancellation plane: Checkpoint is
+// only observed at operation issue points and barrier wakeups, so a rank
+// that stops issuing operations stops observing anything. The watchdog
+// (internal/serve) needs an out-of-band signal that the run is still
+// moving. Progress is that signal: a set of monotonic counters bumped
+// from the substrate's existing checkpoint plants and barrier closes,
+// read atomically by a supervisor goroutine. The counters are host-side
+// diagnostics only — they are never observed by the simulated clocks, so
+// arming them cannot perturb a single modeled bit.
+//
+// Why these two sources compose into a stall-proof contract:
+//
+//   - Checkpoint ticks fire every checkpointMask+1 issue points on each
+//     rank (internal/rma), so any rank actively issuing operations keeps
+//     the total moving.
+//   - Barrier generation fires each time a barrier round closes. A rank
+//     parked *at* a barrier is not issuing operations, but it is waiting
+//     for stragglers that are — and those stragglers tick. The total
+//     therefore only goes quiet when every rank is simultaneously stuck:
+//     either all parked at a rendezvous that cannot close (a genuine
+//     wedge — some rank will never arrive) or all wedged in host code.
+//     A healthy run at a barrier can never false-positive, because the
+//     barrier closes (bumping the generation) as soon as the last
+//     straggler — which was ticking — arrives.
+
+import "sync/atomic"
+
+// progressCell is one rank's tick counter, padded to a cache line so the
+// per-rank bumps on the hot checkpoint path never false-share.
+type progressCell struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Progress is the monotonic progress counter of one supervised run:
+// per-rank checkpoint ticks plus a global barrier generation. The zero
+// value is not usable; call NewProgress. All methods are safe for
+// concurrent use; Tick is wait-free (one relaxed atomic add).
+type Progress struct {
+	barriers atomic.Uint64
+	ticks    []progressCell
+}
+
+// NewProgress creates a progress counter for a run of the given rank
+// count.
+func NewProgress(ranks int) *Progress {
+	if ranks < 1 {
+		ranks = 1
+	}
+	return &Progress{ticks: make([]progressCell, ranks)}
+}
+
+// Tick records one unit of forward progress on the given rank. Called
+// from the substrate's masked checkpoint plant — every checkpointMask+1
+// operation issue points — so the cost is one atomic add every few
+// hundred simulated operations.
+func (p *Progress) Tick(rank int) {
+	if p == nil || rank < 0 || rank >= len(p.ticks) {
+		return
+	}
+	p.ticks[rank].v.Add(1)
+}
+
+// BarrierTick records the close of one barrier round (all ranks arrived
+// and the generation advanced).
+func (p *Progress) BarrierTick() {
+	if p == nil {
+		return
+	}
+	p.barriers.Add(1)
+}
+
+// Total returns the monotonic sum the watchdog samples: every per-rank
+// tick plus every barrier close. Two equal consecutive samples spaced a
+// stall-timeout apart mean no rank issued an operation and no barrier
+// closed in between — the run is wedged.
+func (p *Progress) Total() uint64 {
+	if p == nil {
+		return 0
+	}
+	t := p.barriers.Load()
+	for i := range p.ticks {
+		t += p.ticks[i].v.Load()
+	}
+	return t
+}
+
+// ProgressSnapshot is a point-in-time copy of the counters, captured for
+// stall diagnostics: which ranks were still moving and which had gone
+// quiet when the watchdog fired.
+type ProgressSnapshot struct {
+	// Ticks is the per-rank checkpoint tick count.
+	Ticks []uint64
+	// Barriers is the number of barrier rounds that closed.
+	Barriers uint64
+}
+
+// Snapshot copies the current counter values.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Ticks:    make([]uint64, len(p.ticks)),
+		Barriers: p.barriers.Load(),
+	}
+	for i := range p.ticks {
+		s.Ticks[i] = p.ticks[i].v.Load()
+	}
+	return s
+}

@@ -234,9 +234,12 @@ func TestSupervisorEvictionSparesBusyAndQueued(t *testing.T) {
 
 	// A budget this tight demands evicting a — but a is busy with a
 	// queued follower, so the sweep must leave it alone and overshoot.
+	// A *new* load is a different matter: the server is over budget with
+	// nothing evictable, so admission browns out with the typed shed
+	// error instead of piling on another snapshot (shed.go).
 	sup.SetMemBudget(1)
-	if _, err := sup.Load("b", fbConfig()); err != nil {
-		t.Fatalf("load b: %v", err)
+	if _, err := sup.Load("b", fbConfig()); !errors.Is(err, serve.ErrBrownout) {
+		t.Fatalf("load b under brownout: err = %v, want ErrBrownout", err)
 	}
 	if st := a.State(); st != serve.StateBusy {
 		t.Fatalf("a during sweep = %v, want busy (never evicted)", st)

@@ -49,6 +49,7 @@ type Manifest struct {
 	MaxConcurrent    int    `json:"max_concurrent,omitempty"`
 	QueueDepth       int    `json:"queue_depth,omitempty"`
 	DefaultTimeoutMS int64  `json:"default_timeout_ms,omitempty"`
+	StallTimeoutMS   int64  `json:"stall_timeout_ms,omitempty"`
 }
 
 var manifestMagic = [8]byte{'L', 'C', 'C', 'M', 'A', 'N', 'I', 'F'}
@@ -107,6 +108,7 @@ func (m *Manifest) config() (Config, error) {
 		MaxConcurrent:  m.MaxConcurrent,
 		QueueDepth:     m.QueueDepth,
 		DefaultTimeout: time.Duration(m.DefaultTimeoutMS) * time.Millisecond,
+		StallTimeout:   time.Duration(m.StallTimeoutMS) * time.Millisecond,
 	}, nil
 }
 
@@ -128,6 +130,7 @@ func manifestFor(name string, cfg Config) (*Manifest, bool) {
 		MaxConcurrent:    cfg.MaxConcurrent,
 		QueueDepth:       cfg.QueueDepth,
 		DefaultTimeoutMS: int64(cfg.DefaultTimeout / time.Millisecond),
+		StallTimeoutMS:   int64(cfg.StallTimeout / time.Millisecond),
 	}, true
 }
 
@@ -173,10 +176,15 @@ func (ms *ManifestStore) Path(name string) string {
 	return filepath.Join(ms.dir, fmt.Sprintf("%s-%016x.lcm", safe, h.Sum64()))
 }
 
-// Save persists the manifest atomically: the framed file is written to a
-// temp name in the same directory and renamed into place, so a concurrent
-// reader (or a crash mid-write) sees either the old manifest or the new
-// one, never a torn hybrid.
+// Save persists the manifest atomically AND durably: the framed file is
+// written to a temp name in the same directory, fsynced, renamed into
+// place, and the directory itself is fsynced. The rename gives atomicity
+// (a concurrent reader, or a crash mid-write, sees either the old
+// manifest or the new one, never a torn hybrid); the two syncs give
+// crash-consistency — without the file sync a power loss after the
+// rename can surface a zero-length or garbage file (the rename commits
+// the name before the data reaches disk), and without the directory sync
+// the rename itself can be lost.
 func (ms *ManifestStore) Save(m *Manifest) error {
 	payload, err := json.Marshal(m)
 	if err != nil {
@@ -199,10 +207,32 @@ func (ms *ManifestStore) Save(m *Manifest) error {
 		tmp.Close()
 		return err
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(ms.dir)
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power
+// loss. Filesystems that refuse to sync directories (some network mounts)
+// degrade to rename-only atomicity rather than failing the save.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, os.ErrInvalid) {
+		return err
+	}
+	return nil
 }
 
 // Remove deletes the named instance's manifest. A missing file is not an

@@ -1,0 +1,242 @@
+package serve
+
+// Integrity scrubbing: the serving plane's defense against silent
+// resident-memory corruption. Snapshots record per-rank CRC-32C over
+// their adjacency, offset and resolve tables at build time
+// (lcc/integrity.go); the scrubber re-verifies idle instances on a
+// jittered period and, on a mismatch, quarantines the instance — the
+// corrupt snapshot is discarded before another query can read it — and
+// auto-reloads from the dataset source, reusing the parking machinery's
+// rebuild path. Queries arriving mid-quarantine wait out the reload
+// (admit's quarantined branch) or, when the reload itself fails, get the
+// typed unhealthy error; no query ever computes over bits that failed
+// their checksum.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/lcc"
+)
+
+// ErrQuarantined is the sentinel a scrub failure matches via errors.Is;
+// the concrete *ScrubError names the corrupt rank and section.
+var ErrQuarantined = errors.New("serve: instance quarantined")
+
+// Checksummed snapshot sections, re-exported for CorruptResident callers
+// (tests, the chaos harness).
+const (
+	SectionOffsets   = lcc.SectionOffsets
+	SectionAdjacency = lcc.SectionAdjacency
+	SectionResolve   = lcc.SectionResolve
+)
+
+// ScrubError reports a snapshot integrity failure: which instance was
+// quarantined and the checksum mismatch (rank, section, want/got) that
+// triggered it.
+type ScrubError struct {
+	Instance  string
+	Integrity *lcc.IntegrityError
+}
+
+func (e *ScrubError) Error() string {
+	return fmt.Sprintf("serve: instance %q quarantined: %v", e.Instance, e.Integrity)
+}
+
+func (e *ScrubError) Is(target error) bool { return target == ErrQuarantined }
+
+// Unwrap exposes the underlying *lcc.IntegrityError to errors.As.
+func (e *ScrubError) Unwrap() error { return e.Integrity }
+
+// Scrub verifies the instance's resident snapshot against its build-time
+// checksums, if the instance is idle — ready, no runs in flight or
+// queued. Busy, parked, loading and exited instances are skipped
+// (checked=false — skipped, not failed: parked instances hold no bytes
+// to corrupt, and a busy instance is re-checked on the next sweep). On a
+// mismatch the instance is quarantined — state flips, the corrupt
+// snapshot is dropped, failure records the *ScrubError — and then
+// immediately reloaded from its dataset source. The returned *ScrubError
+// is non-nil exactly when corruption was found; err reports a reload
+// that failed afterwards (the instance is then unhealthy with the reload
+// cause).
+func (inst *Instance) Scrub() (checked bool, se *ScrubError, err error) {
+	inst.mu.Lock()
+	if inst.state != StateReady || inst.active > 0 || inst.queue.Len() > 0 || inst.snap == nil {
+		inst.mu.Unlock()
+		return false, nil, nil
+	}
+	snap := inst.snap
+	inst.mu.Unlock()
+
+	// Verify outside the lock: the CRC sweep over a large snapshot takes
+	// real time and everything it reads is immutable. An admission racing
+	// in meanwhile is fine — it runs on bits that were checksummed-clean a
+	// moment ago, exactly what it would have done had the sweep not run.
+	verr := snap.Verify()
+	if verr == nil {
+		return true, nil, nil
+	}
+	var ie *lcc.IntegrityError
+	if !errors.As(verr, &ie) {
+		ie = &lcc.IntegrityError{Section: "unknown"}
+	}
+	se = &ScrubError{Instance: inst.name, Integrity: ie}
+
+	inst.mu.Lock()
+	if inst.snap != snap || inst.state != StateReady || inst.active > 0 || inst.queue.Len() > 0 {
+		// Raced with a reload, park, stop or admission while verifying.
+		// The corruption (if the snapshot is even still installed) will be
+		// re-detected on the next idle sweep; quarantining under a live
+		// run would yank the state transitions out from under it.
+		inst.mu.Unlock()
+		return true, se, nil
+	}
+	inst.state = StateQuarantined
+	inst.snap = nil
+	inst.failure = se
+	inst.cond.Broadcast()
+	inst.mu.Unlock()
+
+	// Auto-reload from the dataset source — the same rebuild path an
+	// unpark takes. Success clears failure and restores ready; a failure
+	// flips unhealthy with the load error and fences any queries that
+	// queued up behind the quarantine.
+	return true, se, inst.reloadFromQuarantine()
+}
+
+// CorruptResident flips one bit in the named section of the resident
+// snapshot — the fault-injection hook behind the scrub tests and the
+// chaos harness. It only touches a ready, idle instance (the same
+// precondition Scrub checks), so the corrupted bytes are exactly the
+// ones the next sweep verifies. The snapshot's adjacency is private to
+// this instance (part.Extract copies out of the source graph), so the
+// damage never leaks into other instances or the dataset cache.
+func (inst *Instance) CorruptResident(rank int, section string) error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	if inst.state != StateReady || inst.active > 0 || inst.snap == nil {
+		return ErrNotReady
+	}
+	return inst.snap.CorruptForTest(rank, section)
+}
+
+// reloadFromQuarantine rebuilds the snapshot of a quarantined instance.
+// A state change since quarantine (an explicit Reload or Stop racing in)
+// makes it a no-op — whoever changed the state owns the instance now.
+func (inst *Instance) reloadFromQuarantine() error {
+	inst.mu.Lock()
+	if inst.state != StateQuarantined {
+		inst.mu.Unlock()
+		return nil
+	}
+	inst.state = StateLoading
+	inst.mu.Unlock()
+	return inst.loadAndNote()
+}
+
+// ScrubStats aggregates the supervisor's scrub outcomes.
+type ScrubStats struct {
+	Sweeps       int64 `json:"sweeps"`        // completed full-fleet sweeps
+	Verified     int64 `json:"verified"`      // snapshots that passed verification
+	Quarantines  int64 `json:"quarantines"`   // corruption detections
+	ReloadFailed int64 `json:"reload_failed"` // auto-reloads that failed (instance left unhealthy)
+}
+
+// ScrubNow sweeps every registered instance once, synchronously:
+// idle-ready instances are verified (and quarantined + reloaded on
+// mismatch). It returns the names of instances quarantined during the
+// sweep. The background Scrubber calls this on its period; tests and the
+// chaos harness call it directly.
+func (s *Supervisor) ScrubNow() []string {
+	s.mu.Lock()
+	insts := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	s.mu.Unlock()
+	var quarantined []string
+	for _, inst := range insts {
+		checked, se, err := inst.Scrub()
+		s.mu.Lock()
+		switch {
+		case se != nil:
+			s.scrub.Quarantines++
+			quarantined = append(quarantined, inst.Name())
+		case checked:
+			s.scrub.Verified++
+		}
+		if err != nil {
+			s.scrub.ReloadFailed++
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	s.scrub.Sweeps++
+	s.mu.Unlock()
+	return quarantined
+}
+
+// ScrubStats returns the cumulative scrub counters.
+func (s *Supervisor) ScrubStats() ScrubStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scrub
+}
+
+// Scrubber is the background integrity-scrubbing loop: a full-fleet
+// ScrubNow sweep on a jittered period. The jitter (±25%, deterministic
+// from the seed) keeps a fleet of daemons from synchronizing their
+// sweeps — the usual thundering-herd discipline, applied to CPU spent
+// checksumming.
+type Scrubber struct {
+	sup    *Supervisor
+	period time.Duration
+	seed   uint64
+	stopC  chan struct{}
+	done   chan struct{}
+}
+
+// StartScrubber starts the background loop; period <= 0 selects a
+// minute. Stop the returned Scrubber before shutting the supervisor
+// down.
+func (s *Supervisor) StartScrubber(period time.Duration, seed uint64) *Scrubber {
+	if period <= 0 {
+		period = time.Minute
+	}
+	sc := &Scrubber{sup: s, period: period, seed: seed,
+		stopC: make(chan struct{}), done: make(chan struct{})}
+	go sc.loop()
+	return sc
+}
+
+// splitmix64 mirrors the fault plane's mixer; the scrubber only needs a
+// cheap deterministic jitter stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (sc *Scrubber) loop() {
+	defer close(sc.done)
+	for i := uint64(0); ; i++ {
+		u := float64(splitmix64(sc.seed^i)>>11) / (1 << 53) // [0,1)
+		d := time.Duration((0.75 + 0.5*u) * float64(sc.period))
+		t := time.NewTimer(d)
+		select {
+		case <-sc.stopC:
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		sc.sup.ScrubNow()
+	}
+}
+
+// Stop terminates the loop and waits for an in-flight sweep to finish.
+func (sc *Scrubber) Stop() {
+	close(sc.stopC)
+	<-sc.done
+}

@@ -63,10 +63,12 @@ import (
 //	loading → ready      (Start/Reload succeeds)
 //	loading → unhealthy  (load fails)
 //	ready   ⇄ busy       (run admitted / last run drains)
-//	busy    → unhealthy  (a run panics)
+//	busy    → unhealthy  (a run panics, or the watchdog detects a stall)
 //	unhealthy → loading  (Reload)
 //	ready   → parked     (Park: snapshot evicted, config retained)
 //	parked  → loading    (next query or Reload rebuilds the snapshot)
+//	ready   → quarantined (scrub checksum mismatch: snapshot discarded)
+//	quarantined → loading (the scrubber auto-reloads from the source)
 //	any     → exited     (Stop; terminal)
 type State int32
 
@@ -77,6 +79,7 @@ const (
 	StateUnhealthy
 	StateExited
 	StateParked
+	StateQuarantined
 )
 
 func (s State) String() string {
@@ -93,6 +96,8 @@ func (s State) String() string {
 		return "exited"
 	case StateParked:
 		return "parked"
+	case StateQuarantined:
+		return "quarantined"
 	default:
 		return "unknown"
 	}
@@ -155,6 +160,17 @@ type Config struct {
 	// DefaultTimeout applies to runs whose Query sets none; 0 = no
 	// deadline.
 	DefaultTimeout time.Duration
+	// StallTimeout arms the run watchdog: a run whose progress counter
+	// (sched.Progress — checkpoint ticks plus barrier generations) does
+	// not move for this long is force-canceled through the scheduler's
+	// abort path, the instance flips unhealthy, and the run fails with a
+	// typed *StallError carrying per-rank progress and worker stacks
+	// (watchdog.go). 0 disables the watchdog. Distinct from
+	// DefaultTimeout: a deadline bounds total runtime, the stall timeout
+	// bounds time *without forward progress* — a big query on a loaded
+	// host can legitimately exceed any fixed deadline while never
+	// stalling.
+	StallTimeout time.Duration
 }
 
 // Counters aggregates an instance's served-run outcomes.
@@ -165,6 +181,7 @@ type Counters struct {
 	Failed   int64 // runs that returned any other error
 	Rejected int64 // admissions refused (ErrBusy overflow or a queue fence)
 	TimedOut int64 // queued runs whose deadline-in-queue expired
+	Stalled  int64 // runs the watchdog force-canceled for lack of progress
 }
 
 // useTick is the global recency clock behind LRU parking: every admission
@@ -497,6 +514,19 @@ func (inst *Instance) Run(ctx context.Context, q Query) (*QueryResult, error) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	if inst.cfg.StallTimeout > 0 {
+		// Arm the watchdog: the run gets its own progress counter and a
+		// cancel-with-cause wrapper; a detected stall cancels the context
+		// with a *StallError cause, which the scheduler's unwind threads
+		// back as this run's error (watchdog.go).
+		prog := sched.NewProgress(snap.Ranks())
+		q.Options.Progress = prog
+		wctx, wcancel := context.WithCancelCause(ctx)
+		ctx = wctx
+		defer wcancel(nil)
+		stop := inst.watchRun(wctx, wcancel, prog)
+		defer stop()
+	}
 	start := time.Now()
 	res, err := execute(ctx, snap, q)
 	inst.finish(err)
@@ -535,6 +565,14 @@ func (inst *Instance) admit(ctx context.Context, q Query) (*lcc.Snapshot, time.D
 				inst.mu.Unlock()
 				return nil, 0, ErrNotReady
 			}
+			inst.cond.Wait()
+			continue
+		case StateQuarantined:
+			// The scrubber found corruption and its auto-reload is about
+			// to rebuild the snapshot from the source: wait it out like a
+			// reload in flight. If the reload fails the state flips
+			// unhealthy and the woken waiter gets the typed error; queries
+			// never observe the corrupted bits.
 			inst.cond.Wait()
 			continue
 		case StateUnhealthy:
@@ -576,9 +614,23 @@ func (inst *Instance) finish(err error) {
 	defer inst.mu.Unlock()
 	inst.active--
 	var pe *sched.PanicError
+	var se *StallError
 	switch {
 	case err == nil:
 		inst.ctr.Served++
+	case errors.As(err, &se):
+		// A watchdog stall is a cancellation mechanically (the run was
+		// unwound through the abort path) but an instance failure
+		// semantically: something in this process stopped making progress,
+		// and the next run would inherit it. Checked before the canceled
+		// class — a stall error wraps the cancellation sentinel.
+		inst.ctr.Stalled++
+		if inst.state == StateBusy {
+			inst.state = StateUnhealthy
+			inst.failure = err
+			inst.snap = nil
+			inst.flushQueueLocked(fmt.Errorf("%w (cause: %v)", ErrUnhealthy, err))
+		}
 	case errors.Is(err, sched.ErrRunCanceled):
 		inst.ctr.Canceled++
 	case errors.As(err, &pe):

@@ -1,0 +1,68 @@
+package serve
+
+// Server-wide load shedding: the supervisor's global admission layer,
+// sitting above the per-instance queues. Two mechanisms, one error shape:
+//
+//   - Run cap: SetRunCap bounds supervised runs in flight across ALL
+//     instances (queued + executing). Past it, Supervisor.Run sheds with
+//     a *ShedError matching ErrServerBusy — the server-is-saturated
+//     answer, distinct from the per-instance ErrBusy which only says one
+//     instance's queue is full.
+//   - Memory brownout: when resident bytes exceed the memory budget and
+//     LRU parking has nothing left to evict (every resident instance is
+//     busy), the server is browned out — new Loads shed with a
+//     *ShedError matching ErrBrownout until pressure drains. Runs are
+//     NOT shed by the brownout: they queue as usual, because a queued
+//     run costs queue-entry bytes while a load costs a whole snapshot.
+//
+// Ordering contract with the per-instance queues: the global check runs
+// before instance admission, so a shed run never holds (or even
+// contends) an instance queue slot, and a shed load never registers an
+// instance. The per-instance priority queue therefore keeps its local
+// FIFO/priority guarantees undisturbed — global shedding only decides
+// whether you get to the instance at all (DESIGN.md §10).
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Global-admission sentinels. The concrete error is always a *ShedError
+// carrying the numbers behind the decision.
+var (
+	// ErrServerBusy rejects a run because the server-wide run cap is
+	// reached: the fleet, not one instance, is saturated.
+	ErrServerBusy = errors.New("serve: server run cap reached")
+	// ErrBrownout rejects a load because resident memory exceeds the
+	// budget and nothing is evictable.
+	ErrBrownout = errors.New("serve: memory brownout")
+)
+
+// ShedError is the structured global-admission rejection: which
+// mechanism fired (Reason is "run-cap" or "memory-brownout") and the
+// numbers that justify it — enough for a client to decide between
+// backoff and capacity planning, and for lccd to serve the decision as
+// structured JSON.
+type ShedError struct {
+	Reason        string `json:"reason"`
+	ActiveRuns    int    `json:"active_runs,omitempty"`
+	RunCap        int    `json:"run_cap,omitempty"`
+	ResidentBytes int64  `json:"resident_bytes,omitempty"`
+	BudgetBytes   int64  `json:"budget_bytes,omitempty"`
+
+	sentinel error
+}
+
+func (e *ShedError) Error() string {
+	switch e.Reason {
+	case "run-cap":
+		return fmt.Sprintf("serve: shed run: %d/%d supervised runs in flight", e.ActiveRuns, e.RunCap)
+	case "memory-brownout":
+		return fmt.Sprintf("serve: shed load: %d resident bytes over budget %d with nothing evictable",
+			e.ResidentBytes, e.BudgetBytes)
+	default:
+		return fmt.Sprintf("serve: shed: %s", e.Reason)
+	}
+}
+
+func (e *ShedError) Is(target error) bool { return target == e.sentinel }

@@ -31,6 +31,16 @@ type Supervisor struct {
 	manifests *ManifestStore // nil = no persistence
 	memBudget int64          // 0 = unbounded
 	parks     int64          // instances parked by budget enforcement
+
+	// Global admission (shed.go): runCap bounds supervised runs in flight
+	// across the whole fleet — queued runs count, because a queued run is
+	// a promise of future work the server has already accepted.
+	runCap     int   // 0 = unbounded
+	activeRuns int   // supervised runs in flight (queued + executing)
+	shedRuns   int64 // runs rejected by the run cap
+	shedLoads  int64 // loads rejected by the memory brownout
+
+	scrub ScrubStats // integrity-scrubbing outcomes (scrub.go)
 }
 
 // NewSupervisor creates an empty registry with no memory budget and no
@@ -64,6 +74,71 @@ func (s *Supervisor) Parks() int64 {
 	return s.parks
 }
 
+// SetRunCap bounds supervised runs in flight (queued + executing) across
+// all instances; 0 removes the bound. Past the cap Supervisor.Run sheds
+// with a *ShedError matching ErrServerBusy instead of queueing.
+func (s *Supervisor) SetRunCap(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runCap = n
+}
+
+// admitRun claims one global run slot or returns the typed shed error.
+func (s *Supervisor) admitRun() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.runCap > 0 && s.activeRuns >= s.runCap {
+		s.shedRuns++
+		return &ShedError{
+			Reason:     "run-cap",
+			ActiveRuns: s.activeRuns,
+			RunCap:     s.runCap,
+			sentinel:   ErrServerBusy,
+		}
+	}
+	s.activeRuns++
+	return nil
+}
+
+// releaseRun returns a global run slot.
+func (s *Supervisor) releaseRun() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.activeRuns--
+}
+
+// admitLoad applies the memory brownout: when the fleet is over budget
+// and LRU parking has nothing left to evict, new loads shed with a typed
+// *ShedError rather than piling more snapshots onto a host already
+// refusing to fit the ones it has. EnsureBudget runs first so the load
+// is only refused after eviction genuinely came up empty.
+func (s *Supervisor) admitLoad() error {
+	s.mu.Lock()
+	budget := s.memBudget
+	s.mu.Unlock()
+	if budget <= 0 {
+		return nil
+	}
+	s.EnsureBudget(nil)
+	var total int64
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, inst := range s.instances {
+		_, _, _, bytes := inst.residency()
+		total += bytes
+	}
+	if total > budget {
+		s.shedLoads++
+		return &ShedError{
+			Reason:        "memory-brownout",
+			ResidentBytes: total,
+			BudgetBytes:   budget,
+			sentinel:      ErrBrownout,
+		}
+	}
+	return nil
+}
+
 // Load creates, registers and starts an instance under name. A live
 // instance already holding the name is an error (ErrAlreadyRunning); an
 // exited one is replaced. On a load failure the instance stays registered
@@ -71,6 +146,12 @@ func (s *Supervisor) Parks() int64 {
 // is returned alongside it. A successful load persists the instance's
 // manifest (when a store is set) and enforces the memory budget.
 func (s *Supervisor) Load(name string, cfg Config) (*Instance, error) {
+	// Global admission first (shed.go): a browned-out server refuses the
+	// load before an instance is ever registered, so a shed leaves no
+	// state behind.
+	if err := s.admitLoad(); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	if old, ok := s.instances[name]; ok && old.State() != StateExited {
 		s.mu.Unlock()
@@ -226,12 +307,19 @@ func (s *Supervisor) Get(name string) (*Instance, error) {
 	return inst, nil
 }
 
-// Run executes a supervised query on the named instance.
+// Run executes a supervised query on the named instance. Global
+// admission (the server-wide run cap) applies before the instance's own
+// queue: a shed run never holds an instance slot, so per-instance
+// priority/FIFO ordering is unaffected by the cap.
 func (s *Supervisor) Run(ctx context.Context, name string, q Query) (*QueryResult, error) {
 	inst, err := s.Get(name)
 	if err != nil {
 		return nil, err
 	}
+	if err := s.admitRun(); err != nil {
+		return nil, err
+	}
+	defer s.releaseRun()
 	return inst.Run(ctx, q)
 }
 
@@ -274,14 +362,59 @@ func (s *Supervisor) List() []InstanceInfo {
 
 // Healthy reports whether every non-exited instance is serving (ready,
 // busy, or parked — a parked instance serves via transparent reload) —
-// the health-endpoint predicate.
+// the health-endpoint predicate. A quarantined instance is not healthy:
+// its auto-reload is in flight and may yet fail.
 func (s *Supervisor) Healthy() bool {
 	for _, info := range s.List() {
-		if info.State == StateLoading.String() || info.State == StateUnhealthy.String() {
+		switch info.State {
+		case StateLoading.String(), StateUnhealthy.String(), StateQuarantined.String():
 			return false
 		}
 	}
 	return true
+}
+
+// ServerInfo is the fleet-level half of the ps view: lifecycle-state
+// counts across all instances plus the global-admission and robustness
+// counters. The restart smoke asserts recovery against the state counts
+// (e.g. states["parked"] after a lazy Recover).
+type ServerInfo struct {
+	Instances     int            `json:"instances"`
+	States        map[string]int `json:"states"`
+	ActiveRuns    int            `json:"active_runs"`
+	RunCap        int            `json:"run_cap,omitempty"`
+	ResidentBytes int64          `json:"resident_bytes"`
+	BudgetBytes   int64          `json:"budget_bytes,omitempty"`
+	ShedRuns      int64          `json:"shed_runs,omitempty"`
+	ShedLoads     int64          `json:"shed_loads,omitempty"`
+	Parks         int64          `json:"parks,omitempty"`
+	Scrub         ScrubStats     `json:"scrub"`
+}
+
+// ServerInfo reports the fleet-level view.
+func (s *Supervisor) ServerInfo() ServerInfo {
+	s.mu.Lock()
+	insts := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		insts = append(insts, inst)
+	}
+	info := ServerInfo{
+		Instances:   len(insts),
+		States:      make(map[string]int),
+		ActiveRuns:  s.activeRuns,
+		RunCap:      s.runCap,
+		BudgetBytes: s.memBudget,
+		ShedRuns:    s.shedRuns,
+		ShedLoads:   s.shedLoads,
+		Parks:       s.parks,
+		Scrub:       s.scrub,
+	}
+	s.mu.Unlock()
+	for _, inst := range insts {
+		info.States[inst.State().String()]++
+		info.ResidentBytes += inst.MemBytes()
+	}
+	return info
 }
 
 // Shutdown drains the registry: every instance stops admitting runs and

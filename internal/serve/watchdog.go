@@ -1,0 +1,107 @@
+package serve
+
+// The run watchdog: detection and typed reporting of wedged runs.
+//
+// The cancellation plane (internal/sched) only works when ranks reach
+// checkpoints — a rank stuck in host code (a deadlocked lock, a stuck
+// syscall, a livelocked loop, the fault plane's wedge class) never polls
+// again, so a deadline alone cannot unwind it promptly and an undeadlined
+// run would hang the slot forever. The watchdog closes that gap from the
+// outside: each supervised run (when Config.StallTimeout > 0) carries a
+// sched.Progress counter that the substrate bumps at its masked
+// checkpoint plants and barrier closes; a supervisor goroutine samples
+// the total and, when it has not moved for StallTimeout, cancels the run
+// context with a *StallError cause. The cancel releases every park —
+// including the wedged rank's own WedgeUntilCanceled and the barrier
+// waiters behind it — so the run unwinds through the existing abort
+// machinery and the instance flips unhealthy with the diagnostic
+// attached.
+//
+// Why a progress watchdog cannot false-positive at a barrier: a rank
+// blocked at a rendezvous stops ticking, but the stragglers it waits for
+// are still issuing operations — and they tick. The total only goes
+// quiet when no rank anywhere is making progress, which is precisely the
+// condition being diagnosed (sched/progress.go has the full argument).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/sched"
+)
+
+// ErrStalled is the sentinel a watchdog-canceled run's error matches via
+// errors.Is; the concrete *StallError carries the diagnostics.
+var ErrStalled = errors.New("serve: run stalled")
+
+// StallError is the watchdog's diagnostic: the run made no progress for
+// Stall, with the per-rank progress counters frozen at the fire point and
+// the full goroutine stack dump captured before the force-cancel —
+// enough to tell a wedged rank (its tick counter stopped early) from a
+// global livelock, and to find the stuck frame post-mortem.
+type StallError struct {
+	Instance string
+	Stall    time.Duration          // time without progress when the watchdog fired
+	Progress sched.ProgressSnapshot // per-rank ticks + barrier generations at fire time
+	Stacks   []byte                 // runtime.Stack(all=true) captured before the cancel
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("serve: instance %q run stalled: no progress for %v (ticks %v, barriers %d)",
+		e.Instance, e.Stall.Round(time.Millisecond), e.Progress.Ticks, e.Progress.Barriers)
+}
+
+// Is matches ErrStalled and — because a stall is delivered through the
+// scheduler's cancellation plane — lets the error co-exist with the
+// ErrRunCanceled chain without being mistaken for a caller cancel:
+// handlers must check ErrStalled before ErrRunCanceled.
+func (e *StallError) Is(target error) bool { return target == ErrStalled }
+
+// watchRun starts the watchdog goroutine for one armed run and returns
+// its stop function. The goroutine samples prog on a fraction of the
+// stall timeout; when the total sits unchanged for a full StallTimeout it
+// captures diagnostics and cancels the run context with the *StallError
+// as cause. ctx.Done covers both the run finishing (the caller's
+// deferred cancel) and any outer deadline.
+func (inst *Instance) watchRun(ctx context.Context, cancel context.CancelCauseFunc, prog *sched.Progress) (stop func()) {
+	stopC := make(chan struct{})
+	stallAfter := inst.cfg.StallTimeout
+	interval := stallAfter / 8
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		last := prog.Total()
+		lastMove := time.Now()
+		for {
+			select {
+			case <-stopC:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if cur := prog.Total(); cur != last {
+					last, lastMove = cur, time.Now()
+					continue
+				}
+				if quiet := time.Since(lastMove); quiet >= stallAfter {
+					buf := make([]byte, 1<<20)
+					buf = buf[:runtime.Stack(buf, true)]
+					cancel(&StallError{
+						Instance: inst.name,
+						Stall:    quiet,
+						Progress: prog.Snapshot(),
+						Stacks:   buf,
+					})
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(stopC) }
+}
